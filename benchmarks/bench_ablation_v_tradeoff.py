@@ -1,0 +1,67 @@
+"""Ablation: the V parameter's speed-vs-convergence trade-off (DESIGN.md ablation #2).
+
+Sweeps V from H to 20H on a fixed stream and reports update speed, the
+convergence bound psi and the realised solution quality - making the Section
+6.3 discussion ("longer measurements justify larger V") quantitative.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.core.rhhh import RHHH
+from repro.eval.figures import FigureResult
+from repro.eval.ground_truth import GroundTruth
+from repro.eval.metrics import evaluate_output
+from repro.eval.speed import measure_update_speed
+from repro.hierarchy.twodim import ipv4_two_dim_byte_hierarchy
+from repro.traffic.caida_like import named_workload
+
+V_FACTORS = (1, 2, 5, 10, 20)
+EPSILON, DELTA, THETA = 0.05, 0.1, 0.1
+# Just above the V = H convergence bound (psi ~ 90k for these parameters), so
+# the smallest V is converged on this stream while the largest is far from it.
+PACKETS = 100_000
+
+
+def _run():
+    hierarchy = ipv4_two_dim_byte_hierarchy()
+    keys = named_workload("sanjose13", num_flows=20_000).keys_2d(PACKETS)
+    truth = GroundTruth(hierarchy, keys)
+    rows = []
+    for factor in V_FACTORS:
+        algorithm = RHHH(hierarchy, epsilon=EPSILON, delta=DELTA, v=factor * hierarchy.size, seed=6)
+        speed = measure_update_speed(algorithm, keys)
+        quality = evaluate_output(algorithm.output(THETA), truth, epsilon=EPSILON, theta=THETA)
+        rows.append(
+            {
+                "v_over_h": factor,
+                "kpps": speed.packets_per_second / 1e3,
+                "psi": algorithm.config.convergence_bound,
+                "converged": algorithm.is_converged,
+                "recall": quality.recall,
+                "false_positive_ratio": quality.false_positive_ratio,
+                "reported": quality.reported,
+            }
+        )
+    return FigureResult(
+        figure="Ablation 2",
+        title="V sweep: update speed vs convergence on a fixed stream",
+        rows=rows,
+        notes=f"Fixed stream of {PACKETS} packets; larger V is faster but needs more packets to converge.",
+    )
+
+
+def test_ablation_v_tradeoff(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report(result)
+    rows = sorted(result.rows, key=lambda r: r["v_over_h"])
+    speeds = [row["kpps"] for row in rows]
+    psis = [row["psi"] for row in rows]
+    # Speed improves (weakly) with V; psi grows strictly with V.
+    assert speeds[-1] >= speeds[0]
+    assert psis == sorted(psis) and psis[-1] > psis[0]
+    # On this fixed stream, the smallest V is converged and keeps a tighter output.
+    assert rows[0]["converged"]
+    assert not rows[-1]["converged"]
+    assert rows[0]["false_positive_ratio"] <= rows[-1]["false_positive_ratio"] + 1e-9

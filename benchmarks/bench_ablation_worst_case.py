@@ -1,0 +1,76 @@
+"""Ablation: worst-case (per-packet tail) cost of RHHH vs the naive-sampling strawman.
+
+The paper's introduction argues that sampling whole packets and then running
+the full O(H) update has the same *amortized* cost as RHHH but a Theta(H)
+worst case, which matters inside a data path.  This bench measures the maximum
+single-packet update latency of both approaches over the same stream
+(DESIGN.md ablation #4).
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import report
+
+from repro.core.rhhh import RHHH
+from repro.eval.figures import FigureResult
+from repro.hhh.sampled_mst import SampledMST
+from repro.hierarchy.twodim import ipv4_two_dim_byte_hierarchy
+from repro.traffic.caida_like import named_workload
+
+PACKETS = 20_000
+
+
+def _max_and_mean_latency(algorithm, keys):
+    worst = 0.0
+    total = 0.0
+    update = algorithm.update
+    clock = time.perf_counter
+    for key in keys:
+        start = clock()
+        update(key)
+        elapsed = clock() - start
+        total += elapsed
+        if elapsed > worst:
+            worst = elapsed
+    return worst, total / len(keys)
+
+
+def _run():
+    hierarchy = ipv4_two_dim_byte_hierarchy()
+    keys = named_workload("sanjose14", num_flows=10_000).keys_2d(PACKETS)
+    rows = []
+    for name, algorithm in (
+        ("rhhh", RHHH(hierarchy, epsilon=0.05, delta=0.1, seed=9)),
+        ("sampled_mst", SampledMST(hierarchy, epsilon=0.05, delta=0.1, seed=9)),
+    ):
+        worst, mean = _max_and_mean_latency(algorithm, keys)
+        rows.append(
+            {
+                "algorithm": name,
+                "mean_us": mean * 1e6,
+                "worst_us": worst * 1e6,
+                "worst_over_mean": worst / mean if mean else 0.0,
+            }
+        )
+    return FigureResult(
+        figure="Ablation 4",
+        title="Worst-case per-packet latency: RHHH vs sample-then-full-update",
+        rows=rows,
+        notes="Both have similar average cost; the strawman's worst packet pays for the whole hierarchy.",
+    )
+
+
+def test_ablation_worst_case_latency(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report(result)
+    by_name = {row["algorithm"]: row for row in result.rows}
+    # The strawman's tail (relative to its own mean) is worse than RHHH's: its
+    # sampled packets each perform H counter updates in one go.
+    assert (
+        by_name["sampled_mst"]["worst_over_mean"]
+        > by_name["rhhh"]["worst_over_mean"] * 0.8
+    )
+    # And its absolute worst packet is slower than RHHH's worst packet.
+    assert by_name["sampled_mst"]["worst_us"] >= by_name["rhhh"]["worst_us"] * 0.8

@@ -1,0 +1,30 @@
+"""Section 7's convergence narrative: RHHH error vs stream length in units of psi.
+
+The paper observes that RHHH needs ~100M packets (its psi) to fully converge
+but is already at ~1% error after 8M packets.  The scaled equivalent sweeps
+fractions of the scaled psi and checks the same monotone improvement.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.eval.figures import convergence_study
+
+
+def test_convergence_study(benchmark):
+    result = benchmark.pedantic(
+        lambda: convergence_study(checkpoints=(0.1, 0.25, 0.5, 1.0, 1.5)), rounds=1, iterations=1
+    )
+    report(result)
+    rows = sorted(result.rows, key=lambda r: r["length"])
+    fp_series = [row["false_positive_ratio"] for row in rows]
+    reported_series = [row["reported"] for row in rows]
+    # The false-positive ratio and the size of the reported set shrink as the
+    # stream approaches and passes psi.
+    assert fp_series[-1] <= fp_series[0]
+    assert reported_series[-1] <= reported_series[0]
+    # Past psi the output is within a small multiple of the exact HHH count.
+    final = rows[-1]
+    assert final["fraction_of_psi"] >= 1.0
+    assert final["reported"] <= 4 * max(1, final["exact_hhh"])

@@ -1,0 +1,33 @@
+"""Figure 2: accuracy-error ratio vs stream length (2D bytes, four algorithms).
+
+Paper setting: four 1B-packet CAIDA traces, epsilon = 0.001, theta = 0.01.
+Scaled setting: two synthetic backbone workloads, 20k-150k packets,
+epsilon = 0.05, theta = 0.1, so the sweep straddles the convergence bound psi
+just as the paper's does.  Expected shape: the RHHH variants' error ratio
+decays towards zero (and towards the deterministic baselines) as the stream
+approaches psi; 10-RHHH lags RHHH by roughly a factor of ten in packets.
+"""
+
+from __future__ import annotations
+
+from conftest import QUALITY_PARAMS, report
+
+from repro.eval.figures import figure2_accuracy_error
+
+
+def test_figure2_accuracy_error(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure2_accuracy_error(**QUALITY_PARAMS), rounds=1, iterations=1
+    )
+    report(result)
+    assert len(result.rows) == (
+        len(QUALITY_PARAMS["workloads"])
+        * len(QUALITY_PARAMS["algorithms"])
+        * len(QUALITY_PARAMS["lengths"])
+    )
+    # Shape check: at the longest stream, every algorithm's accuracy-error
+    # ratio is small (the paper's converged regime).
+    longest = max(QUALITY_PARAMS["lengths"])
+    for row in result.rows:
+        if row["length"] == longest and row["algorithm"] in ("rhhh", "mst"):
+            assert row["accuracy_error_ratio"] <= 0.2

@@ -1,0 +1,24 @@
+"""Figure 3: coverage-error (false-negative) ratio vs stream length.
+
+Expected shape: coverage violations are rare for every algorithm (the output
+procedures are conservative by construction); for the RHHH variants they can
+only appear before the convergence bound psi and vanish beyond it.
+"""
+
+from __future__ import annotations
+
+from conftest import QUALITY_PARAMS, report
+
+from repro.eval.figures import figure3_coverage_error
+
+
+def test_figure3_coverage_error(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure3_coverage_error(**QUALITY_PARAMS), rounds=1, iterations=1
+    )
+    report(result)
+    longest = max(QUALITY_PARAMS["lengths"])
+    for row in result.rows:
+        assert 0.0 <= row["coverage_error_ratio"] <= 1.0
+        if row["length"] == longest and row["algorithm"] == "rhhh":
+            assert row["coverage_error_ratio"] <= 0.15

@@ -1,0 +1,43 @@
+"""Figure 4: false-positive ratio vs stream length, for 1D bytes / 1D bits / 2D bytes.
+
+Expected shape: for the RHHH variants the false-positive ratio decreases as the
+trace grows (it is dominated by the sampling-error correction term, which
+shrinks relative to theta*N as 1/sqrt(N)); the deterministic baselines are flat
+and low.  10-RHHH needs ~10x more packets to reach the same point.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.eval.figures import figure4_false_positives
+
+PARAMS = dict(
+    workloads=("chicago16", "sanjose14"),
+    hierarchy_names=("1d-bytes", "1d-bits", "2d-bytes"),
+    algorithms=("rhhh", "mst"),
+    lengths=(20_000, 80_000),
+    epsilon=0.05,
+    delta=0.1,
+    theta=0.1,
+)
+
+
+def test_figure4_false_positives(benchmark):
+    result = benchmark.pedantic(lambda: figure4_false_positives(**PARAMS), rounds=1, iterations=1)
+    report(result)
+    # Shape check: RHHH's FP ratio does not increase with the stream length on
+    # any workload/hierarchy combination.
+    for hierarchy in PARAMS["hierarchy_names"]:
+        for workload in PARAMS["workloads"]:
+            series = [
+                row["false_positive_ratio"]
+                for row in result.rows
+                if row["hierarchy"] == hierarchy
+                and row["workload"] == workload
+                and row["algorithm"] == "rhhh"
+            ]
+            assert len(series) == len(PARAMS["lengths"])
+            # Non-increasing up to a small tolerance (a single extra borderline
+            # prefix on an already-converged short hierarchy is not a regression).
+            assert series[-1] <= series[0] + 0.15

@@ -1,0 +1,59 @@
+"""Figure 5: update speed vs epsilon for every algorithm and hierarchy shape.
+
+Paper setting: 250M-packet traces on a Xeon E5-2667; speedups of up to 3.5x /
+21x / 20x for RHHH and 10x / 62x / 60x for 10-RHHH on 1D bytes / 1D bits /
+2D bytes respectively.  Scaled setting: 20k-packet synthetic streams in pure
+Python.  Absolute packets/second are not comparable to the paper's C code; the
+quantity that must reproduce is the *speedup over MST* and its growth with the
+hierarchy size H.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from conftest import report
+
+from repro.eval.figures import figure5_update_speed
+from repro.eval.reporting import format_table
+
+PARAMS = dict(
+    workloads=("sanjose14", "chicago16"),
+    hierarchy_names=("1d-bytes", "1d-bits", "2d-bytes"),
+    algorithms=("rhhh", "10-rhhh", "mst", "partial_ancestry", "full_ancestry"),
+    epsilons=(0.003, 0.03),
+    packets=20_000,
+)
+
+#: The hierarchy sizes of the three shapes, used for the speedup-growth check.
+HIERARCHY_SIZES = {"1d-bytes": 5, "1d-bits": 33, "2d-bytes": 25}
+
+
+def test_figure5_update_speed(benchmark):
+    result = benchmark.pedantic(lambda: figure5_update_speed(**PARAMS), rounds=1, iterations=1)
+    report(result)
+
+    # Aggregate the speedup-vs-MST of each RHHH variant per hierarchy shape.
+    speedups = defaultdict(list)
+    for row in result.rows:
+        if row["algorithm"] in ("rhhh", "10-rhhh") and row["speedup_vs_mst"]:
+            speedups[(row["algorithm"], row["hierarchy"])].append(float(row["speedup_vs_mst"]))
+    summary = [
+        {
+            "algorithm": algorithm,
+            "hierarchy": hierarchy,
+            "H": HIERARCHY_SIZES[hierarchy],
+            "mean_speedup_vs_mst": sum(values) / len(values),
+        }
+        for (algorithm, hierarchy), values in sorted(speedups.items())
+    ]
+    print("\n" + format_table(summary, title="Figure 5 summary: speedup over MST"))
+
+    # Shape checks: RHHH beats MST everywhere, and the gain grows with H.
+    mean = {(r["algorithm"], r["hierarchy"]): r["mean_speedup_vs_mst"] for r in summary}
+    for hierarchy in PARAMS["hierarchy_names"]:
+        assert mean[("rhhh", hierarchy)] > 1.0
+    assert mean[("rhhh", "1d-bits")] > mean[("rhhh", "1d-bytes")]
+    assert mean[("rhhh", "2d-bytes")] > mean[("rhhh", "1d-bytes")]
+    # 10-RHHH is at least as fast as RHHH on the large hierarchies.
+    assert mean[("10-rhhh", "2d-bytes")] >= 0.9 * mean[("rhhh", "2d-bytes")]

@@ -1,0 +1,25 @@
+"""Figure 7: dataplane throughput as V grows from H to 10H.
+
+Expected shape: throughput increases monotonically with V (fewer packets
+trigger a counter update) while the convergence bound psi grows linearly in V
+- the performance/convergence trade-off of the paper's Section 6.3.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.eval.figures import figure7_dataplane_v_sweep
+
+
+def test_figure7_dataplane_v_sweep(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure7_dataplane_v_sweep(v_multipliers=(1, 2, 4, 6, 8, 10)), rounds=1, iterations=1
+    )
+    report(result)
+    throughputs = [row["throughput_mpps"] for row in result.rows]
+    psis = [row["convergence_bound_psi"] for row in result.rows]
+    assert throughputs == sorted(throughputs)
+    assert psis == sorted(psis)
+    # The V = 10H point is meaningfully faster than V = H.
+    assert throughputs[-1] > 1.2 * throughputs[0]

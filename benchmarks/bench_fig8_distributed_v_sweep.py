@@ -1,0 +1,34 @@
+"""Figure 8: distributed (measurement VM) deployment throughput as V grows.
+
+Expected shape: switch throughput increases with V because fewer packets are
+cloned and forwarded to the VM; it stays somewhat below the corresponding
+dataplane configuration (forwarding a packet costs more than updating a
+counter inline), matching the paper's 12.3 vs 13.8 Mpps observation at
+V = 10H.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.eval.figures import figure7_dataplane_v_sweep, figure8_distributed_v_sweep
+
+
+def test_figure8_distributed_v_sweep(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure8_distributed_v_sweep(v_multipliers=(1, 2, 4, 6, 8, 10)), rounds=1, iterations=1
+    )
+    report(result)
+    switch_throughputs = [row["switch_throughput_mpps"] for row in result.rows]
+    assert switch_throughputs == sorted(switch_throughputs)
+
+    # Cross-check against the dataplane deployment at the same V values: the
+    # distributed switch is the slower of the two at every operating point,
+    # but stays within a factor of ~1.5 at V = 10H (the paper's 12.3 vs 13.8).
+    dataplane = figure7_dataplane_v_sweep(v_multipliers=(1, 10))
+    dataplane_by_v = {row["v"]: row["throughput_mpps"] for row in dataplane.rows}
+    distributed_by_v = {row["v"]: row["switch_throughput_mpps"] for row in result.rows}
+    for v, distributed_mpps in distributed_by_v.items():
+        if v in dataplane_by_v:
+            assert distributed_mpps <= dataplane_by_v[v] + 1e-9
+    assert distributed_by_v[250] >= 0.8 * dataplane_by_v[250]

@@ -1,0 +1,65 @@
+"""Per-packet update micro-benchmarks (pytest-benchmark's bread and butter).
+
+These complement Figure 5: instead of a one-shot sweep they let
+pytest-benchmark calibrate and report statistically robust per-packet update
+costs for every algorithm on the small (H=5) and large (H=25) hierarchies,
+which is where the O(1)-vs-O(H) contrast is directly visible in the
+``Mean``/``OPS`` columns of the benchmark table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rhhh import RHHH
+from repro.hhh.ancestry import PartialAncestry
+from repro.hhh.mst import MST
+from repro.hhh.sampled_mst import SampledMST
+
+BATCH = 2_000
+
+
+def _run_batch(algorithm, keys):
+    update = algorithm.update
+    for key in keys:
+        update(key)
+
+
+@pytest.mark.parametrize("v_factor", [1, 10], ids=["rhhh", "10-rhhh"])
+def test_rhhh_update_1d(benchmark, byte_hierarchy, speed_keys_1d, v_factor):
+    algorithm = RHHH(
+        byte_hierarchy, epsilon=0.01, delta=0.01, v=v_factor * byte_hierarchy.size, seed=1
+    )
+    benchmark(_run_batch, algorithm, speed_keys_1d[:BATCH])
+
+
+@pytest.mark.parametrize("v_factor", [1, 10], ids=["rhhh", "10-rhhh"])
+def test_rhhh_update_2d(benchmark, two_dim_hierarchy, speed_keys_2d, v_factor):
+    algorithm = RHHH(
+        two_dim_hierarchy, epsilon=0.01, delta=0.01, v=v_factor * two_dim_hierarchy.size, seed=1
+    )
+    benchmark(_run_batch, algorithm, speed_keys_2d[:BATCH])
+
+
+def test_mst_update_1d(benchmark, byte_hierarchy, speed_keys_1d):
+    benchmark(_run_batch, MST(byte_hierarchy, epsilon=0.01), speed_keys_1d[:BATCH])
+
+
+def test_mst_update_2d(benchmark, two_dim_hierarchy, speed_keys_2d):
+    benchmark(_run_batch, MST(two_dim_hierarchy, epsilon=0.01), speed_keys_2d[:BATCH])
+
+
+def test_mst_update_1d_bits(benchmark, bit_hierarchy, speed_keys_1d):
+    benchmark(_run_batch, MST(bit_hierarchy, epsilon=0.01), speed_keys_1d[:BATCH])
+
+
+def test_rhhh_update_1d_bits(benchmark, bit_hierarchy, speed_keys_1d):
+    benchmark(_run_batch, RHHH(bit_hierarchy, epsilon=0.01, delta=0.01, seed=1), speed_keys_1d[:BATCH])
+
+
+def test_partial_ancestry_update_2d(benchmark, two_dim_hierarchy, speed_keys_2d):
+    benchmark(_run_batch, PartialAncestry(two_dim_hierarchy, epsilon=0.01), speed_keys_2d[:BATCH])
+
+
+def test_sampled_mst_update_2d(benchmark, two_dim_hierarchy, speed_keys_2d):
+    benchmark(_run_batch, SampledMST(two_dim_hierarchy, epsilon=0.01, seed=1), speed_keys_2d[:BATCH])

@@ -1,0 +1,63 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every figure of the paper has a module here that regenerates its data on the
+scaled-down synthetic workloads (see EXPERIMENTS.md for the scaling rationale)
+and prints the resulting table, so running::
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces the whole evaluation section.  The heavy, multi-minute sweeps run
+exactly once per session (``benchmark.pedantic(..., rounds=1)``); the
+per-packet micro-benchmarks use pytest-benchmark's normal calibration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hierarchy.onedim import ipv4_bit_hierarchy, ipv4_byte_hierarchy
+from repro.hierarchy.twodim import ipv4_two_dim_byte_hierarchy
+from repro.traffic.caida_like import named_workload
+
+#: Scaled-down sweep parameters shared by the quality benchmarks.
+QUALITY_PARAMS = dict(
+    workloads=("chicago16", "sanjose14"),
+    algorithms=("rhhh", "10-rhhh", "mst", "partial_ancestry"),
+    lengths=(20_000, 60_000, 150_000),
+    epsilon=0.05,
+    delta=0.1,
+    theta=0.1,
+)
+
+
+def report(result) -> None:
+    """Print a FigureResult table (visible with ``pytest -s``) and keep a copy on disk."""
+    text = result.table() + ("\n\nNotes: " + result.notes if result.notes else "")
+    print("\n" + text)
+
+
+@pytest.fixture(scope="session")
+def byte_hierarchy():
+    return ipv4_byte_hierarchy()
+
+
+@pytest.fixture(scope="session")
+def bit_hierarchy():
+    return ipv4_bit_hierarchy()
+
+
+@pytest.fixture(scope="session")
+def two_dim_hierarchy():
+    return ipv4_two_dim_byte_hierarchy()
+
+
+@pytest.fixture(scope="session")
+def speed_keys_1d():
+    """A 30k-packet one-dimensional stream used by the speed micro-benchmarks."""
+    return named_workload("sanjose14", num_flows=10_000).keys_1d(30_000)
+
+
+@pytest.fixture(scope="session")
+def speed_keys_2d():
+    """A 30k-packet two-dimensional stream used by the speed micro-benchmarks."""
+    return named_workload("sanjose14", num_flows=10_000).keys_2d(30_000)

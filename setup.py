@@ -1,0 +1,20 @@
+"""Setuptools entry point.
+
+The pyproject.toml carries the project metadata; this file exists so that
+``pip install -e .`` also works on environments whose setuptools/pip are too
+old for PEP 660 editable installs (no ``wheel`` package available).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Constant Time Updates in Hierarchical Heavy Hitters' (RHHH, SIGCOMM 2017)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.24"],
+)

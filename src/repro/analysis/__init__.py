@@ -1,0 +1,40 @@
+"""Analytical results of the paper's Section 6, as executable code.
+
+This sub-package turns the paper's theorems into functions the library and the
+benchmarks use directly:
+
+* :func:`~repro.analysis.bounds.z_value` - normal quantiles (``Z_alpha``);
+* :func:`~repro.analysis.bounds.psi` - the convergence bound
+  ``psi = Z_{1-delta_s/2} * V / epsilon_s^2`` (Theorem 6.3);
+* :func:`~repro.analysis.bounds.sample_error` - ``epsilon_s(N)`` of
+  Corollary 6.4;
+* :func:`~repro.analysis.bounds.coverage_correction` - the ``2 Z sqrt(NV)``
+  additive term of Algorithm 1 line 13;
+* :func:`~repro.analysis.bounds.oversample_adjusted_counters` - the counter
+  inflation of Corollary 6.5 (e.g. 1000 -> 1001 Space Saving counters);
+* :mod:`~repro.analysis.poisson` - Poisson confidence intervals
+  (Schwertman & Martinez 1994) used in the proofs of Section 6.
+"""
+
+from repro.analysis.bounds import (
+    z_value,
+    psi,
+    sample_error,
+    coverage_correction,
+    oversample_adjusted_counters,
+    required_v_for_interval,
+    space_complexity_counters,
+)
+from repro.analysis.poisson import poisson_confidence_interval, poisson_tail_bound
+
+__all__ = [
+    "z_value",
+    "psi",
+    "sample_error",
+    "coverage_correction",
+    "oversample_adjusted_counters",
+    "required_v_for_interval",
+    "space_complexity_counters",
+    "poisson_confidence_interval",
+    "poisson_tail_bound",
+]

@@ -1,0 +1,137 @@
+"""Convergence and error bounds from Section 6 of the paper."""
+
+from __future__ import annotations
+
+import math
+
+from scipy.stats import norm
+
+from repro.exceptions import ConfigurationError
+
+
+def z_value(confidence: float) -> float:
+    """Return ``Z_alpha``, the standard-normal quantile at ``confidence``.
+
+    ``z_value(1 - delta)`` is the value ``z`` with ``Phi(z) = 1 - delta`` used
+    throughout Section 6 of the paper (Lemma 6.2 onwards).
+
+    Args:
+        confidence: a probability strictly between 0 and 1.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError(f"confidence must be in (0, 1), got {confidence}")
+    return float(norm.ppf(confidence))
+
+
+def psi(delta_s: float, epsilon_s: float, v: float) -> float:
+    """Convergence bound ``psi = Z_{1 - delta_s/2} * V * epsilon_s^{-2}`` (Theorem 6.3).
+
+    Once the stream length exceeds ``psi``, the sampling error of every lattice
+    node is below ``epsilon_s * N`` with probability at least ``1 - delta_s``.
+
+    Args:
+        delta_s: sampling confidence parameter.
+        epsilon_s: sampling error parameter.
+        v: the performance parameter ``V`` (``V >= H``).
+    """
+    if not 0.0 < delta_s < 1.0:
+        raise ConfigurationError(f"delta_s must be in (0, 1), got {delta_s}")
+    if not 0.0 < epsilon_s < 1.0:
+        raise ConfigurationError(f"epsilon_s must be in (0, 1), got {epsilon_s}")
+    if v <= 0:
+        raise ConfigurationError(f"V must be positive, got {v}")
+    return z_value(1.0 - delta_s / 2.0) * v / (epsilon_s * epsilon_s)
+
+
+def sample_error(n: int, v: float, delta_s: float) -> float:
+    """Actual sampling error ``epsilon_s(N)`` after ``n`` packets (Corollary 6.4).
+
+    ``epsilon_s(N) = sqrt(Z_{1 - delta_s/2} * V / N)``; it shrinks as the
+    stream grows, crossing the configured ``epsilon_s`` exactly at ``N = psi``.
+
+    Args:
+        n: number of packets processed so far.
+        v: the performance parameter ``V``.
+        delta_s: sampling confidence parameter.
+    """
+    if n <= 0:
+        raise ConfigurationError(f"n must be positive, got {n}")
+    if v <= 0:
+        raise ConfigurationError(f"V must be positive, got {v}")
+    return math.sqrt(z_value(1.0 - delta_s / 2.0) * v / n)
+
+
+def coverage_correction(n: int, v: float, delta: float) -> float:
+    """The additive term ``2 * Z_{1-delta} * sqrt(N * V)`` of Algorithm 1, line 13.
+
+    Added to every conditioned-frequency estimate so the estimate remains
+    probabilistically conservative despite the per-packet sampling
+    (Theorems 6.11 and 6.15).
+
+    Args:
+        n: number of packets processed so far.
+        v: the performance parameter ``V``.
+        delta: overall confidence parameter.
+    """
+    if n < 0:
+        raise ConfigurationError(f"n must be non-negative, got {n}")
+    if v <= 0:
+        raise ConfigurationError(f"V must be positive, got {v}")
+    if n == 0:
+        return 0.0
+    return 2.0 * z_value(1.0 - delta) * math.sqrt(n * v)
+
+
+def oversample_adjusted_counters(epsilon_a: float, epsilon_s: float) -> int:
+    """Counter budget after the over-sample correction of Corollary 6.5.
+
+    A lattice node may receive up to ``(1 + epsilon_s) N / V`` updates instead
+    of ``N / V``; configuring the counter algorithm for
+    ``epsilon_a' = epsilon_a / (1 + epsilon_s)`` compensates.  For Space Saving
+    this turns, e.g., 1000 counters into 1001, matching the example in the
+    paper.
+
+    Args:
+        epsilon_a: counter-algorithm error target.
+        epsilon_s: sampling error parameter.
+
+    Returns:
+        the number of counters, ``ceil((1 + epsilon_s) / epsilon_a)``.
+    """
+    if not 0.0 < epsilon_a < 1.0:
+        raise ConfigurationError(f"epsilon_a must be in (0, 1), got {epsilon_a}")
+    if not 0.0 <= epsilon_s < 1.0:
+        raise ConfigurationError(f"epsilon_s must be in [0, 1), got {epsilon_s}")
+    return int(math.ceil((1.0 + epsilon_s) / epsilon_a))
+
+
+def required_v_for_interval(n: int, epsilon_s: float, delta_s: float) -> float:
+    """Largest ``V`` for which a measurement interval of ``n`` packets still converges.
+
+    Inverts ``psi``: the paper notes (Section 6.3) that when the measurement
+    interval is known in advance, ``V`` can be chosen as large as possible
+    while keeping ``psi <= n``, trading convergence slack for speed.
+
+    Args:
+        n: measurement interval length in packets.
+        epsilon_s: sampling error parameter.
+        delta_s: sampling confidence parameter.
+    """
+    if n <= 0:
+        raise ConfigurationError(f"n must be positive, got {n}")
+    z = z_value(1.0 - delta_s / 2.0)
+    return n * epsilon_s * epsilon_s / z
+
+
+def space_complexity_counters(h: int, epsilon_a: float) -> int:
+    """Total flow-table entries, ``H / epsilon_a`` (Theorem 6.19).
+
+    Args:
+        h: hierarchy size ``H``.
+        epsilon_a: per-node counter error target.
+    """
+    if h <= 0:
+        raise ConfigurationError(f"H must be positive, got {h}")
+    if not 0.0 < epsilon_a < 1.0:
+        raise ConfigurationError(f"epsilon_a must be in (0, 1), got {epsilon_a}")
+    return h * int(math.ceil(1.0 / epsilon_a))

@@ -1,0 +1,58 @@
+"""Poisson confidence intervals.
+
+Section 6 of the paper models the per-node update counts as a Poisson
+approximation of the balls-and-bins process and builds confidence intervals
+with the normal approximation of Schwertman & Martinez (1994), quoted as
+Lemma 6.2.  These helpers expose both that approximation and the exact
+(gamma-quantile) interval for comparison in tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from scipy.stats import chi2
+
+from repro.analysis.bounds import z_value
+from repro.exceptions import ConfigurationError
+
+
+def poisson_confidence_interval(mean: float, delta: float, *, exact: bool = False) -> Tuple[float, float]:
+    """Two-sided ``1 - delta`` confidence interval for a Poisson variable.
+
+    Args:
+        mean: the Poisson mean ``E[X]``.
+        delta: allowed two-sided failure probability.
+        exact: when True, use the exact chi-square (Garwood) interval instead
+            of the normal approximation of Lemma 6.2.
+
+    Returns:
+        ``(low, high)`` such that ``P(low <= X <= high) >= 1 - delta``
+        (approximately, for the normal approximation).
+    """
+    if mean < 0:
+        raise ConfigurationError(f"mean must be non-negative, got {mean}")
+    if not 0.0 < delta < 1.0:
+        raise ConfigurationError(f"delta must be in (0, 1), got {delta}")
+    if exact:
+        low = 0.0 if mean == 0 else float(chi2.ppf(delta / 2.0, 2.0 * mean) / 2.0)
+        high = float(chi2.ppf(1.0 - delta / 2.0, 2.0 * mean + 2.0) / 2.0)
+        return (low, high)
+    z = z_value(1.0 - delta / 2.0)
+    spread = z * math.sqrt(mean)
+    return (max(0.0, mean - spread), mean + spread)
+
+
+def poisson_tail_bound(mean: float, delta: float) -> float:
+    """Deviation ``t`` with ``P(|X - E[X]| >= t) <= delta`` for Poisson ``X`` (Lemma 6.2).
+
+    Args:
+        mean: the Poisson mean.
+        delta: allowed failure probability.
+    """
+    if mean < 0:
+        raise ConfigurationError(f"mean must be non-negative, got {mean}")
+    if not 0.0 < delta < 1.0:
+        raise ConfigurationError(f"delta must be in (0, 1), got {delta}")
+    return z_value(1.0 - delta) * math.sqrt(mean)

@@ -1,0 +1,178 @@
+"""Command-line interface of the reproduction.
+
+Three sub-commands cover the common workflows without writing any Python:
+
+``detect``
+    run one HHH algorithm over a synthetic workload (or a serialized trace)
+    and print the detected prefixes;
+
+``compare``
+    run several algorithms over the same stream and print speed + quality
+    against the exact ground truth;
+
+``figure``
+    regenerate one of the paper's figures and print its table.
+
+Examples::
+
+    python -m repro.cli detect --workload chicago16 --packets 200000 --theta 0.05
+    python -m repro.cli compare --algorithms rhhh mst --packets 50000
+    python -m repro.cli figure --name fig6
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.eval import figures as figure_module
+from repro.eval.ground_truth import GroundTruth
+from repro.eval.metrics import evaluate_output
+from repro.eval.reporting import format_table
+from repro.eval.speed import measure_update_speed
+from repro.hhh.registry import ALGORITHM_REGISTRY, make_algorithm
+from repro.hierarchy.onedim import ipv4_bit_hierarchy, ipv4_byte_hierarchy
+from repro.hierarchy.twodim import ipv4_two_dim_byte_hierarchy
+from repro.traffic.caida_like import WORKLOADS, named_workload
+from repro.traffic.trace_io import read_trace_binary
+
+HIERARCHIES = {
+    "1d-bytes": ipv4_byte_hierarchy,
+    "1d-bits": ipv4_bit_hierarchy,
+    "2d-bytes": ipv4_two_dim_byte_hierarchy,
+}
+
+FIGURES = {
+    "fig2": figure_module.figure2_accuracy_error,
+    "fig3": figure_module.figure3_coverage_error,
+    "fig4": figure_module.figure4_false_positives,
+    "fig5": figure_module.figure5_update_speed,
+    "fig6": figure_module.figure6_ovs_dataplane,
+    "fig7": figure_module.figure7_dataplane_v_sweep,
+    "fig8": figure_module.figure8_distributed_v_sweep,
+    "convergence": figure_module.convergence_study,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    detect = subparsers.add_parser("detect", help="run one algorithm and print the HHH prefixes")
+    _add_stream_arguments(detect)
+    detect.add_argument("--algorithm", default="rhhh", choices=sorted(ALGORITHM_REGISTRY))
+    detect.add_argument("--theta", type=float, default=0.05, help="HHH threshold fraction")
+
+    compare = subparsers.add_parser("compare", help="compare several algorithms on the same stream")
+    _add_stream_arguments(compare)
+    compare.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["rhhh", "10-rhhh", "mst", "partial_ancestry"],
+        choices=sorted(ALGORITHM_REGISTRY),
+    )
+    compare.add_argument("--theta", type=float, default=0.05, help="HHH threshold fraction")
+
+    figure = subparsers.add_parser("figure", help="regenerate one of the paper's figures")
+    figure.add_argument("--name", required=True, choices=sorted(FIGURES))
+
+    return parser
+
+
+def _add_stream_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workload", default="chicago16", choices=sorted(WORKLOADS))
+    parser.add_argument("--trace", help="read packets from a binary trace instead of a synthetic workload")
+    parser.add_argument("--packets", type=int, default=100_000)
+    parser.add_argument("--hierarchy", default="2d-bytes", choices=sorted(HIERARCHIES))
+    parser.add_argument("--epsilon", type=float, default=0.05)
+    parser.add_argument("--delta", type=float, default=0.1)
+    parser.add_argument("--seed", type=int, default=42)
+
+
+def _load_keys(args: argparse.Namespace, dimensions: int) -> List:
+    if args.trace:
+        packets = list(read_trace_binary(args.trace))[: args.packets]
+        return [p.key_1d() if dimensions == 1 else p.key_2d() for p in packets]
+    workload = named_workload(args.workload)
+    if dimensions == 1:
+        return workload.keys_1d(args.packets)
+    return workload.keys_2d(args.packets)
+
+
+def _command_detect(args: argparse.Namespace) -> int:
+    hierarchy = HIERARCHIES[args.hierarchy]()
+    keys = _load_keys(args, hierarchy.dimensions)
+    algorithm = make_algorithm(
+        args.algorithm, hierarchy, epsilon=args.epsilon, delta=args.delta, seed=args.seed
+    )
+    algorithm.update_stream(keys)
+    output = algorithm.output(args.theta)
+    rows = [
+        {
+            "prefix": candidate.prefix.text,
+            "lower": candidate.lower_bound,
+            "upper": candidate.upper_bound,
+        }
+        for candidate in output
+    ]
+    print(
+        format_table(
+            rows,
+            title=(
+                f"{args.algorithm} on {len(keys):,} packets "
+                f"({args.hierarchy}, theta={args.theta:.2%}): {len(rows)} HHH prefixes"
+            ),
+            float_format="{:,.0f}",
+        )
+    )
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    hierarchy = HIERARCHIES[args.hierarchy]()
+    keys = _load_keys(args, hierarchy.dimensions)
+    truth = GroundTruth(hierarchy, keys)
+    rows = []
+    for name in args.algorithms:
+        algorithm = make_algorithm(
+            name, hierarchy, epsilon=args.epsilon, delta=args.delta, seed=args.seed
+        )
+        speed = measure_update_speed(algorithm, keys)
+        report = evaluate_output(algorithm.output(args.theta), truth, epsilon=args.epsilon, theta=args.theta)
+        rows.append(
+            {
+                "algorithm": name,
+                "kpps": speed.packets_per_second / 1e3,
+                "reported": report.reported,
+                "precision": report.precision,
+                "recall": report.recall,
+                "false_positive_ratio": report.false_positive_ratio,
+            }
+        )
+    print(format_table(rows, title=f"{len(keys):,} packets, {args.hierarchy}, theta={args.theta:.2%}"))
+    return 0
+
+
+def _command_figure(args: argparse.Namespace) -> int:
+    result = FIGURES[args.name]()
+    print(result.table())
+    if result.notes:
+        print(f"\nNotes: {result.notes}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "detect":
+        return _command_detect(args)
+    if args.command == "compare":
+        return _command_compare(args)
+    if args.command == "figure":
+        return _command_figure(args)
+    return 2  # unreachable: argparse enforces the choices
+
+
+if __name__ == "__main__":
+    sys.exit(main())

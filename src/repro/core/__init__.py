@@ -1,0 +1,29 @@
+"""The paper's primary contribution: Randomized Hierarchical Heavy Hitters.
+
+The public entry points are:
+
+* :class:`~repro.core.config.RHHHConfig` - parameter handling (``epsilon``,
+  ``delta``, ``theta``, ``V``) including the epsilon/delta split between the
+  sampling process and the underlying counter algorithm, the over-sample
+  correction of Corollary 6.5 and the convergence bound ``psi``;
+* :class:`~repro.core.rhhh.RHHH` - Algorithm 1 of the paper, for one- and
+  two-dimensional hierarchies, including the ``V > H`` (e.g. "10-RHHH")
+  configurations and the multi-update variant of Corollary 6.8;
+* :class:`~repro.core.base.HHHAlgorithm` / :class:`~repro.core.base.HHHCandidate`
+  - the interface shared with the baseline algorithms in :mod:`repro.hhh`.
+"""
+
+from repro.core.base import HHHAlgorithm, HHHCandidate
+from repro.core.config import RHHHConfig
+from repro.core.output import calc_pred, conditioned_frequency_estimate, lattice_output
+from repro.core.rhhh import RHHH
+
+__all__ = [
+    "HHHAlgorithm",
+    "HHHCandidate",
+    "RHHHConfig",
+    "RHHH",
+    "calc_pred",
+    "conditioned_frequency_estimate",
+    "lattice_output",
+]

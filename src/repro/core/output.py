@@ -1,0 +1,140 @@
+"""The Output procedure of Algorithm 1 and the ``calcPred`` helpers (Algorithms 2 and 3).
+
+The same code serves RHHH and the lattice-based baselines (MST and the naive
+sampling baseline): they differ only in the ``scale`` applied to raw counter
+values (``V`` for RHHH because each counter sees roughly a ``1/V`` sample of
+the stream, ``1`` for MST) and in the additive ``correction`` term of
+Algorithm 1 line 13 (``2 Z_{1-delta} sqrt(N V)`` for RHHH, ``0`` for the
+deterministic baselines).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from repro.core.base import HHHCandidate, HHHOutput
+from repro.hh.base import CounterAlgorithm
+from repro.hierarchy.base import Hierarchy, PrefixKey
+
+#: A function mapping an internal ``(node, value)`` prefix to a frequency bound.
+BoundFn = Callable[[PrefixKey], float]
+
+
+def calc_pred(
+    hierarchy: Hierarchy,
+    prefix: PrefixKey,
+    selected: Sequence[PrefixKey],
+    lower_bound: BoundFn,
+    upper_bound: BoundFn,
+) -> float:
+    """Compute the predecessor adjustment of the conditioned-frequency estimate.
+
+    In one dimension this is Algorithm 2: subtract the lower-bound frequency of
+    every already-selected HHH that ``prefix`` most closely generalizes
+    (``G(p|P)``).  In two dimensions this is Algorithm 3: additionally add back
+    the upper-bound frequency of the greatest lower bound of every pair of such
+    prefixes (inclusion-exclusion), unless a third member of ``G(p|P)``
+    already generalizes that glb.
+
+    Args:
+        hierarchy: the hierarchical domain.
+        prefix: the candidate prefix ``p`` as a ``(node, value)`` tuple.
+        selected: the already-selected HHH prefixes ``P``.
+        lower_bound: maps a prefix to a lower bound of its frequency (``f^-``).
+        upper_bound: maps a prefix to an upper bound of its frequency (``f^+``).
+
+    Returns:
+        the (usually negative) adjustment ``R`` to add to ``f^+_p``.
+    """
+    closest = hierarchy.closest_descendants(prefix, selected)
+    result = 0.0
+    for h in closest:
+        result -= lower_bound(h)
+    if hierarchy.dimensions >= 2 and len(closest) >= 2:
+        for i in range(len(closest)):
+            for j in range(i + 1, len(closest)):
+                h, h_prime = closest[i], closest[j]
+                q = hierarchy.glb(h, h_prime)
+                if q is None:
+                    continue
+                covered_by_third = any(
+                    h3 not in (h, h_prime) and hierarchy.is_ancestor(h3, q) for h3 in closest
+                )
+                if not covered_by_third:
+                    result += upper_bound(q)
+    return result
+
+
+def conditioned_frequency_estimate(
+    hierarchy: Hierarchy,
+    prefix: PrefixKey,
+    selected: Sequence[PrefixKey],
+    lower_bound: BoundFn,
+    upper_bound: BoundFn,
+    correction: float,
+) -> float:
+    """Conservative conditioned-frequency estimate ``C^_{p|P}`` (Algorithm 1, lines 12-13)."""
+    return upper_bound(prefix) + calc_pred(hierarchy, prefix, selected, lower_bound, upper_bound) + correction
+
+
+def lattice_output(
+    hierarchy: Hierarchy,
+    counters: Sequence[CounterAlgorithm],
+    theta: float,
+    total: int,
+    *,
+    scale: float = 1.0,
+    correction: float = 0.0,
+) -> HHHOutput:
+    """Run the Output procedure over a per-lattice-node array of counter summaries.
+
+    Scans lattice nodes from the most specific to the most general (the order
+    Definition 8 builds the exact HHH set in), computes the conservative
+    conditioned frequency of every tracked prefix against the already-selected
+    set ``P``, and selects prefixes whose estimate reaches ``theta * total``.
+
+    Args:
+        hierarchy: the hierarchical domain.
+        counters: one counter summary per lattice node (indexed by node).
+        theta: threshold fraction.
+        total: stream length ``N``.
+        scale: multiplier converting raw counter values to stream-level
+            frequencies (``V`` for RHHH, 1 for MST).
+        correction: additive sampling-error compensation in stream-level units.
+
+    Returns:
+        an :class:`~repro.core.base.HHHOutput` with the selected candidates.
+    """
+    if len(counters) != hierarchy.size:
+        raise ValueError(
+            f"expected {hierarchy.size} counter instances (one per lattice node), got {len(counters)}"
+        )
+    threshold = theta * total
+
+    def upper(prefix: PrefixKey) -> float:
+        node, value = prefix
+        return counters[node].upper_bound(value) * scale
+
+    def lower(prefix: PrefixKey) -> float:
+        node, value = prefix
+        return counters[node].lower_bound(value) * scale
+
+    selected: List[PrefixKey] = []
+    candidates: List[HHHCandidate] = []
+    for node in hierarchy.output_order():
+        for value in list(counters[node]):
+            prefix: PrefixKey = (node, value)
+            estimate = conditioned_frequency_estimate(
+                hierarchy, prefix, selected, lower, upper, correction
+            )
+            if estimate >= threshold:
+                selected.append(prefix)
+                candidates.append(
+                    HHHCandidate(
+                        prefix=hierarchy.to_prefix(prefix),
+                        lower_bound=lower(prefix),
+                        upper_bound=upper(prefix),
+                        conditioned_estimate=estimate,
+                    )
+                )
+    return HHHOutput(candidates=candidates, total=total, threshold=threshold)

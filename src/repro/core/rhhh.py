@@ -1,0 +1,187 @@
+"""Randomized Hierarchical Heavy Hitters (Algorithm 1 of the paper).
+
+An RHHH instance keeps one counter summary (Space Saving by default) per
+lattice node.  On every packet it draws a uniform integer ``d`` in
+``[0, V)``; when ``d < H`` it updates the single counter instance of lattice
+node ``d`` with the packet's key masked to that node, otherwise it ignores the
+packet.  The worst-case per-packet work is therefore a single O(1) counter
+update regardless of the hierarchy size - the paper's headline contribution.
+
+The Output procedure rescales every counter value by ``V`` (each node sees a
+roughly ``1/V`` sample of the stream) and adds the sampling-error correction
+``2 Z_{1-delta} sqrt(N V)`` to each conditioned-frequency estimate so that the
+coverage guarantee of Definition 10 holds once ``N`` exceeds the convergence
+bound ``psi``.
+
+The class also implements the multi-update variant of Corollary 6.8
+(``updates_per_packet = r > 1``), which converges ``r`` times faster at the
+cost of ``r`` counter updates per packet.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, List, Optional
+
+from repro.analysis.bounds import coverage_correction
+from repro.core.base import HHHAlgorithm, HHHOutput
+from repro.core.config import RHHHConfig
+from repro.core.output import lattice_output
+from repro.exceptions import ConfigurationError
+from repro.hh.base import CounterAlgorithm
+from repro.hh.factory import make_counter
+from repro.hierarchy.base import Hierarchy
+
+
+class RHHH(HHHAlgorithm):
+    """The paper's randomized constant-time HHH algorithm.
+
+    Args:
+        hierarchy: the hierarchical domain (1-D or 2-D).
+        config: a fully specified :class:`~repro.core.config.RHHHConfig`.  When
+            omitted, one is built from the keyword arguments below.
+        epsilon: overall accuracy target (ignored when ``config`` is given).
+        delta: overall confidence target (ignored when ``config`` is given).
+        v: the performance parameter ``V``; ``None`` means ``V = H`` and
+            ``v = 10 * H`` reproduces the paper's "10-RHHH".
+        counter: name of the per-node counter algorithm.
+        seed: RNG seed for reproducible experiments.
+        updates_per_packet: the ``r`` of Corollary 6.8 (default 1).
+    """
+
+    name = "rhhh"
+
+    def __init__(
+        self,
+        hierarchy: Hierarchy,
+        config: Optional[RHHHConfig] = None,
+        *,
+        epsilon: float = 0.001,
+        delta: float = 0.001,
+        v: Optional[int] = None,
+        counter: str = "space_saving",
+        seed: Optional[int] = None,
+        updates_per_packet: int = 1,
+    ) -> None:
+        super().__init__(hierarchy)
+        if config is None:
+            config = RHHHConfig(
+                h=hierarchy.size, epsilon=epsilon, delta=delta, v=v, counter=counter, seed=seed
+            )
+        elif config.h != hierarchy.size:
+            raise ConfigurationError(
+                f"config.h ({config.h}) does not match the hierarchy size ({hierarchy.size})"
+            )
+        if updates_per_packet < 1:
+            raise ConfigurationError(f"updates_per_packet must be >= 1, got {updates_per_packet}")
+        self._config = config
+        self._r = updates_per_packet
+        self._rng = random.Random(config.seed)
+        self._v = config.effective_v
+        self._h = hierarchy.size
+        self._counters: List[CounterAlgorithm] = [
+            make_counter(config.counter, config.counter_epsilon) for _ in range(self._h)
+        ]
+        self._generalizers = hierarchy.compile_generalizers()
+        self._ignored = 0
+        self._update_calls = 0
+
+    # ------------------------------------------------------------------ #
+    # stream processing
+    # ------------------------------------------------------------------ #
+
+    def update(self, key: Hashable, weight: int = 1) -> None:
+        """Process one packet: update at most ``updates_per_packet`` random lattice nodes."""
+        self._total += weight
+        randrange = self._rng.randrange
+        v = self._v
+        h = self._h
+        for _ in range(self._r):
+            d = randrange(v)
+            if d < h:
+                self._counters[d].update(self._generalizers[d](key), weight)
+                self._update_calls += 1
+            else:
+                self._ignored += 1
+
+    def update_fast(self, key: Hashable) -> None:
+        """Single-update unit-weight fast path used by the speed benchmarks.
+
+        Functionally identical to ``update(key)`` with ``updates_per_packet=1``
+        and ``weight=1``, but avoids the bookkeeping attributes to stay as
+        close as a pure-Python implementation can to the per-packet cost of
+        the paper's C implementation.
+        """
+        self._total += 1
+        d = self._rng.randrange(self._v)
+        if d < self._h:
+            self._counters[d].update(self._generalizers[d](key), 1)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def output(self, theta: float) -> HHHOutput:
+        """Return the approximate HHH set for threshold fraction ``theta`` (Algorithm 1, Output)."""
+        if not 0.0 < theta <= 1.0:
+            raise ConfigurationError(f"theta must be in (0, 1], got {theta}")
+        scale = self._v / self._r
+        correction = (
+            coverage_correction(self._total * self._r, self._v, self._config.delta) / self._r
+            if self._total > 0
+            else 0.0
+        )
+        return lattice_output(
+            self._hierarchy,
+            self._counters,
+            theta,
+            self._total,
+            scale=scale,
+            correction=correction,
+        )
+
+    def frequency_estimate(self, key: Hashable, node: int = 0) -> float:
+        """Estimate the frequency of ``key`` masked to lattice node ``node``."""
+        value = self._hierarchy.generalize(key, node)
+        return self._counters[node].estimate(value) * self._v / self._r
+
+    def counters(self) -> int:
+        return sum(c.counters() for c in self._counters)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def config(self) -> RHHHConfig:
+        """The resolved configuration of this instance."""
+        return self._config
+
+    @property
+    def v(self) -> int:
+        """The performance parameter ``V``."""
+        return self._v
+
+    @property
+    def updates_per_packet(self) -> int:
+        """The ``r`` of the multi-update variant (1 for plain RHHH)."""
+        return self._r
+
+    @property
+    def ignored_packets(self) -> int:
+        """Packets that drew ``d >= H`` and therefore updated nothing."""
+        return self._ignored
+
+    @property
+    def counter_updates(self) -> int:
+        """Total number of counter updates performed so far."""
+        return self._update_calls
+
+    @property
+    def is_converged(self) -> bool:
+        """True when the stream has exceeded the convergence bound ``psi`` (Theorem 6.17)."""
+        return self._config.is_converged(self._total * self._r)
+
+    def node_counter(self, node: int) -> CounterAlgorithm:
+        """Return the counter summary of lattice node ``node`` (for tests and diagnostics)."""
+        return self._counters[node]

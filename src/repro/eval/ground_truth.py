@@ -1,0 +1,120 @@
+"""Ground-truth wrapper around the exact offline HHH solver.
+
+Precomputes the quantities the metrics need repeatedly (exact per-prefix
+frequencies, the exact HHH set for a threshold) so a single pass over the
+trace can score many algorithm outputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Sequence, Set, Tuple
+
+from repro.hhh.exact import ExactHHH
+from repro.hierarchy.base import Hierarchy, PrefixKey
+
+
+class GroundTruth:
+    """Exact frequencies and exact HHH sets for a finished trace.
+
+    Args:
+        hierarchy: the hierarchical domain.
+        keys: the full key stream (fully specified keys).
+    """
+
+    def __init__(self, hierarchy: Hierarchy, keys: Iterable[Hashable]) -> None:
+        self._hierarchy = hierarchy
+        self._exact = ExactHHH(hierarchy)
+        for key in keys:
+            self._exact.update(key)
+        self._frequency_cache: Dict[int, Dict[Hashable, int]] = {}
+        self._hhh_cache: Dict[float, Set[PrefixKey]] = {}
+
+    @property
+    def hierarchy(self) -> Hierarchy:
+        """The hierarchical domain."""
+        return self._hierarchy
+
+    @property
+    def total(self) -> int:
+        """Stream length ``N``."""
+        return self._exact.total
+
+    @property
+    def exact(self) -> ExactHHH:
+        """The underlying exact solver."""
+        return self._exact
+
+    # ------------------------------------------------------------------ #
+    # exact frequencies
+    # ------------------------------------------------------------------ #
+
+    def node_frequencies(self, node: int) -> Dict[Hashable, int]:
+        """Exact frequency of every prefix at lattice node ``node`` (cached)."""
+        if node not in self._frequency_cache:
+            self._frequency_cache[node] = self._exact.prefix_frequencies(node)
+        return self._frequency_cache[node]
+
+    def frequency(self, prefix: PrefixKey) -> int:
+        """Exact frequency of one prefix."""
+        node, value = prefix
+        return self.node_frequencies(node).get(value, 0)
+
+    def conditioned_frequency(self, prefix: PrefixKey, selected: Sequence[PrefixKey]) -> int:
+        """Exact conditioned frequency ``C_{p|P}``."""
+        return self._exact.conditioned_frequency(prefix, selected)
+
+    def conditioned_node_frequencies(
+        self, selected: Sequence[PrefixKey]
+    ) -> Dict[int, Dict[Hashable, int]]:
+        """Exact conditioned frequency of *every* prefix with respect to ``selected``.
+
+        Returns one dictionary per lattice node mapping prefix value to
+        ``C_{(node, value)|selected}``.  Computed in a single pass over the
+        distinct keys (keys already covered by ``selected`` contribute
+        nothing), which is what makes the coverage metric affordable even when
+        an unconverged algorithm reports hundreds of prefixes.
+        """
+        hierarchy = self._hierarchy
+        generalizers = hierarchy.compile_generalizers()
+        selected_by_node: Dict[int, Set[Hashable]] = {}
+        for node, value in selected:
+            selected_by_node.setdefault(node, set()).add(value)
+        conditioned: Dict[int, Dict[Hashable, int]] = {node: {} for node in range(hierarchy.size)}
+        for key, count in self._exact.items():
+            covered = False
+            for node, values in selected_by_node.items():
+                if generalizers[node](key) in values:
+                    covered = True
+                    break
+            if covered:
+                continue
+            for node in range(hierarchy.size):
+                value = generalizers[node](key)
+                bucket = conditioned[node]
+                bucket[value] = bucket.get(value, 0) + count
+        return conditioned
+
+    # ------------------------------------------------------------------ #
+    # exact HHH sets
+    # ------------------------------------------------------------------ #
+
+    def hhh_set(self, theta: float) -> Set[PrefixKey]:
+        """The exact HHH set (Definition 8) for threshold fraction ``theta`` (cached)."""
+        if theta not in self._hhh_cache:
+            output = self._exact.output(theta)
+            self._hhh_cache[theta] = {c.prefix.key() for c in output}
+        return self._hhh_cache[theta]
+
+    def heavy_prefixes(self, theta: float) -> List[PrefixKey]:
+        """Every prefix (any node) whose plain frequency reaches ``theta * N``.
+
+        These are the only prefixes that can possibly violate coverage, since
+        ``C_{q|P} <= f_q``; the coverage metric only needs to examine them.
+        """
+        threshold = theta * self.total
+        result: List[PrefixKey] = []
+        for node in self._hierarchy.output_order():
+            for value, count in self.node_frequencies(node).items():
+                if count >= threshold:
+                    result.append((node, value))
+        return result

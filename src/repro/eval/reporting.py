@@ -1,0 +1,66 @@
+"""Plain-text and CSV rendering of experiment results.
+
+The benchmark harness prints the same rows/series the paper's figures plot;
+these helpers keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Mapping, Sequence, Union
+
+Number = Union[int, float]
+Row = Mapping[str, Union[str, Number]]
+
+
+def format_table(rows: Sequence[Row], *, title: str = "", float_format: str = "{:.4f}") -> str:
+    """Render a list of dict rows as an aligned plain-text table.
+
+    Args:
+        rows: the rows; the union of their keys becomes the column set, in
+            first-seen order.
+        title: optional heading printed above the table.
+        float_format: format applied to float cells.
+    """
+    if not rows:
+        return f"{title}\n(no data)" if title else "(no data)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+
+    def render(value: Union[str, Number]) -> str:
+        if isinstance(value, bool) or value is None:
+            return str(value)
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(row.get(col, "")) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(r)))
+    return "\n".join(lines)
+
+
+def to_csv(rows: Sequence[Row]) -> str:
+    """Render a list of dict rows as CSV text (columns in first-seen order)."""
+    if not rows:
+        return ""
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    buffer = io.StringIO()
+    buffer.write(",".join(columns) + "\n")
+    for row in rows:
+        buffer.write(",".join(str(row.get(col, "")) for col in columns) + "\n")
+    return buffer.getvalue()

@@ -1,0 +1,191 @@
+"""Experiment runner: drives algorithms over workloads and collects metrics.
+
+The runner is deliberately workload-agnostic: it consumes a pre-materialised
+list of keys (so every algorithm sees exactly the same stream) and produces
+plain dict rows, which the reporting helpers and the per-figure entry points
+format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Union
+
+from repro.eval.ground_truth import GroundTruth
+from repro.eval.metrics import evaluate_output
+from repro.eval.speed import measure_update_speed
+from repro.hhh.registry import make_algorithm
+from repro.hierarchy.base import Hierarchy
+
+Number = Union[int, float]
+
+
+@dataclass
+class ExperimentResult:
+    """A set of result rows plus the parameters that produced them."""
+
+    rows: List[Dict[str, Union[str, Number]]] = field(default_factory=list)
+    parameters: Dict[str, Union[str, Number]] = field(default_factory=dict)
+
+    def series(self, key_column: str, value_column: str, *, where: Optional[Dict[str, object]] = None):
+        """Extract an ``(x, y)`` series from the rows, optionally filtered by column values."""
+        points = []
+        for row in self.rows:
+            if where and any(row.get(k) != v for k, v in where.items()):
+                continue
+            points.append((row[key_column], row[value_column]))
+        return points
+
+
+class ExperimentRunner:
+    """Runs quality and speed experiments over a fixed hierarchy.
+
+    Args:
+        hierarchy: the hierarchical domain every algorithm operates on.
+        epsilon: accuracy target passed to the algorithms.
+        delta: confidence target passed to the randomized algorithms.
+        theta: HHH threshold fraction used by the quality metrics.
+        seed: base RNG seed; repetition ``i`` of a randomized algorithm uses
+            ``seed + i`` so repeated runs are independent but reproducible.
+    """
+
+    def __init__(
+        self,
+        hierarchy: Hierarchy,
+        *,
+        epsilon: float = 0.01,
+        delta: float = 0.05,
+        theta: float = 0.05,
+        seed: int = 42,
+    ) -> None:
+        self._hierarchy = hierarchy
+        self._epsilon = epsilon
+        self._delta = delta
+        self._theta = theta
+        self._seed = seed
+
+    # ------------------------------------------------------------------ #
+    # quality
+    # ------------------------------------------------------------------ #
+
+    def quality_experiment(
+        self,
+        algorithms: Sequence[str],
+        keys: Sequence[Hashable],
+        *,
+        lengths: Optional[Sequence[int]] = None,
+        workload: str = "",
+        repetitions: int = 1,
+    ) -> ExperimentResult:
+        """Run every algorithm over growing prefixes of ``keys`` and score each output.
+
+        Args:
+            algorithms: algorithm names from the registry.
+            keys: the full key stream (all algorithms see the same keys).
+            lengths: stream lengths to evaluate at (defaults to the full length).
+            workload: label recorded in every row.
+            repetitions: independent repetitions of the randomized algorithms
+                (metrics are averaged).
+        """
+        lengths = list(lengths) if lengths is not None else [len(keys)]
+        if any(length > len(keys) for length in lengths):
+            raise ValueError("requested length exceeds the provided key stream")
+        result = ExperimentResult(
+            parameters={
+                "epsilon": self._epsilon,
+                "delta": self._delta,
+                "theta": self._theta,
+                "workload": workload,
+                "hierarchy": getattr(self._hierarchy, "name", ""),
+            }
+        )
+        truths: Dict[int, GroundTruth] = {}
+        for length in lengths:
+            truths[length] = GroundTruth(self._hierarchy, keys[:length])
+        for name in algorithms:
+            for length in lengths:
+                truth = truths[length]
+                metrics_accumulator: Dict[str, float] = {}
+                for repetition in range(repetitions):
+                    algorithm = make_algorithm(
+                        name,
+                        self._hierarchy,
+                        epsilon=self._epsilon,
+                        delta=self._delta,
+                        seed=self._seed + repetition,
+                    )
+                    for key in keys[:length]:
+                        algorithm.update(key)
+                    report = evaluate_output(
+                        algorithm.output(self._theta), truth, epsilon=self._epsilon, theta=self._theta
+                    )
+                    for metric_name in (
+                        "accuracy_error_ratio",
+                        "coverage_error_ratio",
+                        "false_positive_ratio",
+                        "precision",
+                        "recall",
+                        "reported",
+                    ):
+                        value = float(getattr(report, metric_name))
+                        metrics_accumulator[metric_name] = metrics_accumulator.get(metric_name, 0.0) + value
+                row: Dict[str, Union[str, Number]] = {
+                    "workload": workload,
+                    "algorithm": name,
+                    "length": length,
+                }
+                for metric_name, accumulated in metrics_accumulator.items():
+                    row[metric_name] = accumulated / repetitions
+                row["exact_hhh"] = len(truths[length].hhh_set(self._theta))
+                result.rows.append(row)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # speed
+    # ------------------------------------------------------------------ #
+
+    def speed_experiment(
+        self,
+        algorithms: Sequence[str],
+        keys: Sequence[Hashable],
+        *,
+        epsilons: Optional[Sequence[float]] = None,
+        workload: str = "",
+    ) -> ExperimentResult:
+        """Measure the update throughput of every algorithm for every ``epsilon``.
+
+        Mirrors Figure 5: throughput as a function of the accuracy target, per
+        algorithm, on a fixed hierarchy and workload.
+        """
+        epsilons = list(epsilons) if epsilons is not None else [self._epsilon]
+        result = ExperimentResult(
+            parameters={
+                "workload": workload,
+                "hierarchy": getattr(self._hierarchy, "name", ""),
+                "packets": len(keys),
+            }
+        )
+        baseline: Dict[float, float] = {}
+        for name in algorithms:
+            for epsilon in epsilons:
+                algorithm = make_algorithm(
+                    name, self._hierarchy, epsilon=epsilon, delta=self._delta, seed=self._seed
+                )
+                speed = measure_update_speed(algorithm, keys)
+                row: Dict[str, Union[str, Number]] = {
+                    "workload": workload,
+                    "algorithm": name,
+                    "epsilon": epsilon,
+                    "packets": speed.packets,
+                    "seconds": speed.seconds,
+                    "packets_per_second": speed.packets_per_second,
+                }
+                if name == "mst":
+                    baseline[epsilon] = speed.packets_per_second
+                result.rows.append(row)
+        # Record speedups relative to MST when MST was part of the line-up.
+        for row in result.rows:
+            epsilon = float(row["epsilon"])
+            if epsilon in baseline and baseline[epsilon] > 0:
+                row["speedup_vs_mst"] = float(row["packets_per_second"]) / baseline[epsilon]
+        return result

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by the library derive from :class:`ReproError`, so a
+caller can catch every library-originated failure with a single ``except``
+clause while still being able to distinguish configuration problems from
+runtime (data-dependent) problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A parameter combination is invalid (e.g. ``epsilon <= 0`` or ``V < H``)."""
+
+
+class HierarchyError(ReproError):
+    """A prefix or key does not belong to the hierarchy it is used with."""
+
+
+class AlgorithmError(ReproError):
+    """An algorithm was driven incorrectly (e.g. querying before any update)."""
+
+
+class TraceFormatError(ReproError):
+    """A serialized trace file is malformed or truncated."""
+
+
+class SwitchError(ReproError):
+    """The simulated virtual switch was configured or driven incorrectly."""

@@ -1,0 +1,118 @@
+"""Common interface of the heavy-hitter counter algorithms.
+
+The RHHH algorithm (and the MST baseline) are parameterised by an arbitrary
+counter algorithm satisfying the paper's Definition 4: an ``(epsilon_a,
+delta_a)``-Frequency Estimation solver that can also enumerate heavy hitters
+(Definition 5).  :class:`CounterAlgorithm` captures exactly that contract.
+
+Keys are arbitrary hashable objects; in the HHH code they are integers (masked
+addresses) or pairs of integers (masked source/destination addresses).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator, List
+
+
+@dataclass(frozen=True)
+class HeavyHitter:
+    """A single heavy-hitter report.
+
+    Attributes:
+        key: the reported item.
+        estimate: the algorithm's point estimate of the item's count.
+        upper_bound: a value that is >= the true count (subject to the
+            algorithm's own guarantee).
+        lower_bound: a value that is <= the true count.
+    """
+
+    key: Hashable
+    estimate: float
+    upper_bound: float
+    lower_bound: float
+
+    def error_width(self) -> float:
+        """Return the width of the [lower_bound, upper_bound] interval."""
+        return self.upper_bound - self.lower_bound
+
+
+class FrequencyEstimator(abc.ABC):
+    """Abstract frequency estimator (Definition 4 of the paper).
+
+    Subclasses must implement :meth:`update`, :meth:`estimate`,
+    :meth:`upper_bound`, :meth:`lower_bound` and :meth:`__iter__` (iteration
+    over currently tracked keys).  The default implementations of the
+    remaining methods are derived from those primitives.
+    """
+
+    def __init__(self) -> None:
+        self._total = 0
+
+    @property
+    def total(self) -> int:
+        """Total weight of all updates observed so far."""
+        return self._total
+
+    @abc.abstractmethod
+    def update(self, key: Hashable, weight: int = 1) -> None:
+        """Account ``weight`` arrivals of ``key``."""
+
+    @abc.abstractmethod
+    def estimate(self, key: Hashable) -> float:
+        """Return the point estimate of ``key``'s count."""
+
+    @abc.abstractmethod
+    def upper_bound(self, key: Hashable) -> float:
+        """Return an upper bound on ``key``'s count."""
+
+    @abc.abstractmethod
+    def lower_bound(self, key: Hashable) -> float:
+        """Return a lower bound on ``key``'s count."""
+
+    @abc.abstractmethod
+    def __iter__(self) -> Iterator[Hashable]:
+        """Iterate over the keys currently tracked by the summary."""
+
+    def __contains__(self, key: Hashable) -> bool:
+        return any(k == key for k in self)
+
+    def update_many(self, keys: Iterable[Hashable]) -> None:
+        """Convenience helper: update once for every key in ``keys``."""
+        for key in keys:
+            self.update(key)
+
+
+class CounterAlgorithm(FrequencyEstimator):
+    """A frequency estimator that can also enumerate heavy hitters.
+
+    This corresponds to the combination of Definitions 4 and 5 in the paper:
+    the minimal requirement for an algorithm to be pluggable into RHHH.
+    """
+
+    @abc.abstractmethod
+    def counters(self) -> int:
+        """Number of counters (table entries) used by the summary."""
+
+    def heavy_hitters(self, threshold: float) -> List[HeavyHitter]:
+        """Return every tracked key whose upper-bound count reaches ``threshold``.
+
+        Using the upper bound makes the report conservative: no true heavy
+        hitter can be missed among the tracked keys, at the price of possible
+        false positives (which the HHH output procedure tolerates by design).
+        """
+        result: List[HeavyHitter] = []
+        for key in self:
+            ub = self.upper_bound(key)
+            if ub >= threshold:
+                result.append(
+                    HeavyHitter(
+                        key=key,
+                        estimate=self.estimate(key),
+                        upper_bound=ub,
+                        lower_bound=self.lower_bound(key),
+                    )
+                )
+        result.sort(key=lambda h: h.estimate, reverse=True)
+        return result

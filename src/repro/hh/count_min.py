@@ -1,0 +1,118 @@
+"""Count-Min Sketch [Cormode & Muthukrishnan 2005] with a heavy-hitter heap.
+
+A sketch never under-estimates, over-estimates by at most ``epsilon * N`` with
+probability ``1 - delta`` (``width = ceil(e/epsilon)``, ``depth =
+ceil(ln 1/delta)``).  To satisfy the paper's Definition 5 requirement (the
+counter must also *enumerate* heavy hitters), the sketch maintains a side
+dictionary of the current top keys, updated on every insert - this is the
+standard "sketch + heap" heavy-hitter construction mentioned in Section 3.1 of
+the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Iterator, Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.hh.base import CounterAlgorithm
+
+_PRIME = (1 << 61) - 1  # Mersenne prime for universal hashing
+
+
+class CountMinSketch(CounterAlgorithm):
+    """Count-Min Sketch with a bounded top-keys dictionary.
+
+    Args:
+        epsilon: additive error bound as a fraction of the stream length.
+        delta: failure probability of the error bound.
+        track: number of candidate heavy-hitter keys to remember (defaults to
+            ``2 * ceil(1/epsilon)``).
+        seed: seed of the hash-function generator (deterministic by default so
+            experiments are reproducible).
+    """
+
+    def __init__(
+        self,
+        epsilon: float = 0.001,
+        delta: float = 0.01,
+        *,
+        track: Optional[int] = None,
+        seed: int = 0x5EED,
+    ) -> None:
+        super().__init__()
+        if not 0 < epsilon < 1:
+            raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
+        if not 0 < delta < 1:
+            raise ConfigurationError(f"delta must be in (0, 1), got {delta}")
+        self._epsilon = epsilon
+        self._delta = delta
+        self._width = max(2, int(math.ceil(math.e / epsilon)))
+        self._depth = max(1, int(math.ceil(math.log(1.0 / delta))))
+        rng = np.random.default_rng(seed)
+        self._a = rng.integers(1, _PRIME, size=self._depth, dtype=np.uint64)
+        self._b = rng.integers(0, _PRIME, size=self._depth, dtype=np.uint64)
+        self._table = np.zeros((self._depth, self._width), dtype=np.int64)
+        self._track_limit = track if track is not None else 2 * int(math.ceil(1.0 / epsilon))
+        self._tracked: Dict[Hashable, int] = {}
+
+    @property
+    def width(self) -> int:
+        """Number of counters per hash row."""
+        return self._width
+
+    @property
+    def depth(self) -> int:
+        """Number of hash rows."""
+        return self._depth
+
+    def _rows(self, key: Hashable) -> np.ndarray:
+        h = hash(key) & 0x7FFFFFFFFFFFFFFF
+        return ((self._a * np.uint64(h) + self._b) % np.uint64(_PRIME)) % np.uint64(self._width)
+
+    def update(self, key: Hashable, weight: int = 1) -> None:
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        self._total += weight
+        cols = self._rows(key)
+        rows = np.arange(self._depth)
+        self._table[rows, cols] += weight
+        estimate = int(self._table[rows, cols].min())
+        self._track(key, estimate)
+
+    def _track(self, key: Hashable, estimate: int) -> None:
+        tracked = self._tracked
+        if key in tracked or len(tracked) < self._track_limit:
+            tracked[key] = estimate
+            return
+        victim = min(tracked, key=tracked.get)
+        if tracked[victim] < estimate:
+            del tracked[victim]
+            tracked[key] = estimate
+
+    def estimate(self, key: Hashable) -> float:
+        cols = self._rows(key)
+        rows = np.arange(self._depth)
+        return float(self._table[rows, cols].min())
+
+    def upper_bound(self, key: Hashable) -> float:
+        return self.estimate(key)
+
+    def lower_bound(self, key: Hashable) -> float:
+        # The sketch over-estimates by at most eps*N w.h.p.; use that as a
+        # probabilistic lower bound, floored at zero.
+        return max(0.0, self.estimate(key) - self._epsilon * self._total)
+
+    def counters(self) -> int:
+        return self._width * self._depth + self._track_limit
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._tracked)
+
+    def __len__(self) -> int:
+        return len(self._tracked)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._tracked

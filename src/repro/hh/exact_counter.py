@@ -1,0 +1,59 @@
+"""Exact dictionary-based counter.
+
+Used as ground truth in tests and in the evaluation harness, and as the
+"infinite memory" reference point in ablation benchmarks.  It trivially
+satisfies the ``(0, 0)``-Frequency Estimation guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, List
+
+from repro.hh.base import CounterAlgorithm, HeavyHitter
+
+
+class ExactCounter(CounterAlgorithm):
+    """Count every key exactly using a hash map.
+
+    Memory grows with the number of distinct keys, so this is only suitable
+    for ground-truth computation, not for the data path.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._counts: Dict[Hashable, int] = {}
+
+    def update(self, key: Hashable, weight: int = 1) -> None:
+        if weight < 0:
+            raise ValueError("weight must be non-negative")
+        self._counts[key] = self._counts.get(key, 0) + weight
+        self._total += weight
+
+    def estimate(self, key: Hashable) -> float:
+        return float(self._counts.get(key, 0))
+
+    def upper_bound(self, key: Hashable) -> float:
+        return self.estimate(key)
+
+    def lower_bound(self, key: Hashable) -> float:
+        return self.estimate(key)
+
+    def counters(self) -> int:
+        return len(self._counts)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._counts)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def items(self):
+        """Iterate over ``(key, count)`` pairs."""
+        return self._counts.items()
+
+    def heavy_hitters(self, threshold: float) -> List[HeavyHitter]:
+        return [
+            HeavyHitter(key=k, estimate=float(c), upper_bound=float(c), lower_bound=float(c))
+            for k, c in sorted(self._counts.items(), key=lambda kv: -kv[1])
+            if c >= threshold
+        ]

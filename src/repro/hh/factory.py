@@ -1,0 +1,78 @@
+"""Factory helpers for constructing counter algorithms by name.
+
+The HHH algorithms (and the benchmark harness) accept a ``counter`` argument
+naming which heavy-hitter algorithm to instantiate per lattice node; this
+module centralises that mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.exceptions import ConfigurationError
+from repro.hh.base import CounterAlgorithm
+from repro.hh.conservative_update import ConservativeCountMin
+from repro.hh.count_min import CountMinSketch
+from repro.hh.count_sketch import CountSketch
+from repro.hh.exact_counter import ExactCounter
+from repro.hh.lossy_counting import LossyCounting
+from repro.hh.misra_gries import MisraGries
+from repro.hh.space_saving import SpaceSaving
+
+
+def _make_space_saving(epsilon: float) -> CounterAlgorithm:
+    return SpaceSaving(epsilon=epsilon)
+
+
+def _make_misra_gries(epsilon: float) -> CounterAlgorithm:
+    return MisraGries(epsilon=epsilon)
+
+
+def _make_lossy_counting(epsilon: float) -> CounterAlgorithm:
+    return LossyCounting(epsilon=epsilon)
+
+
+def _make_count_min(epsilon: float) -> CounterAlgorithm:
+    return CountMinSketch(epsilon=epsilon)
+
+
+def _make_count_sketch(epsilon: float) -> CounterAlgorithm:
+    return CountSketch(epsilon=max(epsilon, 0.005))
+
+
+def _make_conservative(epsilon: float) -> CounterAlgorithm:
+    return ConservativeCountMin(epsilon=epsilon)
+
+
+def _make_exact(epsilon: float) -> CounterAlgorithm:  # noqa: ARG001 - signature parity
+    return ExactCounter()
+
+
+COUNTER_REGISTRY: Dict[str, Callable[[float], CounterAlgorithm]] = {
+    "space_saving": _make_space_saving,
+    "misra_gries": _make_misra_gries,
+    "lossy_counting": _make_lossy_counting,
+    "count_min": _make_count_min,
+    "count_sketch": _make_count_sketch,
+    "conservative_count_min": _make_conservative,
+    "exact": _make_exact,
+}
+"""Mapping of counter-algorithm name to a ``factory(epsilon) -> CounterAlgorithm``."""
+
+
+def make_counter(name: str, epsilon: float) -> CounterAlgorithm:
+    """Instantiate the counter algorithm called ``name`` with error target ``epsilon``.
+
+    Args:
+        name: one of the keys of :data:`COUNTER_REGISTRY`.
+        epsilon: per-counter relative error target (``epsilon_a`` in the paper).
+
+    Raises:
+        ConfigurationError: if the name is unknown.
+    """
+    try:
+        factory = COUNTER_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(COUNTER_REGISTRY))
+        raise ConfigurationError(f"unknown counter algorithm {name!r}; known: {known}") from None
+    return factory(epsilon)

@@ -1,0 +1,94 @@
+"""Lossy Counting [Manku & Motwani 2002].
+
+Deterministic counter summary that divides the stream into buckets of width
+``w = ceil(1/epsilon)`` and prunes keys whose count plus insertion-time slack
+falls below the current bucket index.  Over-estimates by at most
+``epsilon * N`` like Space Saving, but its memory is only bounded by
+``O(1/epsilon * log(epsilon N))`` rather than a hard cap.
+
+Included both as an alternative RHHH counter and because the Full/Partial
+Ancestry HHH baselines of Cormode et al. are hierarchical generalisations of
+this algorithm (see :mod:`repro.hhh.ancestry`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Iterator, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.hh.base import CounterAlgorithm
+
+
+class LossyCounting(CounterAlgorithm):
+    """Manku-Motwani Lossy Counting.
+
+    Args:
+        epsilon: maximum relative over-estimation (bucket width is
+            ``ceil(1/epsilon)``).
+    """
+
+    def __init__(self, epsilon: float) -> None:
+        super().__init__()
+        if not 0 < epsilon < 1:
+            raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
+        self._epsilon = epsilon
+        self._width = int(math.ceil(1.0 / epsilon))
+        # key -> (count, delta) where delta is the bucket index at insertion
+        self._entries: Dict[Hashable, Tuple[int, int]] = {}
+        self._bucket = 1
+
+    @property
+    def epsilon(self) -> float:
+        """Configured relative error bound."""
+        return self._epsilon
+
+    def update(self, key: Hashable, weight: int = 1) -> None:
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        self._total += weight
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries[key] = (entry[0] + weight, entry[1])
+        else:
+            self._entries[key] = (weight, self._bucket - 1)
+        if self._total // self._width + 1 != self._bucket:
+            self._bucket = self._total // self._width + 1
+            self._compress()
+
+    def _compress(self) -> None:
+        """Drop keys whose count + delta no longer reaches the bucket index."""
+        bucket = self._bucket
+        doomed = [k for k, (c, d) in self._entries.items() if c + d <= bucket - 1]
+        for k in doomed:
+            del self._entries[k]
+
+    def estimate(self, key: Hashable) -> float:
+        entry = self._entries.get(key)
+        if entry is None:
+            return 0.0
+        return float(entry[0])
+
+    def upper_bound(self, key: Hashable) -> float:
+        entry = self._entries.get(key)
+        if entry is None:
+            return float(self._bucket - 1)
+        return float(entry[0] + entry[1])
+
+    def lower_bound(self, key: Hashable) -> float:
+        entry = self._entries.get(key)
+        if entry is None:
+            return 0.0
+        return float(entry[0])
+
+    def counters(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries

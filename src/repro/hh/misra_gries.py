@@ -1,0 +1,90 @@
+"""Misra-Gries / Frequent algorithm [Misra & Gries 1982, Demaine et al. 2002].
+
+With ``m`` counters, after ``N`` unit updates every key satisfies
+``true - N/(m+1) <= estimate <= true``; i.e. Misra-Gries *under*-estimates,
+the mirror image of Space Saving.  Included as an alternative counter
+algorithm for the RHHH ablation study.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Iterator, Optional
+
+from repro.exceptions import ConfigurationError
+from repro.hh.base import CounterAlgorithm
+
+
+class MisraGries(CounterAlgorithm):
+    """The classic "Frequent" deterministic counter summary.
+
+    Args:
+        capacity: number of counters, or derive it from ``epsilon`` as
+            ``ceil(1/epsilon)``.
+    """
+
+    def __init__(self, capacity: Optional[int] = None, *, epsilon: Optional[float] = None) -> None:
+        super().__init__()
+        if capacity is None:
+            if epsilon is None:
+                raise ConfigurationError("MisraGries requires either capacity or epsilon")
+            if not 0 < epsilon < 1:
+                raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
+            capacity = int(math.ceil(1.0 / epsilon))
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._counts: Dict[Hashable, int] = {}
+        self._decrements = 0  # total amount decremented from every surviving counter
+
+    def update(self, key: Hashable, weight: int = 1) -> None:
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        self._total += weight
+        counts = self._counts
+        if key in counts:
+            counts[key] += weight
+            return
+        if len(counts) < self._capacity:
+            counts[key] = weight
+            return
+        # Decrement-all step.  For weighted updates we decrement by the
+        # largest amount that keeps the summary consistent.
+        min_count = min(counts.values())
+        dec = min(weight, min_count)
+        self._decrements += dec
+        remaining = weight - dec
+        dead = [k for k, c in counts.items() if c == dec]
+        for k in counts:
+            counts[k] -= dec
+        for k in dead:
+            del counts[k]
+        if remaining > 0 and len(counts) < self._capacity:
+            counts[key] = remaining
+
+    def estimate(self, key: Hashable) -> float:
+        return float(self._counts.get(key, 0))
+
+    def upper_bound(self, key: Hashable) -> float:
+        # A key may have lost at most the cumulative decrement amount.
+        return float(self._counts.get(key, 0) + self._decrements)
+
+    def lower_bound(self, key: Hashable) -> float:
+        return float(self._counts.get(key, 0))
+
+    def counters(self) -> int:
+        return self._capacity
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._counts)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._counts
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of simultaneously monitored keys."""
+        return self._capacity

@@ -1,0 +1,222 @@
+"""Space Saving [Metwally, Agrawal, El Abbadi 2005].
+
+This is the counter algorithm used by the RHHH paper.  Space Saving keeps a
+fixed number of ``(key, count, error)`` counters.  When a monitored key
+arrives its counter is incremented; when an unmonitored key arrives and the
+table is full, the key with the minimum count is evicted and the new key
+inherits its count (recording the inherited amount as ``error``).
+
+Guarantees (with ``m = ceil(1/epsilon)`` counters, after ``N`` updates):
+
+* every key with true count ``> N/m`` is monitored,
+* for every monitored key, ``count - error <= true count <= count``,
+* ``count - true count <= N/m <= epsilon * N``.
+
+The implementation uses the *stream summary* structure of the original paper:
+a doubly linked list of count-buckets, each holding the set of keys that share
+the same count, giving an O(1) worst-case update (dictionary operations
+considered O(1)).  This matters because the whole point of RHHH is a constant
+worst-case per-packet cost.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Iterator, Optional
+
+from repro.exceptions import ConfigurationError
+from repro.hh.base import CounterAlgorithm
+
+
+class _Bucket:
+    """A doubly linked bucket of keys sharing the same count."""
+
+    __slots__ = ("count", "keys", "prev", "next")
+
+    def __init__(self, count: int) -> None:
+        self.count = count
+        self.keys: Dict[Hashable, int] = {}  # key -> error (absolute overestimation)
+        self.prev: Optional["_Bucket"] = None
+        self.next: Optional["_Bucket"] = None
+
+
+class SpaceSaving(CounterAlgorithm):
+    """Space Saving with the O(1)-update stream-summary structure.
+
+    Args:
+        capacity: number of counters.  Alternatively pass ``epsilon`` and the
+            capacity is set to ``ceil(1/epsilon)``.
+        epsilon: relative error target; ignored when ``capacity`` is given.
+    """
+
+    def __init__(self, capacity: Optional[int] = None, *, epsilon: Optional[float] = None) -> None:
+        super().__init__()
+        if capacity is None:
+            if epsilon is None:
+                raise ConfigurationError("SpaceSaving requires either capacity or epsilon")
+            if not 0 < epsilon < 1:
+                raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
+            capacity = int(math.ceil(1.0 / epsilon))
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        # key -> bucket holding it
+        self._where: Dict[Hashable, _Bucket] = {}
+        # sentinel-free linked list ordered by increasing count
+        self._head: Optional[_Bucket] = None  # minimum count bucket
+        self._tail: Optional[_Bucket] = None  # maximum count bucket
+
+    # ------------------------------------------------------------------ #
+    # linked-list plumbing
+    # ------------------------------------------------------------------ #
+
+    def _insert_bucket_after(self, bucket: _Bucket, after: Optional[_Bucket]) -> None:
+        """Insert ``bucket`` right after ``after`` (or at the head if None)."""
+        if after is None:
+            bucket.next = self._head
+            bucket.prev = None
+            if self._head is not None:
+                self._head.prev = bucket
+            self._head = bucket
+            if self._tail is None:
+                self._tail = bucket
+        else:
+            bucket.prev = after
+            bucket.next = after.next
+            if after.next is not None:
+                after.next.prev = bucket
+            else:
+                self._tail = bucket
+            after.next = bucket
+
+    def _remove_bucket(self, bucket: _Bucket) -> None:
+        if bucket.prev is not None:
+            bucket.prev.next = bucket.next
+        else:
+            self._head = bucket.next
+        if bucket.next is not None:
+            bucket.next.prev = bucket.prev
+        else:
+            self._tail = bucket.prev
+        bucket.prev = None
+        bucket.next = None
+
+    def _promote(self, key: Hashable, bucket: _Bucket, weight: int) -> None:
+        """Move ``key`` from ``bucket`` to the bucket with count ``bucket.count + weight``."""
+        error = bucket.keys.pop(key)
+        new_count = bucket.count + weight
+        # Find (or create) the destination bucket.  For unit weights this is a
+        # constant amount of work; for weighted updates it may walk several
+        # buckets which matches the O(log 1/eps) weighted-update bound quoted
+        # by the paper for counter algorithms.
+        cursor = bucket
+        while cursor.next is not None and cursor.next.count < new_count:
+            cursor = cursor.next
+        if cursor.next is not None and cursor.next.count == new_count:
+            dest = cursor.next
+        else:
+            dest = _Bucket(new_count)
+            self._insert_bucket_after(dest, cursor)
+        dest.keys[key] = error
+        self._where[key] = dest
+        if not bucket.keys:
+            self._remove_bucket(bucket)
+
+    # ------------------------------------------------------------------ #
+    # CounterAlgorithm interface
+    # ------------------------------------------------------------------ #
+
+    def update(self, key: Hashable, weight: int = 1) -> None:
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        self._total += weight
+        bucket = self._where.get(key)
+        if bucket is not None:
+            self._promote(key, bucket, weight)
+            return
+        if len(self._where) < self._capacity:
+            # Free slot: start a new counter with zero error.
+            if self._head is not None and self._head.count == weight:
+                dest = self._head
+            else:
+                dest = _Bucket(weight)
+                prev = None
+                cursor = self._head
+                while cursor is not None and cursor.count < weight:
+                    prev = cursor
+                    cursor = cursor.next
+                self._insert_bucket_after(dest, prev)
+            dest.keys[key] = 0
+            self._where[key] = dest
+            return
+        # Table full: evict a key from the minimum bucket.
+        min_bucket = self._head
+        assert min_bucket is not None
+        victim = next(iter(min_bucket.keys))
+        min_count = min_bucket.count
+        del min_bucket.keys[victim]
+        del self._where[victim]
+        if not min_bucket.keys:
+            self._remove_bucket(min_bucket)
+        # The newcomer inherits the victim's count as its error.
+        new_count = min_count + weight
+        prev = None
+        cursor = self._head
+        while cursor is not None and cursor.count < new_count:
+            prev = cursor
+            cursor = cursor.next
+        if cursor is not None and cursor.count == new_count:
+            dest = cursor
+        else:
+            dest = _Bucket(new_count)
+            self._insert_bucket_after(dest, prev)
+        dest.keys[key] = min_count
+        self._where[key] = dest
+
+    def estimate(self, key: Hashable) -> float:
+        bucket = self._where.get(key)
+        if bucket is None:
+            return float(self._min_count())
+        return float(bucket.count)
+
+    def upper_bound(self, key: Hashable) -> float:
+        bucket = self._where.get(key)
+        if bucket is None:
+            # An unmonitored key has true count at most the minimum counter.
+            return float(self._min_count())
+        return float(bucket.count)
+
+    def lower_bound(self, key: Hashable) -> float:
+        bucket = self._where.get(key)
+        if bucket is None:
+            return 0.0
+        return float(bucket.count - bucket.keys[key])
+
+    def counters(self) -> int:
+        return self._capacity
+
+    def _min_count(self) -> int:
+        if len(self._where) < self._capacity or self._head is None:
+            return 0
+        return self._head.count
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._where)
+
+    def __len__(self) -> int:
+        return len(self._where)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._where
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of simultaneously monitored keys."""
+        return self._capacity
+
+    def error_of(self, key: Hashable) -> int:
+        """Return the recorded overestimation error of a monitored key (0 if absent)."""
+        bucket = self._where.get(key)
+        if bucket is None:
+            return 0
+        return bucket.keys[key]

@@ -1,0 +1,70 @@
+"""The MST baseline [Mitzenmacher, Steinke, Thaler - ALENEX 2012].
+
+MST keeps one Space Saving instance per lattice node and updates **every**
+instance on every packet, which gives deterministic error guarantees at an
+O(H) per-packet cost - the cost RHHH removes.  The Output procedure is the
+same lattice scan as RHHH's, with no rescaling and no sampling-error
+correction.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional
+
+from repro.core.base import HHHAlgorithm, HHHOutput
+from repro.core.output import lattice_output
+from repro.exceptions import ConfigurationError
+from repro.hh.base import CounterAlgorithm
+from repro.hh.factory import make_counter
+from repro.hierarchy.base import Hierarchy
+
+
+class MST(HHHAlgorithm):
+    """Deterministic lattice-of-Space-Saving HHH (update cost O(H) per packet).
+
+    Args:
+        hierarchy: the hierarchical domain.
+        epsilon: per-prefix accuracy target (each node gets ``1/epsilon`` counters).
+        counter: name of the per-node counter algorithm.
+    """
+
+    name = "mst"
+
+    def __init__(self, hierarchy: Hierarchy, *, epsilon: float = 0.001, counter: str = "space_saving") -> None:
+        super().__init__(hierarchy)
+        if not 0.0 < epsilon < 1.0:
+            raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
+        self._epsilon = epsilon
+        self._counters: List[CounterAlgorithm] = [
+            make_counter(counter, epsilon) for _ in range(hierarchy.size)
+        ]
+        self._generalizers = hierarchy.compile_generalizers()
+
+    @property
+    def epsilon(self) -> float:
+        """Configured per-prefix accuracy target."""
+        return self._epsilon
+
+    def update(self, key: Hashable, weight: int = 1) -> None:
+        """Update the counter summary of every lattice node (O(H) work)."""
+        self._total += weight
+        counters = self._counters
+        for node, generalize in enumerate(self._generalizers):
+            counters[node].update(generalize(key), weight)
+
+    def output(self, theta: float) -> HHHOutput:
+        if not 0.0 < theta <= 1.0:
+            raise ConfigurationError(f"theta must be in (0, 1], got {theta}")
+        return lattice_output(self._hierarchy, self._counters, theta, self._total)
+
+    def frequency_estimate(self, key: Hashable, node: int = 0) -> float:
+        """Estimate the frequency of ``key`` masked to lattice node ``node``."""
+        value = self._hierarchy.generalize(key, node)
+        return self._counters[node].estimate(value)
+
+    def counters(self) -> int:
+        return sum(c.counters() for c in self._counters)
+
+    def node_counter(self, node: int) -> CounterAlgorithm:
+        """Return the counter summary of lattice node ``node``."""
+        return self._counters[node]

@@ -1,0 +1,88 @@
+"""Registry mapping algorithm names to constructors.
+
+Used by the evaluation harness and the benchmark modules so every experiment
+can be parameterised by a plain string (e.g. ``"rhhh"``, ``"10-rhhh"``,
+``"mst"``, ``"partial_ancestry"``), mirroring the algorithm line-up of the
+paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.core.base import HHHAlgorithm
+from repro.core.rhhh import RHHH
+from repro.exceptions import ConfigurationError
+from repro.hhh.ancestry import FullAncestry, PartialAncestry
+from repro.hhh.exact import ExactHHH
+from repro.hhh.mst import MST
+from repro.hhh.sampled_mst import SampledMST
+from repro.hierarchy.base import Hierarchy
+
+
+def _make_rhhh(hierarchy: Hierarchy, epsilon: float, delta: float, seed: Optional[int]) -> HHHAlgorithm:
+    return RHHH(hierarchy, epsilon=epsilon, delta=delta, seed=seed)
+
+
+def _make_10_rhhh(hierarchy: Hierarchy, epsilon: float, delta: float, seed: Optional[int]) -> HHHAlgorithm:
+    return RHHH(hierarchy, epsilon=epsilon, delta=delta, v=10 * hierarchy.size, seed=seed)
+
+
+def _make_mst(hierarchy: Hierarchy, epsilon: float, delta: float, seed: Optional[int]) -> HHHAlgorithm:
+    return MST(hierarchy, epsilon=epsilon)
+
+
+def _make_sampled_mst(hierarchy: Hierarchy, epsilon: float, delta: float, seed: Optional[int]) -> HHHAlgorithm:
+    return SampledMST(hierarchy, epsilon=epsilon, delta=delta, seed=seed)
+
+
+def _make_full_ancestry(hierarchy: Hierarchy, epsilon: float, delta: float, seed: Optional[int]) -> HHHAlgorithm:
+    return FullAncestry(hierarchy, epsilon=epsilon)
+
+
+def _make_partial_ancestry(hierarchy: Hierarchy, epsilon: float, delta: float, seed: Optional[int]) -> HHHAlgorithm:
+    return PartialAncestry(hierarchy, epsilon=epsilon)
+
+
+def _make_exact(hierarchy: Hierarchy, epsilon: float, delta: float, seed: Optional[int]) -> HHHAlgorithm:
+    return ExactHHH(hierarchy)
+
+
+ALGORITHM_REGISTRY: Dict[str, Callable[[Hierarchy, float, float, Optional[int]], HHHAlgorithm]] = {
+    "rhhh": _make_rhhh,
+    "10-rhhh": _make_10_rhhh,
+    "mst": _make_mst,
+    "sampled_mst": _make_sampled_mst,
+    "full_ancestry": _make_full_ancestry,
+    "partial_ancestry": _make_partial_ancestry,
+    "exact": _make_exact,
+}
+"""Mapping of algorithm name to ``factory(hierarchy, epsilon, delta, seed) -> HHHAlgorithm``."""
+
+
+def make_algorithm(
+    name: str,
+    hierarchy: Hierarchy,
+    *,
+    epsilon: float = 0.001,
+    delta: float = 0.001,
+    seed: Optional[int] = None,
+) -> HHHAlgorithm:
+    """Instantiate the HHH algorithm called ``name``.
+
+    Args:
+        name: one of the keys of :data:`ALGORITHM_REGISTRY`.
+        hierarchy: the hierarchical domain to run on.
+        epsilon: accuracy target.
+        delta: confidence target (randomized algorithms only).
+        seed: RNG seed (randomized algorithms only).
+
+    Raises:
+        ConfigurationError: if the name is unknown.
+    """
+    try:
+        factory = ALGORITHM_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(ALGORITHM_REGISTRY))
+        raise ConfigurationError(f"unknown HHH algorithm {name!r}; known: {known}") from None
+    return factory(hierarchy, epsilon, delta, seed)

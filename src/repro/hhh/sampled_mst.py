@@ -1,0 +1,101 @@
+"""The naive-sampling strawman discussed in the paper's introduction.
+
+Instead of updating one random lattice node per packet (RHHH), one could
+sample each packet with probability ``H / V`` and run the full O(H) MST update
+on the sampled packets.  The *amortized* cost matches RHHH but the worst case
+stays Theta(H): an unlucky packet pays for the whole hierarchy.  The paper
+argues this matters inside a data path (victim packets, buffer overflow) and
+for NFV schedulers; the class exists so the benchmarks can quantify exactly
+that tail-latency difference (``benchmarks/bench_ablation_worst_case.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, List, Optional
+
+from repro.analysis.bounds import coverage_correction
+from repro.core.base import HHHAlgorithm, HHHOutput
+from repro.core.output import lattice_output
+from repro.exceptions import ConfigurationError
+from repro.hh.base import CounterAlgorithm
+from repro.hh.factory import make_counter
+from repro.hierarchy.base import Hierarchy
+
+
+class SampledMST(HHHAlgorithm):
+    """Packet-sampled MST: amortized O(1), worst case Theta(H).
+
+    Args:
+        hierarchy: the hierarchical domain.
+        epsilon: per-prefix accuracy target for the counter instances.
+        delta: confidence parameter used for the sampling correction.
+        sampling_probability: probability of processing a packet; defaults to
+            ``1 / H`` so the expected per-packet work matches RHHH with
+            ``V = H``.
+        counter: name of the per-node counter algorithm.
+        seed: RNG seed for reproducibility.
+    """
+
+    name = "sampled_mst"
+
+    def __init__(
+        self,
+        hierarchy: Hierarchy,
+        *,
+        epsilon: float = 0.001,
+        delta: float = 0.001,
+        sampling_probability: Optional[float] = None,
+        counter: str = "space_saving",
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(hierarchy)
+        if not 0.0 < epsilon < 1.0:
+            raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
+        if sampling_probability is None:
+            sampling_probability = 1.0 / hierarchy.size
+        if not 0.0 < sampling_probability <= 1.0:
+            raise ConfigurationError(
+                f"sampling_probability must be in (0, 1], got {sampling_probability}"
+            )
+        self._epsilon = epsilon
+        self._delta = delta
+        self._p = sampling_probability
+        self._rng = random.Random(seed)
+        self._counters: List[CounterAlgorithm] = [
+            make_counter(counter, epsilon) for _ in range(hierarchy.size)
+        ]
+        self._generalizers = hierarchy.compile_generalizers()
+        self._sampled = 0
+
+    @property
+    def sampling_probability(self) -> float:
+        """Probability of running the full MST update on a packet."""
+        return self._p
+
+    @property
+    def sampled_packets(self) -> int:
+        """Number of packets that triggered the full update."""
+        return self._sampled
+
+    def update(self, key: Hashable, weight: int = 1) -> None:
+        """Flip a coin; on success run the full O(H) MST update."""
+        self._total += weight
+        if self._rng.random() >= self._p:
+            return
+        self._sampled += 1
+        counters = self._counters
+        for node, generalize in enumerate(self._generalizers):
+            counters[node].update(generalize(key), weight)
+
+    def output(self, theta: float) -> HHHOutput:
+        if not 0.0 < theta <= 1.0:
+            raise ConfigurationError(f"theta must be in (0, 1], got {theta}")
+        scale = 1.0 / self._p
+        correction = coverage_correction(self._total, scale, self._delta) if self._total else 0.0
+        return lattice_output(
+            self._hierarchy, self._counters, theta, self._total, scale=scale, correction=correction
+        )
+
+    def counters(self) -> int:
+        return sum(c.counters() for c in self._counters)

@@ -1,0 +1,37 @@
+"""Prefix hierarchies and generalization lattices.
+
+This sub-package implements the hierarchical-domain machinery of the paper's
+Section 3.1: IP addresses as integers, prefixes, the generalization partial
+order (Definition 1), one-dimensional byte/bit hierarchies, and the
+two-dimensional source x destination lattice illustrated in Table 1 of the
+paper, including ``G(p|P)`` (Definitions 2/14) and the greatest lower bound
+``glb`` (Definition 12) needed by the two-dimensional output procedure.
+"""
+
+from repro.hierarchy.ip import (
+    ipv4_to_int,
+    int_to_ipv4,
+    ipv6_to_int,
+    int_to_ipv6,
+    parse_address,
+)
+from repro.hierarchy.prefix import Prefix
+from repro.hierarchy.base import Hierarchy
+from repro.hierarchy.onedim import OneDimHierarchy, ipv4_byte_hierarchy, ipv4_bit_hierarchy, ipv6_byte_hierarchy
+from repro.hierarchy.twodim import TwoDimHierarchy, ipv4_two_dim_byte_hierarchy
+
+__all__ = [
+    "ipv4_to_int",
+    "int_to_ipv4",
+    "ipv6_to_int",
+    "int_to_ipv6",
+    "parse_address",
+    "Prefix",
+    "Hierarchy",
+    "OneDimHierarchy",
+    "TwoDimHierarchy",
+    "ipv4_byte_hierarchy",
+    "ipv4_bit_hierarchy",
+    "ipv6_byte_hierarchy",
+    "ipv4_two_dim_byte_hierarchy",
+]

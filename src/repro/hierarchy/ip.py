@@ -1,0 +1,88 @@
+"""IP address <-> integer conversions.
+
+The whole library represents addresses as unsigned integers (32-bit for IPv4,
+128-bit for IPv6) because the hierarchy operations are then plain bitwise
+masks, which is both the fastest option in Python and exactly what the paper's
+Algorithm 1 does (``x & HH[d].mask``).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import HierarchyError
+
+IPV4_BITS = 32
+IPV6_BITS = 128
+
+_IPV4_MAX = (1 << IPV4_BITS) - 1
+_IPV6_MAX = (1 << IPV6_BITS) - 1
+
+
+def ipv4_to_int(address: str) -> int:
+    """Parse a dotted-quad IPv4 address into a 32-bit integer.
+
+    Raises:
+        HierarchyError: if the string is not a valid IPv4 address.
+    """
+    parts = address.split(".")
+    if len(parts) != 4:
+        raise HierarchyError(f"invalid IPv4 address {address!r}: expected 4 octets")
+    value = 0
+    for part in parts:
+        try:
+            octet = int(part)
+        except ValueError:
+            raise HierarchyError(f"invalid IPv4 address {address!r}: non-numeric octet {part!r}") from None
+        if not 0 <= octet <= 255:
+            raise HierarchyError(f"invalid IPv4 address {address!r}: octet {octet} out of range")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ipv4(value: int) -> str:
+    """Format a 32-bit integer as a dotted-quad IPv4 address."""
+    if not 0 <= value <= _IPV4_MAX:
+        raise HierarchyError(f"value {value} does not fit in 32 bits")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def ipv6_to_int(address: str) -> int:
+    """Parse an IPv6 address (full or ``::``-compressed form) into a 128-bit integer."""
+    if address.count("::") > 1:
+        raise HierarchyError(f"invalid IPv6 address {address!r}: multiple '::'")
+    if "::" in address:
+        head, _, tail = address.partition("::")
+        head_groups = head.split(":") if head else []
+        tail_groups = tail.split(":") if tail else []
+        missing = 8 - len(head_groups) - len(tail_groups)
+        if missing < 1:
+            raise HierarchyError(f"invalid IPv6 address {address!r}: too many groups")
+        groups = head_groups + ["0"] * missing + tail_groups
+    else:
+        groups = address.split(":")
+    if len(groups) != 8:
+        raise HierarchyError(f"invalid IPv6 address {address!r}: expected 8 groups, got {len(groups)}")
+    value = 0
+    for group in groups:
+        try:
+            part = int(group, 16)
+        except ValueError:
+            raise HierarchyError(f"invalid IPv6 address {address!r}: bad group {group!r}") from None
+        if not 0 <= part <= 0xFFFF:
+            raise HierarchyError(f"invalid IPv6 address {address!r}: group {group!r} out of range")
+        value = (value << 16) | part
+    return value
+
+
+def int_to_ipv6(value: int) -> str:
+    """Format a 128-bit integer as a full (uncompressed) IPv6 address."""
+    if not 0 <= value <= _IPV6_MAX:
+        raise HierarchyError(f"value {value} does not fit in 128 bits")
+    groups = [(value >> shift) & 0xFFFF for shift in range(112, -1, -16)]
+    return ":".join(format(g, "x") for g in groups)
+
+
+def parse_address(address: str) -> int:
+    """Parse either an IPv4 or IPv6 textual address into an integer."""
+    if ":" in address:
+        return ipv6_to_int(address)
+    return ipv4_to_int(address)

@@ -1,0 +1,41 @@
+"""The :class:`Prefix` value type.
+
+A prefix identifies one cell of the hierarchy: which lattice node it lives at
+(``node``) and the masked value at that node (``value``).  For one-dimensional
+hierarchies ``value`` is a single integer; for two-dimensional hierarchies it
+is a ``(source, destination)`` pair of integers.
+
+Internally the algorithms use bare ``(node, value)`` tuples as dictionary keys
+for speed; :class:`Prefix` is the user-facing wrapper returned by the output
+procedures, carrying a human-readable rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+PrefixValue = Union[int, Tuple[int, int]]
+
+
+@dataclass(frozen=True, order=True)
+class Prefix:
+    """A prefix of the hierarchical domain.
+
+    Attributes:
+        node: index of the lattice node (0 is the fully specified node).
+        value: the masked address (or source/destination address pair).
+        text: human-readable rendering, e.g. ``"181.7.20.*"`` or
+            ``"(181.7.*, 208.67.222.222)"``.
+    """
+
+    node: int
+    value: PrefixValue
+    text: str = ""
+
+    def key(self) -> Tuple[int, PrefixValue]:
+        """Return the bare ``(node, value)`` tuple used as an internal key."""
+        return (self.node, self.value)
+
+    def __str__(self) -> str:
+        return self.text if self.text else f"node{self.node}:{self.value!r}"

@@ -1,0 +1,45 @@
+"""Traffic substrate: packet model, synthetic trace generators, trace IO.
+
+The paper's evaluation uses four CAIDA backbone traces (Chicago 2015/2016, San
+Jose 2013/2014) of one billion packets each.  Those traces are not
+redistributable and a pure-Python reproduction cannot process a billion
+packets per data point anyway, so this sub-package provides synthetic
+generators that preserve the properties the HHH algorithms actually react to:
+
+* heavy-tailed (Zipf) flow-size distribution,
+* hierarchical structure - flows cluster under a modest number of popular
+  /8, /16 and /24 prefixes in both dimensions, so true hierarchical heavy
+  hitters exist at several levels of the lattice,
+* stable per-trace seeds, so the four named workloads
+  (``chicago15``, ``chicago16``, ``sanjose13``, ``sanjose14``) are
+  reproducible across runs.
+
+A DDoS scenario generator (the motivating application from the paper's
+introduction) and a simple trace serialization format are included as well.
+"""
+
+from repro.traffic.packet import Packet
+from repro.traffic.zipf import ZipfFlowGenerator, zipf_weights
+from repro.traffic.caida_like import BackboneTraceGenerator, named_workload, WORKLOADS
+from repro.traffic.ddos import DDoSScenario
+from repro.traffic.trace_io import write_trace_csv, read_trace_csv, write_trace_binary, read_trace_binary
+from repro.traffic.streams import take, chunked, interleave, stream_stats, StreamStats
+
+__all__ = [
+    "Packet",
+    "ZipfFlowGenerator",
+    "zipf_weights",
+    "BackboneTraceGenerator",
+    "named_workload",
+    "WORKLOADS",
+    "DDoSScenario",
+    "write_trace_csv",
+    "read_trace_csv",
+    "write_trace_binary",
+    "read_trace_binary",
+    "take",
+    "chunked",
+    "interleave",
+    "stream_stats",
+    "StreamStats",
+]

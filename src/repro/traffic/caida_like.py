@@ -1,0 +1,188 @@
+"""Synthetic backbone traces standing in for the paper's CAIDA workloads.
+
+The generator builds a flow population with explicit hierarchical structure:
+
+1. a handful of "popular" /8 source networks and /8 destination networks are
+   drawn, then popular /16s inside them, then /24s inside those;
+2. every flow's addresses are drawn by walking that prefix tree with
+   Zipf-distributed choices at each level, so traffic concentrates under a
+   few prefixes at every depth of the hierarchy - which is precisely the
+   structure that makes *hierarchical* heavy hitters non-trivial (aggregates
+   can be heavy even when individual flows are not);
+3. flow popularities themselves follow a Zipf law.
+
+The four named workloads (``chicago15``, ``chicago16``, ``sanjose13``,
+``sanjose14``) differ only in seed and mild parameter variation, mirroring how
+the paper's four traces are distinct mixes of the same kind of backbone
+traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.traffic.packet import Packet
+from repro.traffic.zipf import zipf_weights
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of one named synthetic workload."""
+
+    name: str
+    seed: int
+    num_flows: int
+    flow_skew: float
+    prefix_skew: float
+    top_level_networks: int
+    branching: int
+
+
+WORKLOADS: Dict[str, WorkloadSpec] = {
+    "chicago15": WorkloadSpec("chicago15", 1501, 60_000, 1.05, 1.1, 24, 12),
+    "chicago16": WorkloadSpec("chicago16", 1602, 80_000, 1.00, 1.2, 28, 12),
+    "sanjose13": WorkloadSpec("sanjose13", 1303, 50_000, 1.10, 1.0, 20, 10),
+    "sanjose14": WorkloadSpec("sanjose14", 1404, 70_000, 0.95, 1.15, 26, 14),
+}
+"""The four synthetic stand-ins for the paper's CAIDA traces."""
+
+
+class BackboneTraceGenerator:
+    """Synthetic backbone trace with hierarchical prefix structure.
+
+    Args:
+        num_flows: size of the flow population.
+        flow_skew: Zipf exponent of flow popularity.
+        prefix_skew: Zipf exponent used when selecting the popular prefixes at
+            each hierarchy depth (higher = traffic more concentrated under few
+            prefixes).
+        top_level_networks: number of distinct popular /8 networks per
+            dimension.
+        branching: number of children prefixes drawn under each parent prefix.
+        seed: RNG seed.
+        packet_size: payload size of generated packets.
+    """
+
+    def __init__(
+        self,
+        num_flows: int = 50_000,
+        flow_skew: float = 1.0,
+        prefix_skew: float = 1.1,
+        *,
+        top_level_networks: int = 24,
+        branching: int = 12,
+        seed: Optional[int] = None,
+        packet_size: int = 64,
+    ) -> None:
+        if num_flows < 1:
+            raise ConfigurationError(f"num_flows must be >= 1, got {num_flows}")
+        if top_level_networks < 1 or branching < 1:
+            raise ConfigurationError("top_level_networks and branching must be >= 1")
+        self._rng = np.random.default_rng(seed)
+        self._packet_size = packet_size
+        self._num_flows = num_flows
+        src = self._build_addresses(num_flows, prefix_skew, top_level_networks, branching)
+        dst = self._build_addresses(num_flows, prefix_skew, top_level_networks, branching)
+        self._flows = np.stack([src, dst], axis=1)
+        self._weights = zipf_weights(num_flows, flow_skew)
+
+    # ------------------------------------------------------------------ #
+    # population construction
+    # ------------------------------------------------------------------ #
+
+    def _build_addresses(
+        self, count: int, prefix_skew: float, top_level: int, branching: int
+    ) -> np.ndarray:
+        """Draw ``count`` addresses by descending a Zipf-weighted prefix tree byte by byte."""
+        rng = self._rng
+        # One byte per level; the first byte is drawn from the popular /8 set,
+        # each subsequent byte from a per-parent popular child set.  Sharing
+        # the child candidate values across parents is fine: what matters is
+        # that few values dominate at every depth.
+        level_choices = [
+            rng.integers(1, 224, size=top_level, dtype=np.int64),  # avoid multicast space
+            rng.integers(0, 256, size=branching, dtype=np.int64),
+            rng.integers(0, 256, size=branching, dtype=np.int64),
+        ]
+        addresses = np.zeros(count, dtype=np.int64)
+        for byte_index, candidates in enumerate(level_choices):
+            weights = zipf_weights(len(candidates), prefix_skew)
+            drawn = rng.choice(candidates, size=count, p=weights)
+            addresses = (addresses << 8) | drawn
+        # Host byte: uniform, so fully specified flows are rarely heavy on
+        # their own even when their /24 is - the HHH-vs-HH distinction the
+        # paper's introduction motivates.
+        host = rng.integers(0, 256, size=count, dtype=np.int64)
+        return (addresses << 8) | host
+
+    # ------------------------------------------------------------------ #
+    # drawing packets
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_flows(self) -> int:
+        """Size of the flow population."""
+        return self._num_flows
+
+    def flow_population(self) -> List[Tuple[int, int]]:
+        """The flow population as ``(src, dst)`` pairs, most popular first."""
+        return [tuple(int(v) for v in row) for row in self._flows]
+
+    def key_array(self, count: int) -> np.ndarray:
+        """Draw ``count`` packets as an ``(count, 2)`` integer array."""
+        if count < 0:
+            raise ConfigurationError(f"count must be non-negative, got {count}")
+        indices = self._rng.choice(self._num_flows, size=count, p=self._weights)
+        return self._flows[indices]
+
+    def keys_2d(self, count: int) -> List[Tuple[int, int]]:
+        """Draw ``count`` (source, destination) keys."""
+        return [(int(s), int(d)) for s, d in self.key_array(count)]
+
+    def keys_1d(self, count: int) -> List[int]:
+        """Draw ``count`` source-address keys."""
+        return [int(s) for s in self.key_array(count)[:, 0]]
+
+    def packets(self, count: int) -> Iterator[Packet]:
+        """Draw ``count`` :class:`~repro.traffic.packet.Packet` objects."""
+        ports = self._rng.integers(1024, 65536, size=(count, 2))
+        protocols = self._rng.choice([6, 17, 1], size=count, p=[0.55, 0.40, 0.05])
+        for (src, dst), (sport, dport), proto in zip(self.key_array(count), ports, protocols):
+            yield Packet(
+                src=int(src),
+                dst=int(dst),
+                src_port=int(sport),
+                dst_port=int(dport),
+                protocol=int(proto),
+                size=self._packet_size,
+            )
+
+
+def named_workload(name: str, *, num_flows: Optional[int] = None) -> BackboneTraceGenerator:
+    """Instantiate one of the four named synthetic workloads.
+
+    Args:
+        name: one of ``chicago15``, ``chicago16``, ``sanjose13``, ``sanjose14``.
+        num_flows: optional override of the population size (useful to keep
+            unit tests fast).
+
+    Raises:
+        ConfigurationError: if the name is unknown.
+    """
+    try:
+        spec = WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(sorted(WORKLOADS))
+        raise ConfigurationError(f"unknown workload {name!r}; known: {known}") from None
+    return BackboneTraceGenerator(
+        num_flows=num_flows if num_flows is not None else spec.num_flows,
+        flow_skew=spec.flow_skew,
+        prefix_skew=spec.prefix_skew,
+        top_level_networks=spec.top_level_networks,
+        branching=spec.branching,
+        seed=spec.seed,
+    )

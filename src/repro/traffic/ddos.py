@@ -1,0 +1,108 @@
+"""DDoS attack scenario generator.
+
+The paper motivates hierarchical heavy hitters with distributed
+denial-of-service detection: every attacking host sends only a small share of
+the traffic (so no individual source is a heavy hitter) but the hosts cluster
+inside a few source subnets, so those *prefixes* are hierarchical heavy
+hitters.  This generator builds exactly that situation so the examples and
+integration tests can demonstrate detection.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.hierarchy.ip import ipv4_to_int
+from repro.traffic.caida_like import BackboneTraceGenerator
+from repro.traffic.packet import Packet
+
+
+class DDoSScenario:
+    """Background backbone traffic blended with a distributed attack.
+
+    Args:
+        attack_subnets: list of attacking source subnets given as
+            ``(dotted_prefix, prefix_length)`` pairs, e.g. ``("42.13.7.0", 24)``.
+            Each attacking packet picks a random host inside one of these.
+        victim: dotted-quad address of the attacked destination.
+        attack_fraction: fraction of all packets that belong to the attack.
+        hosts_per_subnet: number of distinct attacking hosts per subnet (keeps
+            every individual source below the heavy-hitter threshold).
+        background: generator used for the non-attack traffic (defaults to a
+            small backbone workload).
+        seed: RNG seed.
+    """
+
+    def __init__(
+        self,
+        attack_subnets: List[Tuple[str, int]],
+        victim: str,
+        *,
+        attack_fraction: float = 0.2,
+        hosts_per_subnet: int = 256,
+        background: Optional[BackboneTraceGenerator] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if not attack_subnets:
+            raise ConfigurationError("at least one attack subnet is required")
+        if not 0.0 < attack_fraction < 1.0:
+            raise ConfigurationError(f"attack_fraction must be in (0, 1), got {attack_fraction}")
+        if hosts_per_subnet < 1:
+            raise ConfigurationError(f"hosts_per_subnet must be >= 1, got {hosts_per_subnet}")
+        self._rng = np.random.default_rng(seed)
+        self._victim = ipv4_to_int(victim)
+        self._attack_fraction = attack_fraction
+        self._background = background or BackboneTraceGenerator(num_flows=20_000, seed=seed)
+        self._attack_sources: List[int] = []
+        for prefix, length in attack_subnets:
+            if not 0 < length <= 32:
+                raise ConfigurationError(f"prefix length must be in (0, 32], got {length}")
+            base = ipv4_to_int(prefix) & (((1 << length) - 1) << (32 - length))
+            host_bits = 32 - length
+            host_space = 1 << host_bits
+            hosts = self._rng.integers(0, host_space, size=min(hosts_per_subnet, host_space))
+            self._attack_sources.extend(int(base | h) for h in hosts)
+        self._attack_subnets = list(attack_subnets)
+
+    @property
+    def victim(self) -> int:
+        """The attacked destination address (as an integer)."""
+        return self._victim
+
+    @property
+    def attack_subnets(self) -> List[Tuple[str, int]]:
+        """The attacking subnets as given at construction."""
+        return list(self._attack_subnets)
+
+    @property
+    def attack_fraction(self) -> float:
+        """Fraction of packets belonging to the attack."""
+        return self._attack_fraction
+
+    def keys_2d(self, count: int) -> List[Tuple[int, int]]:
+        """Draw ``count`` (source, destination) keys of the blended stream."""
+        if count < 0:
+            raise ConfigurationError(f"count must be non-negative, got {count}")
+        is_attack = self._rng.random(count) < self._attack_fraction
+        attack_count = int(is_attack.sum())
+        background_keys = iter(self._background.keys_2d(count - attack_count))
+        attack_keys = iter(self._attack_keys(attack_count))
+        return [next(attack_keys) if flag else next(background_keys) for flag in is_attack]
+
+    def keys_1d(self, count: int) -> List[int]:
+        """Draw ``count`` source-address keys of the blended stream."""
+        return [src for src, _ in self.keys_2d(count)]
+
+    def _attack_keys(self, count: int) -> List[Tuple[int, int]]:
+        if count == 0:
+            return []
+        sources = self._rng.choice(self._attack_sources, size=count)
+        return [(int(s), self._victim) for s in sources]
+
+    def packets(self, count: int) -> Iterator[Packet]:
+        """Draw ``count`` :class:`~repro.traffic.packet.Packet` objects of the blended stream."""
+        for src, dst in self.keys_2d(count):
+            yield Packet(src=src, dst=dst, protocol=17, size=64)

@@ -1,0 +1,51 @@
+"""The packet model shared by the generators, the trace IO and the virtual switch."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.hierarchy.ip import int_to_ipv4
+
+
+@dataclass(frozen=True)
+class Packet:
+    """A single packet as seen by the measurement code.
+
+    Only the fields the HHH algorithms and the simulated switch need are kept:
+    source and destination address (as 32-bit integers), transport ports,
+    protocol and payload size.
+
+    Attributes:
+        src: source IPv4 address as an integer.
+        dst: destination IPv4 address as an integer.
+        src_port: source transport port.
+        dst_port: destination transport port.
+        protocol: IP protocol number (6 = TCP, 17 = UDP, 1 = ICMP).
+        size: packet size in bytes (used by the switch cost model).
+    """
+
+    src: int
+    dst: int
+    src_port: int = 0
+    dst_port: int = 0
+    protocol: int = 17
+    size: int = 64
+
+    def key_1d(self) -> int:
+        """The key used by one-dimensional (source) hierarchies."""
+        return self.src
+
+    def key_2d(self) -> Tuple[int, int]:
+        """The key used by two-dimensional (source, destination) hierarchies."""
+        return (self.src, self.dst)
+
+    def five_tuple(self) -> Tuple[int, int, int, int, int]:
+        """The flow five-tuple used by the switch's exact-match cache."""
+        return (self.src, self.dst, self.src_port, self.dst_port, self.protocol)
+
+    def __str__(self) -> str:
+        return (
+            f"{int_to_ipv4(self.src)}:{self.src_port} -> "
+            f"{int_to_ipv4(self.dst)}:{self.dst_port} proto={self.protocol} len={self.size}"
+        )

@@ -1,0 +1,80 @@
+"""Small stream-manipulation utilities used across examples, tests and benchmarks."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, Iterator, List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def take(iterable: Iterable[T], count: int) -> List[T]:
+    """Return the first ``count`` items of an iterable as a list."""
+    return list(itertools.islice(iterable, count))
+
+
+def chunked(iterable: Iterable[T], size: int) -> Iterator[List[T]]:
+    """Yield successive chunks of at most ``size`` items.
+
+    >>> list(chunked([1, 2, 3, 4, 5], 2))
+    [[1, 2], [3, 4], [5]]
+    """
+    if size < 1:
+        raise ValueError(f"chunk size must be >= 1, got {size}")
+    iterator = iter(iterable)
+    while True:
+        chunk = list(itertools.islice(iterator, size))
+        if not chunk:
+            return
+        yield chunk
+
+
+def interleave(*iterables: Iterable[T]) -> Iterator[T]:
+    """Round-robin interleave several iterables, stopping when all are exhausted."""
+    iterators = [iter(it) for it in iterables]
+    while iterators:
+        surviving = []
+        for iterator in iterators:
+            try:
+                yield next(iterator)
+            except StopIteration:
+                continue
+            surviving.append(iterator)
+        iterators = surviving
+
+
+@dataclass
+class StreamStats:
+    """Summary statistics of a key stream.
+
+    Attributes:
+        total: number of keys observed.
+        distinct: number of distinct keys.
+        max_frequency: frequency of the most frequent key.
+        top: the most frequent keys and their counts, most frequent first.
+    """
+
+    total: int = 0
+    distinct: int = 0
+    max_frequency: int = 0
+    top: List = field(default_factory=list)
+
+    @property
+    def max_share(self) -> float:
+        """Share of the stream taken by the single most frequent key."""
+        return self.max_frequency / self.total if self.total else 0.0
+
+
+def stream_stats(keys: Sequence[Hashable], top_k: int = 10) -> StreamStats:
+    """Compute :class:`StreamStats` for a sequence of keys."""
+    counts: Dict[Hashable, int] = {}
+    for key in keys:
+        counts[key] = counts.get(key, 0) + 1
+    ranked = sorted(counts.items(), key=lambda kv: -kv[1])
+    return StreamStats(
+        total=len(keys),
+        distinct=len(counts),
+        max_frequency=ranked[0][1] if ranked else 0,
+        top=ranked[:top_k],
+    )

@@ -1,0 +1,109 @@
+"""Zipf-distributed flow generation.
+
+Internet backbone traffic is famously heavy tailed: a small number of flows
+(and of flow aggregates) carry most of the packets.  The generators in this
+module draw packets from a fixed population of flows whose popularities follow
+a Zipf law with configurable skew, which is the standard model for this
+behaviour and what makes hierarchical heavy hitters exist in the first place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.traffic.packet import Packet
+
+
+def zipf_weights(population: int, skew: float) -> np.ndarray:
+    """Normalised Zipf(``skew``) probabilities for ranks ``1..population``.
+
+    Args:
+        population: number of distinct items.
+        skew: the Zipf exponent; larger values are more skewed.  ``skew = 0``
+            degenerates to the uniform distribution.
+    """
+    if population < 1:
+        raise ConfigurationError(f"population must be >= 1, got {population}")
+    if skew < 0:
+        raise ConfigurationError(f"skew must be non-negative, got {skew}")
+    ranks = np.arange(1, population + 1, dtype=np.float64)
+    weights = ranks ** (-skew)
+    return weights / weights.sum()
+
+
+class ZipfFlowGenerator:
+    """Draw packets from a Zipf-popular population of (source, destination) flows.
+
+    Args:
+        num_flows: number of distinct flows in the population.
+        skew: Zipf exponent of the flow popularity distribution.
+        seed: RNG seed.
+        flows: optionally, an explicit list of ``(src, dst)`` pairs to use as
+            the flow population (ranked from most to least popular); when
+            omitted, random addresses are drawn uniformly.
+        packet_size: payload size carried by every generated packet.
+    """
+
+    def __init__(
+        self,
+        num_flows: int = 10_000,
+        skew: float = 1.0,
+        *,
+        seed: Optional[int] = None,
+        flows: Optional[Sequence[Tuple[int, int]]] = None,
+        packet_size: int = 64,
+    ) -> None:
+        if num_flows < 1:
+            raise ConfigurationError(f"num_flows must be >= 1, got {num_flows}")
+        self._rng = np.random.default_rng(seed)
+        if flows is not None:
+            if not flows:
+                raise ConfigurationError("explicit flow population must not be empty")
+            self._flows = np.asarray(flows, dtype=np.int64)
+            num_flows = len(flows)
+        else:
+            self._flows = self._rng.integers(0, 1 << 32, size=(num_flows, 2), dtype=np.int64)
+        self._num_flows = num_flows
+        self._weights = zipf_weights(num_flows, skew)
+        self._packet_size = packet_size
+        self.skew = skew
+
+    @property
+    def num_flows(self) -> int:
+        """Number of distinct flows in the population."""
+        return self._num_flows
+
+    def flow_population(self) -> List[Tuple[int, int]]:
+        """The flow population as ``(src, dst)`` pairs, most popular first."""
+        return [tuple(int(v) for v in row) for row in self._flows]
+
+    def key_array(self, count: int) -> np.ndarray:
+        """Draw ``count`` packets and return an ``(count, 2)`` array of (src, dst) pairs."""
+        if count < 0:
+            raise ConfigurationError(f"count must be non-negative, got {count}")
+        indices = self._rng.choice(self._num_flows, size=count, p=self._weights)
+        return self._flows[indices]
+
+    def keys_2d(self, count: int) -> List[Tuple[int, int]]:
+        """Draw ``count`` (source, destination) keys."""
+        return [(int(s), int(d)) for s, d in self.key_array(count)]
+
+    def keys_1d(self, count: int) -> List[int]:
+        """Draw ``count`` source-address keys."""
+        return [int(s) for s in self.key_array(count)[:, 0]]
+
+    def packets(self, count: int) -> Iterator[Packet]:
+        """Draw ``count`` packets as :class:`~repro.traffic.packet.Packet` objects."""
+        ports = self._rng.integers(1024, 65536, size=(count, 2))
+        for (src, dst), (sport, dport) in zip(self.key_array(count), ports):
+            yield Packet(
+                src=int(src),
+                dst=int(dst),
+                src_port=int(sport),
+                dst_port=int(dport),
+                protocol=17,
+                size=self._packet_size,
+            )

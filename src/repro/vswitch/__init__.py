@@ -1,0 +1,57 @@
+"""A simulated DPDK-style Open vSwitch datapath with HHH measurement hooks.
+
+The paper's Section 5 integrates RHHH into the DPDK build of Open vSwitch and
+measures forwarding throughput on a 10 GbE testbed (14.88 Mpps line rate for
+64-byte frames).  That hardware is obviously not available to a pure-Python
+reproduction, so this sub-package provides the closest executable equivalent:
+
+* a functional model of the OVS fast path - ports, an exact-match cache
+  backed by a tuple-space classifier, an action pipeline
+  (:mod:`repro.vswitch.datapath`);
+* a cycle-accounting cost model (:mod:`repro.vswitch.cost_model`) that charges
+  each packet for the work it causes (base forwarding, flow lookups, RNG
+  draws, counter updates, packet forwarding to a measurement VM) and converts
+  the resulting cycles/packet into Mpps under a configurable CPU frequency and
+  line-rate cap - the same mechanism that produces Figures 6, 7 and 8;
+* the two integration modes evaluated in the paper: measurement inside the
+  dataplane (:class:`~repro.vswitch.ovs.OVSSwitch` with an attached
+  :class:`~repro.vswitch.ovs.DataplaneMeasurement`) and the distributed mode
+  where the switch only samples-and-forwards packets to a measurement VM
+  (:mod:`repro.vswitch.distributed`);
+* a MoonGen-like traffic generator (:mod:`repro.vswitch.moongen`).
+
+The simulation is explicitly a *model*: absolute Mpps values depend on the
+calibration constants in :class:`~repro.vswitch.cost_model.CostModel`
+(defaulted to reproduce the paper's reported operating points), while the
+relative ordering of the algorithms follows directly from the number of
+operations each performs per packet, which is computed from the real
+algorithm objects.
+"""
+
+from repro.vswitch.cost_model import CostModel, ThroughputResult
+from repro.vswitch.ports import Port, PortStats
+from repro.vswitch.actions import Action, OutputAction, DropAction
+from repro.vswitch.flow_table import FlowEntry, FlowTable
+from repro.vswitch.datapath import Datapath
+from repro.vswitch.ovs import OVSSwitch, DataplaneMeasurement
+from repro.vswitch.distributed import DistributedMeasurement, MeasurementVM
+from repro.vswitch.moongen import TrafficGenerator, LINE_RATE_64B_MPPS
+
+__all__ = [
+    "CostModel",
+    "ThroughputResult",
+    "Port",
+    "PortStats",
+    "Action",
+    "OutputAction",
+    "DropAction",
+    "FlowEntry",
+    "FlowTable",
+    "Datapath",
+    "OVSSwitch",
+    "DataplaneMeasurement",
+    "DistributedMeasurement",
+    "MeasurementVM",
+    "TrafficGenerator",
+    "LINE_RATE_64B_MPPS",
+]

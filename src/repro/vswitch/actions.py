@@ -1,0 +1,32 @@
+"""Datapath actions applied to packets after classification."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+
+class Action(abc.ABC):
+    """An action the datapath applies to a matched packet."""
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """Human-readable rendering, e.g. ``output:2``."""
+
+
+@dataclass(frozen=True)
+class OutputAction(Action):
+    """Forward the packet out of a port."""
+
+    port: int
+
+    def describe(self) -> str:
+        return f"output:{self.port}"
+
+
+@dataclass(frozen=True)
+class DropAction(Action):
+    """Silently drop the packet."""
+
+    def describe(self) -> str:
+        return "drop"

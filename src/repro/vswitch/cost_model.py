@@ -1,0 +1,172 @@
+"""Cycle-accounting cost model of the simulated switch.
+
+Every per-packet activity (base forwarding, exact-match-cache hit, classifier
+lookup, RNG draw, masking, counter update, forwarding to a VM, trie
+operations) is charged a constant number of CPU cycles.  Dividing the CPU
+frequency by the average cycles per packet yields the achievable forwarding
+rate, which is then capped at the offered load and at the line rate - exactly
+the mechanism that shaped the paper's Figures 6-8 (the unmodified switch is
+line-rate limited; measurement work pushes the switch below line rate once the
+per-packet budget is exhausted).
+
+The default constants are calibrated so that the simulated operating points
+land close to the paper's headline numbers on the paper's hardware
+(3.1 GHz Xeon E3-1220v2, 10 GbE): unmodified OVS ~14.88 Mpps (line-rate
+limited), 10-RHHH ~13.8 Mpps, RHHH ~10.6 Mpps, Partial Ancestry ~5.6 Mpps.
+They are plain dataclass fields, so sensitivity studies can sweep them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Outcome of a throughput experiment.
+
+    Attributes:
+        offered_mpps: offered load in millions of packets per second.
+        achieved_mpps: forwarding rate actually sustained.
+        cycles_per_packet: average per-packet cost charged by the model.
+        line_rate_mpps: the line-rate cap that applied.
+    """
+
+    offered_mpps: float
+    achieved_mpps: float
+    cycles_per_packet: float
+    line_rate_mpps: float
+
+    @property
+    def loss_fraction(self) -> float:
+        """Fraction of the offered load that could not be forwarded."""
+        if self.offered_mpps <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.achieved_mpps / self.offered_mpps)
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-operation cycle costs and platform parameters.
+
+    Attributes:
+        cpu_ghz: CPU frequency in GHz (the paper's DUT runs at 3.1 GHz).
+        base_forwarding_cycles: unavoidable per-packet cost of the DPDK fast
+            path (RX, parse, EMC hit, action, TX).
+        classifier_lookup_cycles: additional cost of a tuple-space classifier
+            lookup on an exact-match-cache miss.
+        rng_cycles: drawing one pseudo-random level index.
+        mask_cycles: masking a key to one lattice node.
+        counter_update_cycles: one Space Saving (or comparable) counter update.
+        trie_hit_cycles: the cheap path of the Ancestry algorithms (hash hit).
+        trie_miss_cycles_per_level: per-hierarchy-level cost of an Ancestry
+            miss (ancestor walk / node creation).
+        forward_to_vm_cycles: cloning and enqueueing one sampled packet towards
+            the measurement VM (distributed deployment).
+    """
+
+    cpu_ghz: float = 3.1
+    base_forwarding_cycles: float = 205.0
+    classifier_lookup_cycles: float = 110.0
+    rng_cycles: float = 12.0
+    mask_cycles: float = 4.0
+    counter_update_cycles: float = 75.0
+    trie_hit_cycles: float = 95.0
+    trie_miss_cycles_per_level: float = 50.0
+    forward_to_vm_cycles: float = 290.0
+
+    def __post_init__(self) -> None:
+        if self.cpu_ghz <= 0:
+            raise ConfigurationError(f"cpu_ghz must be positive, got {self.cpu_ghz}")
+        for field_name in (
+            "base_forwarding_cycles",
+            "classifier_lookup_cycles",
+            "rng_cycles",
+            "mask_cycles",
+            "counter_update_cycles",
+            "trie_hit_cycles",
+            "trie_miss_cycles_per_level",
+            "forward_to_vm_cycles",
+        ):
+            if getattr(self, field_name) < 0:
+                raise ConfigurationError(f"{field_name} must be non-negative")
+
+    # ------------------------------------------------------------------ #
+    # conversions
+    # ------------------------------------------------------------------ #
+
+    @property
+    def cycles_per_second(self) -> float:
+        """CPU cycles available per second."""
+        return self.cpu_ghz * 1e9
+
+    def mpps_for_cycles(self, cycles_per_packet: float) -> float:
+        """Forwarding rate (Mpps) sustainable at a given per-packet cost."""
+        if cycles_per_packet <= 0:
+            return float("inf")
+        return self.cycles_per_second / cycles_per_packet / 1e6
+
+    def throughput(
+        self, cycles_per_packet: float, *, offered_mpps: float, line_rate_mpps: float
+    ) -> ThroughputResult:
+        """Combine the CPU limit, the offered load and the line-rate cap."""
+        if offered_mpps < 0 or line_rate_mpps <= 0:
+            raise ConfigurationError("offered_mpps must be >= 0 and line_rate_mpps > 0")
+        cpu_limit = self.mpps_for_cycles(cycles_per_packet)
+        achieved = min(offered_mpps, line_rate_mpps, cpu_limit)
+        return ThroughputResult(
+            offered_mpps=offered_mpps,
+            achieved_mpps=achieved,
+            cycles_per_packet=cycles_per_packet,
+            line_rate_mpps=line_rate_mpps,
+        )
+
+    # ------------------------------------------------------------------ #
+    # per-algorithm expected measurement cost
+    # ------------------------------------------------------------------ #
+
+    def measurement_cycles(self, algorithm) -> float:
+        """Expected extra cycles per packet caused by running ``algorithm`` in the dataplane.
+
+        The expectation is derived from the algorithm's own parameters (H, V,
+        sampling probability), so the relative ordering of the algorithms is a
+        property of the algorithms, not of hand-picked constants.
+        """
+        # Imported here to avoid a hard dependency cycle at module import time.
+        from repro.core.rhhh import RHHH
+        from repro.hhh.ancestry import FullAncestry, PartialAncestry
+        from repro.hhh.mst import MST
+        from repro.hhh.sampled_mst import SampledMST
+
+        h = algorithm.hierarchy.size
+        per_update = self.mask_cycles + self.counter_update_cycles
+        if isinstance(algorithm, RHHH):
+            probability = h / algorithm.v
+            return algorithm.updates_per_packet * (self.rng_cycles + probability * per_update)
+        if isinstance(algorithm, SampledMST):
+            return self.rng_cycles + algorithm.sampling_probability * h * per_update
+        if isinstance(algorithm, MST):
+            return h * per_update
+        if isinstance(algorithm, FullAncestry):
+            # Hash hit on the fully specified leaf plus amortized ancestor
+            # creation / compression work proportional to the hierarchy depth.
+            return self.trie_hit_cycles + 0.5 * h * self.trie_miss_cycles_per_level
+        if isinstance(algorithm, PartialAncestry):
+            return self.trie_hit_cycles + 0.2 * h * self.trie_miss_cycles_per_level
+        raise ConfigurationError(
+            f"no cost model for algorithm type {type(algorithm).__name__}; "
+            "pass explicit cycles instead"
+        )
+
+    def sampling_forward_cycles(self, h: int, v: int) -> float:
+        """Expected switch-side cycles per packet in the distributed deployment.
+
+        The switch draws one random number per packet and forwards the packet
+        to the measurement VM only when the draw selects a real level
+        (probability ``H / V``).
+        """
+        if h < 1 or v < h:
+            raise ConfigurationError(f"need 1 <= H <= V, got H={h}, V={v}")
+        return self.rng_cycles + (h / v) * self.forward_to_vm_cycles

@@ -1,0 +1,128 @@
+"""The user-space datapath (dpif-netdev) model.
+
+Processes packets through the two-level flow lookup, applies the resulting
+action, runs any attached per-packet measurement hook and charges everything
+to the cost model.  The accumulated cycle count is what the throughput
+experiments of Figures 6-8 convert into Mpps.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional
+
+from repro.exceptions import SwitchError
+from repro.traffic.packet import Packet
+from repro.vswitch.actions import Action, DropAction, OutputAction
+from repro.vswitch.cost_model import CostModel
+from repro.vswitch.flow_table import FlowTable
+from repro.vswitch.ports import Port
+
+#: A per-packet measurement hook: receives the packet, returns the extra
+#: cycles it consumed (so hooks can report data-dependent costs).
+MeasurementHook = Callable[[Packet], float]
+
+
+class Datapath:
+    """The packet-processing fast path of the simulated switch.
+
+    Args:
+        flow_table: the flow lookup structure.
+        cost_model: the per-operation cycle costs.
+    """
+
+    def __init__(self, flow_table: FlowTable, cost_model: Optional[CostModel] = None) -> None:
+        self._flow_table = flow_table
+        self._cost = cost_model or CostModel()
+        self._ports: Dict[int, Port] = {}
+        self._hook: Optional[MeasurementHook] = None
+        self._processed = 0
+        self._dropped = 0
+        self._cycles = 0.0
+
+    # ------------------------------------------------------------------ #
+    # configuration
+    # ------------------------------------------------------------------ #
+
+    def add_port(self, port: Port) -> None:
+        """Attach a port to the datapath."""
+        if port.number in self._ports:
+            raise SwitchError(f"port {port.number} already attached")
+        self._ports[port.number] = port
+
+    def port(self, number: int) -> Port:
+        """Return an attached port by number."""
+        try:
+            return self._ports[number]
+        except KeyError:
+            raise SwitchError(f"no port {number} attached to the datapath") from None
+
+    def set_measurement_hook(self, hook: Optional[MeasurementHook]) -> None:
+        """Attach (or remove) the per-packet measurement hook."""
+        self._hook = hook
+
+    @property
+    def flow_table(self) -> FlowTable:
+        """The flow lookup structure."""
+        return self._flow_table
+
+    @property
+    def cost_model(self) -> CostModel:
+        """The cycle cost model."""
+        return self._cost
+
+    # ------------------------------------------------------------------ #
+    # packet processing
+    # ------------------------------------------------------------------ #
+
+    def process(self, packet: Packet, ingress_port: int) -> Optional[Action]:
+        """Run one packet through the fast path and return the applied action."""
+        port = self.port(ingress_port)
+        port.record_rx(packet.size)
+        cycles = self._cost.base_forwarding_cycles
+        action, emc_hit = self._flow_table.lookup(packet)
+        if not emc_hit:
+            cycles += self._cost.classifier_lookup_cycles
+        if self._hook is not None:
+            cycles += self._hook(packet)
+        self._processed += 1
+        self._cycles += cycles
+        if action is None or isinstance(action, DropAction):
+            port.record_drop()
+            self._dropped += 1
+            return action
+        if isinstance(action, OutputAction):
+            self.port(action.port).record_tx(packet.size)
+        return action
+
+    def process_many(self, packets: Iterable[Packet], ingress_port: int) -> int:
+        """Process a batch of packets; returns how many were forwarded (not dropped)."""
+        forwarded = 0
+        for packet in packets:
+            action = self.process(packet, ingress_port)
+            if isinstance(action, OutputAction):
+                forwarded += 1
+        return forwarded
+
+    # ------------------------------------------------------------------ #
+    # accounting
+    # ------------------------------------------------------------------ #
+
+    @property
+    def processed(self) -> int:
+        """Packets processed so far."""
+        return self._processed
+
+    @property
+    def dropped(self) -> int:
+        """Packets dropped so far."""
+        return self._dropped
+
+    @property
+    def total_cycles(self) -> float:
+        """Cycles charged so far."""
+        return self._cycles
+
+    @property
+    def cycles_per_packet(self) -> float:
+        """Average per-packet cost observed so far."""
+        return self._cycles / self._processed if self._processed else 0.0

@@ -1,0 +1,150 @@
+"""OVS-style flow lookup: exact-match cache backed by a tuple-space classifier.
+
+The DPDK datapath of Open vSwitch resolves most packets from the exact-match
+cache (EMC, a hash of recently seen five-tuples); misses fall back to the
+megaflow classifier, which performs a tuple-space search over the set of
+distinct wildcard masks.  Both structures are modelled functionally here so
+the datapath can count EMC hits/misses (the cost model charges a classifier
+lookup on every miss) and so integration tests can install realistic wildcard
+rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import SwitchError
+from repro.traffic.packet import Packet
+from repro.vswitch.actions import Action
+
+
+@dataclass(frozen=True)
+class FlowEntry:
+    """One classifier rule.
+
+    Attributes:
+        src_mask, dst_mask: bitmasks applied to the packet's addresses.
+        src_match, dst_match: expected values after masking.
+        action: action applied on match.
+        priority: higher priority wins among matching rules.
+    """
+
+    src_mask: int
+    dst_mask: int
+    src_match: int
+    dst_match: int
+    action: Action
+    priority: int = 0
+
+    def matches(self, packet: Packet) -> bool:
+        """True when the packet's addresses match this rule under its masks."""
+        return (packet.src & self.src_mask) == self.src_match and (
+            packet.dst & self.dst_mask
+        ) == self.dst_match
+
+
+@dataclass
+class LookupStats:
+    """Hit/miss statistics of the two-level lookup."""
+
+    emc_hits: int = 0
+    emc_misses: int = 0
+    classifier_hits: int = 0
+    classifier_misses: int = 0
+
+    @property
+    def emc_hit_rate(self) -> float:
+        """Fraction of lookups resolved by the exact-match cache."""
+        total = self.emc_hits + self.emc_misses
+        return self.emc_hits / total if total else 0.0
+
+
+class FlowTable:
+    """Exact-match cache + tuple-space classifier.
+
+    Args:
+        emc_capacity: number of five-tuple entries the exact-match cache holds
+            (8192 in stock OVS-DPDK); the cache evicts in FIFO order when full.
+        default_action: action applied when no classifier rule matches
+            (``None`` means the packet is dropped and counted as a miss).
+    """
+
+    def __init__(self, emc_capacity: int = 8192, default_action: Optional[Action] = None) -> None:
+        if emc_capacity < 1:
+            raise SwitchError(f"emc_capacity must be >= 1, got {emc_capacity}")
+        self._emc_capacity = emc_capacity
+        self._emc: Dict[Tuple[int, int, int, int, int], Action] = {}
+        self._emc_order: List[Tuple[int, int, int, int, int]] = []
+        # Rules grouped by (src_mask, dst_mask): one "tuple" per distinct mask
+        # pair, searched in sequence - the tuple-space search of the megaflow
+        # classifier.
+        self._tuples: Dict[Tuple[int, int], Dict[Tuple[int, int], FlowEntry]] = {}
+        self._default_action = default_action
+        self.stats = LookupStats()
+
+    # ------------------------------------------------------------------ #
+    # rule management
+    # ------------------------------------------------------------------ #
+
+    def add_flow(self, entry: FlowEntry) -> None:
+        """Install a classifier rule."""
+        mask_pair = (entry.src_mask, entry.dst_mask)
+        bucket = self._tuples.setdefault(mask_pair, {})
+        key = (entry.src_match, entry.dst_match)
+        existing = bucket.get(key)
+        if existing is None or existing.priority <= entry.priority:
+            bucket[key] = entry
+
+    def flow_count(self) -> int:
+        """Number of installed classifier rules."""
+        return sum(len(bucket) for bucket in self._tuples.values())
+
+    def mask_count(self) -> int:
+        """Number of distinct wildcard mask pairs (the tuple-space width)."""
+        return len(self._tuples)
+
+    # ------------------------------------------------------------------ #
+    # lookup
+    # ------------------------------------------------------------------ #
+
+    def lookup(self, packet: Packet) -> Tuple[Optional[Action], bool]:
+        """Resolve a packet to an action.
+
+        Returns:
+            ``(action, emc_hit)`` where ``action`` is ``None`` when the packet
+            matched nothing (and no default action is configured) and
+            ``emc_hit`` tells the datapath whether the expensive classifier
+            path was taken.
+        """
+        five_tuple = packet.five_tuple()
+        action = self._emc.get(five_tuple)
+        if action is not None:
+            self.stats.emc_hits += 1
+            return action, True
+        self.stats.emc_misses += 1
+        best: Optional[FlowEntry] = None
+        for (src_mask, dst_mask), bucket in self._tuples.items():
+            key = (packet.src & src_mask, packet.dst & dst_mask)
+            entry = bucket.get(key)
+            if entry is not None and (best is None or entry.priority > best.priority):
+                best = entry
+        if best is not None:
+            self.stats.classifier_hits += 1
+            self._emc_insert(five_tuple, best.action)
+            return best.action, False
+        self.stats.classifier_misses += 1
+        if self._default_action is not None:
+            self._emc_insert(five_tuple, self._default_action)
+            return self._default_action, False
+        return None, False
+
+    def _emc_insert(self, five_tuple: Tuple[int, int, int, int, int], action: Action) -> None:
+        if five_tuple in self._emc:
+            self._emc[five_tuple] = action
+            return
+        if len(self._emc) >= self._emc_capacity:
+            victim = self._emc_order.pop(0)
+            self._emc.pop(victim, None)
+        self._emc[five_tuple] = action
+        self._emc_order.append(five_tuple)

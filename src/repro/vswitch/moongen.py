@@ -1,0 +1,87 @@
+"""MoonGen-like traffic generation for the switch experiments.
+
+The paper's testbed generates 1 billion 64-byte UDP packets with MoonGen,
+preserving the addresses of the original trace, which saturates a 10 GbE link
+at 14.88 Mpps.  :class:`TrafficGenerator` reproduces the functional part
+(packets with trace-driven addresses and a fixed frame size) and exposes the
+offered rate so throughput experiments can reason about line-rate limits.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.exceptions import SwitchError
+from repro.traffic.caida_like import BackboneTraceGenerator
+from repro.traffic.packet import Packet
+
+#: Line rate of 10 Gb Ethernet with 64-byte frames (the paper's cap), in Mpps.
+LINE_RATE_64B_MPPS = 14.88
+
+
+def line_rate_mpps(link_gbps: float, frame_bytes: int = 64) -> float:
+    """Maximum packet rate of an Ethernet link, in millions of packets per second.
+
+    Accounts for the 20 bytes of preamble + inter-frame gap and the 4-byte FCS
+    that accompany every frame on the wire.
+
+    >>> round(line_rate_mpps(10, 64), 2)
+    14.88
+    """
+    if link_gbps <= 0 or frame_bytes < 64:
+        raise SwitchError("link_gbps must be positive and frame_bytes >= 64")
+    bits_per_frame = (frame_bytes + 20) * 8
+    return link_gbps * 1e9 / bits_per_frame / 1e6
+
+
+class TrafficGenerator:
+    """Generate fixed-size packets whose addresses follow a backbone workload.
+
+    Args:
+        workload: the address source (any object with a ``packets(count)``
+            iterator); defaults to a small synthetic backbone trace.
+        frame_bytes: frame size of every generated packet (64 in the paper).
+        offered_mpps: the offered load the generator represents.
+    """
+
+    def __init__(
+        self,
+        workload: Optional[BackboneTraceGenerator] = None,
+        *,
+        frame_bytes: int = 64,
+        offered_mpps: float = LINE_RATE_64B_MPPS,
+        seed: Optional[int] = None,
+    ) -> None:
+        if frame_bytes < 64:
+            raise SwitchError(f"frame_bytes must be >= 64, got {frame_bytes}")
+        if offered_mpps <= 0:
+            raise SwitchError(f"offered_mpps must be positive, got {offered_mpps}")
+        self._workload = workload or BackboneTraceGenerator(num_flows=20_000, seed=seed)
+        self._frame_bytes = frame_bytes
+        self._offered_mpps = offered_mpps
+
+    @property
+    def offered_mpps(self) -> float:
+        """The offered load in millions of packets per second."""
+        return self._offered_mpps
+
+    @property
+    def frame_bytes(self) -> int:
+        """The generated frame size."""
+        return self._frame_bytes
+
+    def packets(self, count: int) -> Iterator[Packet]:
+        """Generate ``count`` packets with workload-driven addresses and a fixed size."""
+        for packet in self._workload.packets(count):
+            yield Packet(
+                src=packet.src,
+                dst=packet.dst,
+                src_port=packet.src_port,
+                dst_port=packet.dst_port,
+                protocol=17,
+                size=self._frame_bytes,
+            )
+
+    def duration_seconds(self, count: int) -> float:
+        """Wall-clock time the generator would need to emit ``count`` packets at the offered rate."""
+        return count / (self._offered_mpps * 1e6)

@@ -1,0 +1,141 @@
+"""The simulated Open vSwitch and the dataplane HHH integration.
+
+:class:`OVSSwitch` wires ports, flow table and datapath together in the
+two-port forwarding configuration of the paper's testbed (traffic enters one
+physical port and leaves through the other).  :class:`DataplaneMeasurement`
+attaches an HHH algorithm as the datapath's per-packet hook: every forwarded
+packet also updates the measurement structure, and its cost (derived from the
+algorithm's own parameters by the cost model) is charged to the packet -
+the deployment mode of Figures 6 and 7.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Optional
+
+from repro.core.base import HHHAlgorithm, HHHOutput
+from repro.exceptions import SwitchError
+from repro.traffic.packet import Packet
+from repro.vswitch.actions import OutputAction
+from repro.vswitch.cost_model import CostModel, ThroughputResult
+from repro.vswitch.datapath import Datapath
+from repro.vswitch.flow_table import FlowTable
+from repro.vswitch.moongen import LINE_RATE_64B_MPPS
+from repro.vswitch.ports import Port
+
+
+class DataplaneMeasurement:
+    """Per-packet HHH measurement running inside the switch's fast path.
+
+    Args:
+        algorithm: the HHH algorithm fed by the hook.
+        cost_model: cycle costs used to charge the measurement work.
+        dimensions: 1 to feed source addresses, 2 to feed (source,
+            destination) pairs; defaults to the hierarchy's dimensionality.
+    """
+
+    def __init__(
+        self,
+        algorithm: HHHAlgorithm,
+        cost_model: Optional[CostModel] = None,
+        *,
+        dimensions: Optional[int] = None,
+    ) -> None:
+        self._algorithm = algorithm
+        self._cost = cost_model or CostModel()
+        self._dimensions = dimensions if dimensions is not None else algorithm.hierarchy.dimensions
+        if self._dimensions not in (1, 2):
+            raise SwitchError(f"dimensions must be 1 or 2, got {self._dimensions}")
+        self._cycles_per_packet = self._cost.measurement_cycles(algorithm)
+
+    @property
+    def algorithm(self) -> HHHAlgorithm:
+        """The attached HHH algorithm."""
+        return self._algorithm
+
+    @property
+    def cycles_per_packet(self) -> float:
+        """Expected extra cycles the measurement adds to every packet."""
+        return self._cycles_per_packet
+
+    def __call__(self, packet: Packet) -> float:
+        """The datapath hook: update the algorithm and return the charged cycles."""
+        key: Hashable = packet.key_1d() if self._dimensions == 1 else packet.key_2d()
+        self._algorithm.update(key)
+        return self._cycles_per_packet
+
+    def output(self, theta: float) -> HHHOutput:
+        """Query the attached algorithm."""
+        return self._algorithm.output(theta)
+
+
+class OVSSwitch:
+    """A two-port DPDK-style switch forwarding all traffic from port 0 to port 1.
+
+    Args:
+        cost_model: per-operation cycle costs.
+        emc_capacity: exact-match cache size.
+    """
+
+    def __init__(self, cost_model: Optional[CostModel] = None, *, emc_capacity: int = 8192) -> None:
+        self._cost = cost_model or CostModel()
+        flow_table = FlowTable(emc_capacity=emc_capacity, default_action=OutputAction(port=1))
+        self._datapath = Datapath(flow_table, self._cost)
+        self._datapath.add_port(Port(0, "dpdk0", peer="traffic generator"))
+        self._datapath.add_port(Port(1, "dpdk1", peer="sink"))
+        self._measurement: Optional[DataplaneMeasurement] = None
+
+    @property
+    def datapath(self) -> Datapath:
+        """The underlying datapath."""
+        return self._datapath
+
+    @property
+    def cost_model(self) -> CostModel:
+        """The cycle cost model."""
+        return self._cost
+
+    @property
+    def measurement(self) -> Optional[DataplaneMeasurement]:
+        """The attached dataplane measurement, if any."""
+        return self._measurement
+
+    def attach_measurement(self, measurement: Optional[DataplaneMeasurement]) -> None:
+        """Attach (or detach, with ``None``) a dataplane HHH measurement."""
+        self._measurement = measurement
+        self._datapath.set_measurement_hook(measurement)
+
+    # ------------------------------------------------------------------ #
+    # experiments
+    # ------------------------------------------------------------------ #
+
+    def forward(self, packets: Iterable[Packet]) -> int:
+        """Functionally forward a batch of packets (updates the measurement if attached)."""
+        return self._datapath.process_many(packets, ingress_port=0)
+
+    def expected_cycles_per_packet(self, *, emc_hit_rate: float = 1.0) -> float:
+        """Expected per-packet cost of the current configuration.
+
+        Args:
+            emc_hit_rate: fraction of packets resolved by the exact-match
+                cache; the rest pay a classifier lookup.  Backbone traffic with
+                a bounded flow population keeps this close to 1.
+        """
+        if not 0.0 <= emc_hit_rate <= 1.0:
+            raise SwitchError(f"emc_hit_rate must be in [0, 1], got {emc_hit_rate}")
+        cycles = self._cost.base_forwarding_cycles
+        cycles += (1.0 - emc_hit_rate) * self._cost.classifier_lookup_cycles
+        if self._measurement is not None:
+            cycles += self._measurement.cycles_per_packet
+        return cycles
+
+    def throughput(
+        self,
+        *,
+        offered_mpps: float = LINE_RATE_64B_MPPS,
+        line_rate_mpps: float = LINE_RATE_64B_MPPS,
+        emc_hit_rate: float = 1.0,
+    ) -> ThroughputResult:
+        """Model the sustainable forwarding rate of the current configuration (Figures 6 and 7)."""
+        cycles = self.expected_cycles_per_packet(emc_hit_rate=emc_hit_rate)
+        return self._cost.throughput(cycles, offered_mpps=offered_mpps, line_rate_mpps=line_rate_mpps)

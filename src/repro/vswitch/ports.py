@@ -1,0 +1,52 @@
+"""Switch ports and their statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import SwitchError
+
+
+@dataclass
+class PortStats:
+    """Packet and byte counters of one port."""
+
+    rx_packets: int = 0
+    tx_packets: int = 0
+    rx_bytes: int = 0
+    tx_bytes: int = 0
+    dropped: int = 0
+
+
+@dataclass
+class Port:
+    """A switch port (physical DPDK port or virtual port towards a VNF).
+
+    Attributes:
+        number: the datapath port number.
+        name: human-readable name (e.g. ``dpdk0`` or ``vhost-user-1``).
+        peer: optional description of what the port connects to.
+    """
+
+    number: int
+    name: str
+    peer: str = ""
+    stats: PortStats = field(default_factory=PortStats)
+
+    def __post_init__(self) -> None:
+        if self.number < 0:
+            raise SwitchError(f"port number must be non-negative, got {self.number}")
+
+    def record_rx(self, size: int) -> None:
+        """Account one received packet of ``size`` bytes."""
+        self.stats.rx_packets += 1
+        self.stats.rx_bytes += size
+
+    def record_tx(self, size: int) -> None:
+        """Account one transmitted packet of ``size`` bytes."""
+        self.stats.tx_packets += 1
+        self.stats.tx_bytes += size
+
+    def record_drop(self) -> None:
+        """Account one dropped packet."""
+        self.stats.dropped += 1

@@ -1,0 +1,109 @@
+"""Unit tests for the Section 6 bounds."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.bounds import (
+    coverage_correction,
+    oversample_adjusted_counters,
+    psi,
+    required_v_for_interval,
+    sample_error,
+    space_complexity_counters,
+    z_value,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestZValue:
+    def test_known_quantiles(self):
+        assert z_value(0.975) == pytest.approx(1.959964, abs=1e-4)
+        assert z_value(0.95) == pytest.approx(1.644854, abs=1e-4)
+        assert z_value(0.5) == pytest.approx(0.0, abs=1e-9)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.1, 1.1])
+    def test_rejects_out_of_range(self, bad):
+        with pytest.raises(ConfigurationError):
+            z_value(bad)
+
+
+class TestPsi:
+    def test_formula(self):
+        """psi = Z_{1-delta_s/2} * V / epsilon_s^2 (Theorem 6.3)."""
+        value = psi(delta_s=0.05, epsilon_s=0.01, v=25)
+        assert value == pytest.approx(z_value(0.975) * 25 / 0.0001)
+
+    def test_linear_in_v(self):
+        assert psi(0.05, 0.01, 250) == pytest.approx(10 * psi(0.05, 0.01, 25))
+
+    def test_quadratic_in_epsilon(self):
+        assert psi(0.05, 0.005, 25) == pytest.approx(4 * psi(0.05, 0.01, 25))
+
+    def test_paper_scale_magnitude(self):
+        """With the paper's parameters psi is on the order of 10^8 packets (Section 4.1)."""
+        value = psi(delta_s=0.00025, epsilon_s=0.0005, v=25)
+        assert 1e8 < value < 1e9
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            psi(0.0, 0.01, 25)
+        with pytest.raises(ConfigurationError):
+            psi(0.05, 0.01, 0)
+
+
+class TestSampleError:
+    def test_crosses_configured_epsilon_at_psi(self):
+        """Corollary 6.4: epsilon_s(N) equals epsilon_s exactly at N = psi."""
+        delta_s, epsilon_s, v = 0.05, 0.01, 25
+        bound = psi(delta_s, epsilon_s, v)
+        assert sample_error(int(bound), v, delta_s) == pytest.approx(epsilon_s, rel=1e-3)
+        assert sample_error(int(bound / 4), v, delta_s) > epsilon_s
+        assert sample_error(int(bound * 4), v, delta_s) < epsilon_s
+
+    def test_shrinks_with_sqrt_n(self):
+        assert sample_error(40_000, 25, 0.05) == pytest.approx(sample_error(10_000, 25, 0.05) / 2)
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ConfigurationError):
+            sample_error(0, 25, 0.05)
+
+
+class TestCoverageCorrection:
+    def test_formula(self):
+        value = coverage_correction(1_000_000, 25, 0.001)
+        assert value == pytest.approx(2 * z_value(0.999) * math.sqrt(1_000_000 * 25))
+
+    def test_zero_for_empty_stream(self):
+        assert coverage_correction(0, 25, 0.001) == 0.0
+
+    def test_grows_with_sqrt_nv(self):
+        assert coverage_correction(4_000, 25, 0.01) == pytest.approx(2 * coverage_correction(1_000, 25, 0.01))
+        assert coverage_correction(1_000, 100, 0.01) == pytest.approx(2 * coverage_correction(1_000, 25, 0.01))
+
+
+class TestOverSample:
+    def test_paper_example(self):
+        """Space Saving needs 1000 counters for epsilon_a = 0.001; with epsilon_s = 0.001 it needs 1001."""
+        assert oversample_adjusted_counters(0.001, 0.001) == 1001
+
+    def test_zero_sample_error_means_no_adjustment(self):
+        assert oversample_adjusted_counters(0.01, 0.0) == 100
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            oversample_adjusted_counters(0.0, 0.001)
+
+
+class TestInversionsAndSpace:
+    def test_required_v_inverts_psi(self):
+        delta_s, epsilon_s = 0.05, 0.01
+        v = required_v_for_interval(1_000_000, epsilon_s, delta_s)
+        assert psi(delta_s, epsilon_s, v) == pytest.approx(1_000_000, rel=1e-6)
+
+    def test_space_complexity_theorem_6_19(self):
+        assert space_complexity_counters(25, 0.001) == 25_000
+        with pytest.raises(ConfigurationError):
+            space_complexity_counters(0, 0.001)

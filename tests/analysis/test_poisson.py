@@ -1,0 +1,70 @@
+"""Unit tests for the Poisson confidence-interval helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.poisson import poisson_confidence_interval, poisson_tail_bound
+from repro.exceptions import ConfigurationError
+
+
+class TestConfidenceInterval:
+    def test_normal_approximation_symmetric_around_mean(self):
+        low, high = poisson_confidence_interval(100.0, 0.05)
+        assert low < 100.0 < high
+        assert high - 100.0 == pytest.approx(100.0 - low)
+
+    def test_interval_width_grows_with_sqrt_mean(self):
+        low1, high1 = poisson_confidence_interval(100.0, 0.05)
+        low4, high4 = poisson_confidence_interval(400.0, 0.05)
+        assert (high4 - low4) == pytest.approx(2 * (high1 - low1))
+
+    def test_exact_interval_contains_normal_one_for_large_mean(self):
+        normal = poisson_confidence_interval(1_000.0, 0.05)
+        exact = poisson_confidence_interval(1_000.0, 0.05, exact=True)
+        assert exact[0] == pytest.approx(normal[0], rel=0.05)
+        assert exact[1] == pytest.approx(normal[1], rel=0.05)
+
+    def test_zero_mean(self):
+        low, high = poisson_confidence_interval(0.0, 0.05)
+        assert low == 0.0
+        assert high == 0.0
+        low_exact, high_exact = poisson_confidence_interval(0.0, 0.05, exact=True)
+        assert low_exact == 0.0
+        assert high_exact > 0.0
+
+    def test_empirical_coverage(self):
+        """The 1-delta interval must contain ~1-delta of Poisson draws."""
+        rng = np.random.default_rng(0)
+        mean, delta = 200.0, 0.05
+        low, high = poisson_confidence_interval(mean, delta)
+        draws = rng.poisson(mean, size=20_000)
+        coverage = np.mean((draws >= low) & (draws <= high))
+        assert coverage >= 1 - delta - 0.02
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            poisson_confidence_interval(-1.0, 0.05)
+        with pytest.raises(ConfigurationError):
+            poisson_confidence_interval(1.0, 0.0)
+
+
+class TestTailBound:
+    def test_lemma_6_2_empirically(self):
+        """P(|X - E X| >= Z_{1-delta} sqrt(E X)) <= delta (approximately, for large mean)."""
+        rng = np.random.default_rng(1)
+        mean, delta = 500.0, 0.1
+        t = poisson_tail_bound(mean, delta)
+        draws = rng.poisson(mean, size=50_000)
+        violation_rate = np.mean(np.abs(draws - mean) >= t)
+        # The two-sided violation rate of the one-sided quantile is ~2*delta;
+        # allow a small sampling slack on top.
+        assert violation_rate <= 2 * delta + 0.02
+
+    def test_monotone_in_delta(self):
+        assert poisson_tail_bound(100.0, 0.01) > poisson_tail_bound(100.0, 0.1)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            poisson_tail_bound(1.0, 1.5)

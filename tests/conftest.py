@@ -1,0 +1,59 @@
+"""Shared fixtures: hierarchies, small deterministic workloads and key streams."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.hierarchy.onedim import ipv4_bit_hierarchy, ipv4_byte_hierarchy
+from repro.hierarchy.twodim import ipv4_two_dim_byte_hierarchy
+from repro.traffic.caida_like import named_workload
+from repro.traffic.zipf import ZipfFlowGenerator
+
+
+@pytest.fixture
+def byte_hierarchy():
+    """IPv4 source hierarchy at byte granularity (H = 5)."""
+    return ipv4_byte_hierarchy()
+
+
+@pytest.fixture
+def bit_hierarchy():
+    """IPv4 source hierarchy at bit granularity (H = 33)."""
+    return ipv4_bit_hierarchy()
+
+
+@pytest.fixture
+def two_dim_hierarchy():
+    """IPv4 source x destination byte lattice (H = 25)."""
+    return ipv4_two_dim_byte_hierarchy()
+
+
+@pytest.fixture(scope="session")
+def small_backbone_keys_2d():
+    """A deterministic 30k-packet two-dimensional key stream (session scoped: generated once)."""
+    return named_workload("chicago16", num_flows=5_000).keys_2d(30_000)
+
+
+@pytest.fixture(scope="session")
+def small_backbone_keys_1d(small_backbone_keys_2d):
+    """The source-address projection of the small backbone stream."""
+    return [src for src, _dst in small_backbone_keys_2d]
+
+
+@pytest.fixture(scope="session")
+def skewed_keys_1d():
+    """A strongly skewed one-dimensional stream with a known dominant key."""
+    rng = random.Random(99)
+    heavy = 0x0A000001  # 10.0.0.1
+    keys = [heavy] * 5_000
+    keys += [rng.randrange(1 << 32) for _ in range(5_000)]
+    rng.shuffle(keys)
+    return keys
+
+
+@pytest.fixture(scope="session")
+def zipf_keys_2d():
+    """A Zipf-skewed two-dimensional stream of 20k packets."""
+    return ZipfFlowGenerator(num_flows=2_000, skew=1.2, seed=5).keys_2d(20_000)

@@ -1,0 +1,66 @@
+"""Unit tests for the shared HHH dataclasses and the algorithm base class."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base import HHHCandidate, HHHOutput
+from repro.core.rhhh import RHHH
+from repro.hierarchy.ip import ipv4_to_int
+from repro.hierarchy.onedim import ipv4_byte_hierarchy
+from repro.hierarchy.prefix import Prefix
+
+
+def _candidate(lower=10.0, upper=20.0, conditioned=25.0):
+    return HHHCandidate(
+        prefix=Prefix(node=1, value=ipv4_to_int("10.0.0.0"), text="10.0.0.*"),
+        lower_bound=lower,
+        upper_bound=upper,
+        conditioned_estimate=conditioned,
+    )
+
+
+class TestHHHCandidate:
+    def test_estimate_is_the_interval_midpoint(self):
+        assert _candidate(10.0, 20.0).estimate == 15.0
+
+    def test_str_mentions_prefix_and_bounds(self):
+        text = str(_candidate())
+        assert "10.0.0.*" in text
+        assert "10" in text and "20" in text
+
+    def test_frozen(self):
+        candidate = _candidate()
+        with pytest.raises(AttributeError):
+            candidate.lower_bound = 0.0  # type: ignore[misc]
+
+
+class TestHHHOutput:
+    def test_len_iter_and_prefixes(self):
+        output = HHHOutput(candidates=[_candidate(), _candidate(1, 2)], total=100, threshold=10)
+        assert len(output) == 2
+        assert len(list(output)) == 2
+        assert all(isinstance(p, Prefix) for p in output.prefixes())
+
+    def test_empty_output(self):
+        output = HHHOutput()
+        assert len(output) == 0
+        assert output.prefixes() == []
+
+
+class TestAlgorithmBase:
+    def test_repr_mentions_h_and_n(self):
+        hierarchy = ipv4_byte_hierarchy()
+        algorithm = RHHH(hierarchy, epsilon=0.05, delta=0.1, seed=1)
+        algorithm.update(ipv4_to_int("1.2.3.4"))
+        text = repr(algorithm)
+        assert "H=5" in text
+        assert "N=1" in text
+
+    def test_hierarchy_and_total_properties(self):
+        hierarchy = ipv4_byte_hierarchy()
+        algorithm = RHHH(hierarchy, epsilon=0.05, delta=0.1, seed=1)
+        assert algorithm.hierarchy is hierarchy
+        assert algorithm.total == 0
+        algorithm.update_stream([ipv4_to_int("1.2.3.4")] * 7)
+        assert algorithm.total == 7

@@ -1,0 +1,95 @@
+"""Unit tests for RHHHConfig (parameter splits, psi, over-sample correction)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.bounds import psi
+from repro.core.config import RHHHConfig, ten_rhhh_config
+from repro.exceptions import ConfigurationError
+
+
+class TestValidation:
+    def test_defaults(self):
+        config = RHHHConfig(h=25)
+        assert config.effective_v == 25
+        assert config.update_probability == 1.0
+
+    def test_v_defaults_to_h(self):
+        assert RHHHConfig(h=33).effective_v == 33
+
+    def test_v_below_h_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RHHHConfig(h=25, v=10)
+
+    @pytest.mark.parametrize("kwargs", [dict(h=0), dict(h=5, epsilon=0), dict(h=5, delta=1.5), dict(h=5, epsilon_s=2.0)])
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RHHHConfig(**kwargs)
+
+
+class TestErrorSplits:
+    def test_even_split_by_default(self):
+        config = RHHHConfig(h=5, epsilon=0.01, delta=0.02)
+        assert config.resolved_epsilon_a == pytest.approx(0.005)
+        assert config.resolved_epsilon_s == pytest.approx(0.005)
+        # delta_a + 2 * delta_s == delta (Theorem 6.6).
+        assert config.resolved_delta_a + 2 * config.resolved_delta_s == pytest.approx(0.02)
+
+    def test_explicit_split_respected(self):
+        config = RHHHConfig(h=5, epsilon=0.01, epsilon_a=0.008, epsilon_s=0.002)
+        assert config.resolved_epsilon_a == 0.008
+        assert config.resolved_epsilon_s == 0.002
+
+
+class TestDerivedQuantities:
+    def test_oversample_correction_matches_paper_example(self):
+        """The paper: 1000 Space Saving counters become 1001 with epsilon_s = 0.001."""
+        config = RHHHConfig(h=5, epsilon_a=0.001, epsilon_s=0.001)
+        assert config.counters_per_node == 1001
+
+    def test_counter_epsilon_shrinks_with_sample_error(self):
+        config = RHHHConfig(h=5, epsilon_a=0.01, epsilon_s=0.01)
+        assert config.counter_epsilon == pytest.approx(0.01 / 1.01)
+
+    def test_convergence_bound_matches_analysis_module(self):
+        config = RHHHConfig(h=25, epsilon=0.05, delta=0.1)
+        expected = psi(config.resolved_delta_s, config.resolved_epsilon_s, 25)
+        assert config.convergence_bound == pytest.approx(expected)
+
+    def test_psi_scales_linearly_with_v(self):
+        small = RHHHConfig(h=25, v=25, epsilon=0.05, delta=0.1)
+        large = RHHHConfig(h=25, v=250, epsilon=0.05, delta=0.1)
+        assert large.convergence_bound == pytest.approx(10 * small.convergence_bound)
+
+    def test_is_converged(self):
+        config = RHHHConfig(h=5, epsilon=0.1, delta=0.2)
+        bound = config.convergence_bound
+        assert not config.is_converged(int(bound * 0.5))
+        assert config.is_converged(int(bound * 2))
+
+    def test_total_counters_theorem_6_19(self):
+        config = RHHHConfig(h=25, epsilon=0.01, delta=0.01)
+        assert config.total_counters() == 25 * config.counters_per_node
+
+    def test_update_probability(self):
+        assert RHHHConfig(h=25, v=250).update_probability == pytest.approx(0.1)
+
+    def test_correction_is_zero_for_empty_stream(self):
+        assert RHHHConfig(h=5).correction(0) == 0.0
+
+    def test_correction_grows_with_sqrt_n(self):
+        config = RHHHConfig(h=5)
+        assert config.correction(40_000) == pytest.approx(2 * config.correction(10_000))
+
+    def test_describe_mentions_key_parameters(self):
+        text = RHHHConfig(h=25, v=250).describe()
+        assert "V=250" in text
+        assert "psi" in text
+
+
+class TestTenRHHH:
+    def test_ten_rhhh_uses_ten_h(self):
+        config = ten_rhhh_config(25, epsilon=0.01, delta=0.01)
+        assert config.effective_v == 250
+        assert config.update_probability == pytest.approx(0.1)

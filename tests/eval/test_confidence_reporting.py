@@ -1,0 +1,82 @@
+"""Unit tests for confidence intervals, reporting helpers and the speed measurement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.confidence import mean_confidence_interval
+from repro.eval.reporting import format_table, to_csv
+from repro.eval.speed import SpeedResult, measure_update_speed
+from repro.exceptions import ConfigurationError
+from repro.hhh.mst import MST
+from repro.hierarchy.onedim import ipv4_byte_hierarchy
+
+
+class TestConfidenceIntervals:
+    def test_single_sample_has_zero_width(self):
+        assert mean_confidence_interval([5.0]) == (5.0, 0.0)
+
+    def test_mean_and_symmetry(self):
+        mean, half = mean_confidence_interval([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert mean == pytest.approx(3.0)
+        assert half > 0
+
+    def test_tighter_with_more_samples(self):
+        few = mean_confidence_interval([1.0, 2.0, 3.0])[1]
+        many = mean_confidence_interval([1.0, 2.0, 3.0] * 10)[1]
+        assert many < few
+
+    def test_higher_confidence_is_wider(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        assert mean_confidence_interval(samples, 0.99)[1] > mean_confidence_interval(samples, 0.9)[1]
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ConfigurationError):
+            mean_confidence_interval([])
+        with pytest.raises(ConfigurationError):
+            mean_confidence_interval([1.0], confidence=1.5)
+
+
+class TestReporting:
+    def test_format_table_alignment_and_title(self):
+        rows = [{"algorithm": "rhhh", "mpps": 10.5}, {"algorithm": "mst", "mpps": 1.0}]
+        text = format_table(rows, title="Throughput")
+        assert "Throughput" in text
+        assert "rhhh" in text and "mst" in text
+        assert "10.5000" in text
+
+    def test_format_table_handles_missing_columns(self):
+        rows = [{"a": 1}, {"b": 2}]
+        text = format_table(rows)
+        assert "a" in text and "b" in text
+
+    def test_format_table_empty(self):
+        assert "(no data)" in format_table([], title="x")
+
+    def test_to_csv_round_trip_columns(self):
+        rows = [{"x": 1, "y": "a"}, {"x": 2, "y": "b"}]
+        csv_text = to_csv(rows)
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "x,y"
+        assert lines[1] == "1,a"
+
+    def test_to_csv_empty(self):
+        assert to_csv([]) == ""
+
+
+class TestSpeedMeasurement:
+    def test_measure_update_speed(self):
+        hierarchy = ipv4_byte_hierarchy()
+        algorithm = MST(hierarchy, epsilon=0.05)
+        keys = [i % 1_000 for i in range(2_000)]
+        result = measure_update_speed(algorithm, keys)
+        assert result.packets == 2_000
+        assert result.seconds > 0
+        assert result.packets_per_second > 0
+        assert result.mega_packets_per_second == pytest.approx(result.packets_per_second / 1e6)
+        assert algorithm.total == 2_000
+
+    def test_speedup_over(self):
+        fast = SpeedResult("a", packets=1_000, seconds=1.0)
+        slow = SpeedResult("b", packets=1_000, seconds=10.0)
+        assert fast.speedup_over(slow) == pytest.approx(10.0)

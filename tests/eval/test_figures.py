@@ -1,0 +1,77 @@
+"""Smoke tests for the per-figure regeneration entry points (tiny configurations)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.figures import (
+    FigureResult,
+    figure2_accuracy_error,
+    figure4_false_positives,
+    figure5_update_speed,
+    figure6_ovs_dataplane,
+    figure7_dataplane_v_sweep,
+    figure8_distributed_v_sweep,
+)
+
+TINY_QUALITY = dict(
+    workloads=("chicago16",),
+    algorithms=("rhhh", "mst"),
+    lengths=(3_000,),
+    epsilon=0.05,
+    delta=0.1,
+    theta=0.1,
+)
+
+
+class TestQualityFigures:
+    def test_figure2_structure(self):
+        result = figure2_accuracy_error(**TINY_QUALITY)
+        assert isinstance(result, FigureResult)
+        assert result.figure == "Figure 2"
+        assert len(result.rows) == 2
+        assert {"workload", "algorithm", "length", "accuracy_error_ratio"} <= set(result.rows[0])
+        assert "Figure 2" in result.table()
+
+    def test_figure4_covers_hierarchies(self):
+        result = figure4_false_positives(hierarchy_names=("1d-bytes",), **TINY_QUALITY)
+        assert {row["hierarchy"] for row in result.rows} == {"1d-bytes"}
+        for row in result.rows:
+            assert 0.0 <= row["false_positive_ratio"] <= 1.0
+
+
+class TestSpeedFigure:
+    def test_figure5_reports_speedups(self):
+        result = figure5_update_speed(
+            workloads=("chicago16",),
+            hierarchy_names=("1d-bytes",),
+            algorithms=("rhhh", "mst"),
+            epsilons=(0.05,),
+            packets=2_000,
+        )
+        assert len(result.rows) == 2
+        rhhh_row = next(r for r in result.rows if r["algorithm"] == "rhhh")
+        assert rhhh_row["speedup_vs_mst"] > 1.0
+
+
+class TestSwitchFigures:
+    def test_figure6_contains_all_configurations(self):
+        result = figure6_ovs_dataplane()
+        names = [row["configuration"] for row in result.rows]
+        assert names == ["ovs (unmodified)", "10-rhhh", "rhhh", "partial_ancestry", "mst"]
+        throughputs = {row["configuration"]: row["throughput_mpps"] for row in result.rows}
+        assert throughputs["ovs (unmodified)"] >= throughputs["10-rhhh"] > throughputs["rhhh"]
+        assert throughputs["rhhh"] > throughputs["mst"]
+
+    def test_figure7_monotone_in_v(self):
+        result = figure7_dataplane_v_sweep(v_multipliers=(1, 5, 10))
+        values = [row["throughput_mpps"] for row in result.rows]
+        assert values == sorted(values)
+        psi_values = [row["convergence_bound_psi"] for row in result.rows]
+        assert psi_values == sorted(psi_values)
+
+    def test_figure8_monotone_in_v(self):
+        result = figure8_distributed_v_sweep(v_multipliers=(1, 5, 10))
+        values = [row["switch_throughput_mpps"] for row in result.rows]
+        assert values == sorted(values)
+        assert all(row["vm_capacity_mpps"] > 0 for row in result.rows)

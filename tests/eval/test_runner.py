@@ -1,0 +1,65 @@
+"""Unit tests for the experiment runner (small, fast configurations)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.runner import ExperimentRunner
+from repro.hierarchy.onedim import ipv4_byte_hierarchy
+from repro.traffic.zipf import ZipfFlowGenerator
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return ZipfFlowGenerator(num_flows=500, skew=1.2, seed=21).keys_1d(8_000)
+
+
+@pytest.fixture
+def runner():
+    return ExperimentRunner(ipv4_byte_hierarchy(), epsilon=0.05, delta=0.1, theta=0.1, seed=1)
+
+
+class TestQualityExperiment:
+    def test_rows_cover_every_algorithm_and_length(self, runner, keys):
+        result = runner.quality_experiment(
+            ["rhhh", "mst"], keys, lengths=[2_000, 8_000], workload="unit"
+        )
+        assert len(result.rows) == 4
+        combos = {(row["algorithm"], row["length"]) for row in result.rows}
+        assert combos == {("rhhh", 2_000), ("rhhh", 8_000), ("mst", 2_000), ("mst", 8_000)}
+
+    def test_metrics_are_in_range(self, runner, keys):
+        result = runner.quality_experiment(["mst"], keys, lengths=[4_000], workload="unit")
+        row = result.rows[0]
+        for metric in ("accuracy_error_ratio", "coverage_error_ratio", "false_positive_ratio", "precision", "recall"):
+            assert 0.0 <= row[metric] <= 1.0
+        assert row["exact_hhh"] >= 1
+
+    def test_series_extraction(self, runner, keys):
+        result = runner.quality_experiment(["mst"], keys, lengths=[2_000, 4_000], workload="unit")
+        series = result.series("length", "false_positive_ratio", where={"algorithm": "mst"})
+        assert [x for x, _ in series] == [2_000, 4_000]
+
+    def test_length_exceeding_stream_rejected(self, runner, keys):
+        with pytest.raises(ValueError):
+            runner.quality_experiment(["mst"], keys, lengths=[10 ** 9])
+
+    def test_repetitions_average(self, runner, keys):
+        result = runner.quality_experiment(
+            ["rhhh"], keys, lengths=[2_000], workload="unit", repetitions=2
+        )
+        assert len(result.rows) == 1
+
+
+class TestSpeedExperiment:
+    def test_speed_rows_and_speedup_column(self, runner, keys):
+        result = runner.speed_experiment(["rhhh", "mst"], keys[:3_000], epsilons=[0.05], workload="unit")
+        assert len(result.rows) == 2
+        by_name = {row["algorithm"]: row for row in result.rows}
+        assert by_name["mst"]["speedup_vs_mst"] == pytest.approx(1.0)
+        assert by_name["rhhh"]["packets_per_second"] > 0
+        assert by_name["rhhh"]["speedup_vs_mst"] > 1.0
+
+    def test_epsilon_sweep(self, runner, keys):
+        result = runner.speed_experiment(["rhhh"], keys[:1_000], epsilons=[0.05, 0.1], workload="unit")
+        assert {row["epsilon"] for row in result.rows} == {0.05, 0.1}

@@ -1,0 +1,43 @@
+"""Unit tests for the shared counter interface helpers."""
+
+from __future__ import annotations
+
+from repro.hh.base import HeavyHitter
+from repro.hh.exact_counter import ExactCounter
+from repro.hh.space_saving import SpaceSaving
+
+
+class TestHeavyHitterDataclass:
+    def test_error_width(self):
+        hh = HeavyHitter(key="a", estimate=10, upper_bound=12, lower_bound=8)
+        assert hh.error_width() == 4
+
+    def test_immutability(self):
+        hh = HeavyHitter(key="a", estimate=1, upper_bound=1, lower_bound=1)
+        try:
+            hh.estimate = 2  # type: ignore[misc]
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised
+
+
+class TestDefaultMethods:
+    def test_update_many(self):
+        ss = SpaceSaving(capacity=8)
+        ss.update_many(["a", "b", "a", "c"])
+        assert ss.total == 4
+        assert ss.estimate("a") == 2
+
+    def test_contains_via_iteration(self):
+        counter = ExactCounter()
+        counter.update("k")
+        assert "k" in counter
+        assert "other" not in counter
+
+    def test_heavy_hitters_threshold_filtering(self):
+        counter = ExactCounter()
+        counter.update("a", weight=10)
+        counter.update("b", weight=2)
+        keys = {h.key for h in counter.heavy_hitters(threshold=5)}
+        assert keys == {"a"}

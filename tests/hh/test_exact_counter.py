@@ -1,0 +1,57 @@
+"""Unit tests for the exact dictionary counter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hh.exact_counter import ExactCounter
+
+
+class TestExactCounter:
+    def test_counts_exactly(self):
+        counter = ExactCounter()
+        for key, count in [("a", 3), ("b", 1), ("c", 7)]:
+            for _ in range(count):
+                counter.update(key)
+        assert counter.estimate("a") == 3
+        assert counter.estimate("b") == 1
+        assert counter.estimate("c") == 7
+        assert counter.estimate("missing") == 0
+        assert counter.total == 11
+
+    def test_bounds_equal_estimate(self):
+        counter = ExactCounter()
+        counter.update("x", weight=5)
+        assert counter.lower_bound("x") == counter.upper_bound("x") == 5
+
+    def test_heavy_hitters_exact(self):
+        counter = ExactCounter()
+        counter.update("big", weight=100)
+        counter.update("small", weight=1)
+        hitters = counter.heavy_hitters(threshold=50)
+        assert len(hitters) == 1
+        assert hitters[0].key == "big"
+
+    def test_items_iteration(self):
+        counter = ExactCounter()
+        counter.update("a", weight=2)
+        counter.update("b")
+        assert dict(counter.items()) == {"a": 2, "b": 1}
+        assert set(counter) == {"a", "b"}
+        assert len(counter) == 2
+
+    def test_counters_equals_distinct_keys(self):
+        counter = ExactCounter()
+        for i in range(10):
+            counter.update(i % 4)
+        assert counter.counters() == 4
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ValueError):
+            ExactCounter().update("a", weight=-1)
+
+    def test_update_many(self):
+        counter = ExactCounter()
+        counter.update_many(["a", "b", "a"])
+        assert counter.estimate("a") == 2
+        assert counter.estimate("b") == 1

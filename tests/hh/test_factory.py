@@ -1,0 +1,31 @@
+"""Unit tests for the counter-algorithm factory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.hh.base import CounterAlgorithm
+from repro.hh.factory import COUNTER_REGISTRY, make_counter
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", sorted(COUNTER_REGISTRY))
+    def test_every_registered_counter_instantiates(self, name):
+        counter = make_counter(name, epsilon=0.01)
+        assert isinstance(counter, CounterAlgorithm)
+
+    @pytest.mark.parametrize("name", sorted(COUNTER_REGISTRY))
+    def test_every_counter_counts(self, name):
+        counter = make_counter(name, epsilon=0.01)
+        for _ in range(50):
+            counter.update("hot")
+        assert counter.estimate("hot") > 0
+        assert counter.total == 50
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            make_counter("no-such-algorithm", epsilon=0.01)
+
+    def test_registry_contains_space_saving(self):
+        assert "space_saving" in COUNTER_REGISTRY

@@ -1,0 +1,74 @@
+"""Unit tests for Lossy Counting."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.hh.lossy_counting import LossyCounting
+
+
+class TestConstruction:
+    def test_epsilon_property(self):
+        assert LossyCounting(epsilon=0.02).epsilon == 0.02
+
+    @pytest.mark.parametrize("epsilon", [0.0, 1.0, -1.0])
+    def test_rejects_bad_epsilon(self, epsilon):
+        with pytest.raises(ConfigurationError):
+            LossyCounting(epsilon=epsilon)
+
+
+class TestCounting:
+    def test_exact_for_small_streams(self):
+        lc = LossyCounting(epsilon=0.1)
+        for key, count in [("a", 4), ("b", 2)]:
+            for _ in range(count):
+                lc.update(key)
+        assert lc.estimate("a") == 4
+        assert lc.estimate("b") == 2
+
+    def test_upper_bound_never_below_truth(self):
+        rng = random.Random(11)
+        lc = LossyCounting(epsilon=0.01)
+        truth = Counter()
+        for _ in range(10_000):
+            key = int(rng.paretovariate(1.3)) % 500
+            truth[key] += 1
+            lc.update(key)
+        for key, count in truth.items():
+            assert lc.upper_bound(key) >= count - 0  # never under by more than the deleted slack
+            assert count - lc.estimate(key) <= 0.01 * lc.total + 1e-9
+
+    def test_estimate_never_exceeds_truth(self):
+        rng = random.Random(12)
+        lc = LossyCounting(epsilon=0.05)
+        truth = Counter()
+        for _ in range(5_000):
+            key = rng.randrange(100)
+            truth[key] += 1
+            lc.update(key)
+        for key, count in truth.items():
+            assert lc.estimate(key) <= count
+
+    def test_memory_is_pruned(self):
+        """A stream of unique keys must not keep every key."""
+        lc = LossyCounting(epsilon=0.01)
+        for i in range(50_000):
+            lc.update(i)
+        assert lc.counters() < 50_000
+
+    def test_frequent_key_survives_pruning(self):
+        lc = LossyCounting(epsilon=0.05)
+        keys = ["hot"] * 1_000 + list(range(5_000))
+        random.Random(13).shuffle(keys)
+        for key in keys:
+            lc.update(key)
+        assert "hot" in lc
+        assert lc.estimate("hot") >= 1_000 - 0.05 * lc.total
+
+    def test_rejects_non_positive_weight(self):
+        with pytest.raises(ValueError):
+            LossyCounting(epsilon=0.1).update("a", weight=0)

@@ -1,0 +1,87 @@
+"""Unit tests for the Misra-Gries (Frequent) counter."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.hh.misra_gries import MisraGries
+
+
+class TestConstruction:
+    def test_capacity_from_epsilon(self):
+        assert MisraGries(epsilon=0.01).capacity == 100
+
+    def test_requires_capacity_or_epsilon(self):
+        with pytest.raises(ConfigurationError):
+            MisraGries()
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ConfigurationError):
+            MisraGries(epsilon=1.5)
+
+
+class TestCounting:
+    def test_exact_below_capacity(self):
+        mg = MisraGries(capacity=10)
+        for key, count in [("a", 5), ("b", 3)]:
+            for _ in range(count):
+                mg.update(key)
+        assert mg.estimate("a") == 5
+        assert mg.estimate("b") == 3
+
+    def test_underestimates_never_overestimate(self):
+        rng = random.Random(3)
+        mg = MisraGries(capacity=20)
+        truth = Counter()
+        for _ in range(5_000):
+            key = rng.randrange(200)
+            truth[key] += 1
+            mg.update(key)
+        for key in range(200):
+            assert mg.estimate(key) <= truth[key]
+            assert mg.upper_bound(key) >= truth[key]
+
+    def test_error_bounded(self):
+        """Underestimation is at most N/(m+1)."""
+        rng = random.Random(4)
+        capacity = 25
+        mg = MisraGries(capacity=capacity)
+        truth = Counter()
+        n = 10_000
+        for _ in range(n):
+            key = int(rng.paretovariate(1.1)) % 300
+            truth[key] += 1
+            mg.update(key)
+        bound = n / (capacity + 1)
+        for key, count in truth.items():
+            assert count - mg.estimate(key) <= bound + 1e-9
+
+    def test_capacity_respected(self):
+        mg = MisraGries(capacity=5)
+        for i in range(1_000):
+            mg.update(i % 37)
+        assert len(mg) <= 5
+
+    def test_weighted_updates(self):
+        mg = MisraGries(capacity=3)
+        mg.update("a", weight=10)
+        mg.update("b", weight=4)
+        assert mg.estimate("a") == 10
+        assert mg.estimate("b") == 4
+
+    def test_rejects_non_positive_weight(self):
+        with pytest.raises(ValueError):
+            MisraGries(capacity=3).update("a", weight=-1)
+
+    def test_heavy_hitter_survives(self):
+        mg = MisraGries(capacity=10)
+        keys = ["big"] * 500 + [f"k{i}" for i in range(900)]
+        random.Random(5).shuffle(keys)
+        for key in keys:
+            mg.update(key)
+        assert "big" in mg
+        assert mg.estimate("big") > 0

@@ -1,0 +1,112 @@
+"""Unit tests for the sketch-based counters (Count-Min, Count Sketch, conservative update)."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.hh.conservative_update import ConservativeCountMin
+from repro.hh.count_min import CountMinSketch
+from repro.hh.count_sketch import CountSketch
+
+
+def _skewed_stream(n: int, universe: int, seed: int):
+    rng = random.Random(seed)
+    return [int(rng.paretovariate(1.2)) % universe for _ in range(n)]
+
+
+class TestCountMin:
+    def test_dimensions_from_parameters(self):
+        sketch = CountMinSketch(epsilon=0.01, delta=0.01)
+        assert sketch.width >= int(2.718 / 0.01)
+        assert sketch.depth >= 4  # ln(100) ~ 4.6
+
+    @pytest.mark.parametrize("epsilon,delta", [(0, 0.1), (0.1, 0), (1.5, 0.1), (0.1, 1.5)])
+    def test_rejects_bad_parameters(self, epsilon, delta):
+        with pytest.raises(ConfigurationError):
+            CountMinSketch(epsilon=epsilon, delta=delta)
+
+    def test_never_underestimates(self):
+        sketch = CountMinSketch(epsilon=0.01, delta=0.05)
+        truth = Counter(_skewed_stream(5_000, 300, seed=1))
+        for key, count in truth.items():
+            sketch.update(key, weight=count)
+        for key, count in truth.items():
+            assert sketch.estimate(key) >= count
+
+    def test_overestimate_within_bound(self):
+        sketch = CountMinSketch(epsilon=0.01, delta=0.01)
+        stream = _skewed_stream(20_000, 1_000, seed=2)
+        truth = Counter(stream)
+        for key in stream:
+            sketch.update(key)
+        allowed = 0.01 * len(stream)
+        violations = sum(
+            1 for key, count in truth.items() if sketch.estimate(key) - count > allowed
+        )
+        # The bound holds per query with probability 1-delta; allow a few.
+        assert violations <= max(3, 0.05 * len(truth))
+
+    def test_heavy_hitters_tracked(self):
+        sketch = CountMinSketch(epsilon=0.01, delta=0.01)
+        for _ in range(500):
+            sketch.update("elephant")
+        for i in range(300):
+            sketch.update(f"mouse{i}")
+        hitters = sketch.heavy_hitters(threshold=100)
+        assert any(h.key == "elephant" for h in hitters)
+
+    def test_rejects_non_positive_weight(self):
+        with pytest.raises(ValueError):
+            CountMinSketch().update("a", weight=0)
+
+
+class TestConservativeCountMin:
+    def test_never_underestimates(self):
+        sketch = ConservativeCountMin(epsilon=0.01, delta=0.05)
+        stream = _skewed_stream(5_000, 200, seed=3)
+        truth = Counter(stream)
+        for key in stream:
+            sketch.update(key)
+        for key, count in truth.items():
+            assert sketch.estimate(key) >= count
+
+    def test_no_worse_than_plain_count_min(self):
+        """Conservative update's total table mass never exceeds plain CM's."""
+        plain = CountMinSketch(epsilon=0.02, delta=0.05, seed=9)
+        conservative = ConservativeCountMin(epsilon=0.02, delta=0.05, seed=9)
+        stream = _skewed_stream(10_000, 400, seed=4)
+        for key in stream:
+            plain.update(key)
+            conservative.update(key)
+        assert conservative._table.sum() <= plain._table.sum()
+
+
+class TestCountSketch:
+    def test_depth_is_odd(self):
+        assert CountSketch(epsilon=0.05, delta=0.05).counters() > 0
+        assert CountSketch(epsilon=0.05, delta=0.05)._depth % 2 == 1
+
+    def test_estimates_close_on_skewed_stream(self):
+        sketch = CountSketch(epsilon=0.05, delta=0.01)
+        stream = _skewed_stream(20_000, 500, seed=5)
+        truth = Counter(stream)
+        for key in stream:
+            sketch.update(key)
+        heavy = [key for key, count in truth.items() if count > 500]
+        assert heavy, "the stream must contain at least one heavy key"
+        for key in heavy:
+            assert abs(sketch.estimate(key) - truth[key]) <= 0.05 * len(stream)
+
+    def test_bounds_bracket_estimate(self):
+        sketch = CountSketch(epsilon=0.05, delta=0.05)
+        for _ in range(100):
+            sketch.update("x")
+        assert sketch.lower_bound("x") <= sketch.estimate("x") <= sketch.upper_bound("x")
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            CountSketch(epsilon=2.0)

@@ -1,0 +1,169 @@
+"""Unit tests for the Space Saving counter (the paper's underlying HH algorithm)."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.hh.space_saving import SpaceSaving
+
+
+class TestConstruction:
+    def test_capacity_from_epsilon(self):
+        assert SpaceSaving(epsilon=0.001).capacity == 1000
+
+    def test_explicit_capacity(self):
+        assert SpaceSaving(capacity=37).capacity == 37
+
+    def test_requires_capacity_or_epsilon(self):
+        with pytest.raises(ConfigurationError):
+            SpaceSaving()
+
+    @pytest.mark.parametrize("epsilon", [0.0, 1.0, -0.5, 2.0])
+    def test_rejects_bad_epsilon(self, epsilon):
+        with pytest.raises(ConfigurationError):
+            SpaceSaving(epsilon=epsilon)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigurationError):
+            SpaceSaving(capacity=0)
+
+
+class TestBasicCounting:
+    def test_single_key(self):
+        ss = SpaceSaving(capacity=4)
+        for _ in range(10):
+            ss.update("a")
+        assert ss.estimate("a") == 10
+        assert ss.lower_bound("a") == 10
+        assert ss.upper_bound("a") == 10
+        assert ss.total == 10
+
+    def test_exact_below_capacity(self):
+        ss = SpaceSaving(capacity=10)
+        counts = {"a": 7, "b": 3, "c": 5}
+        for key, count in counts.items():
+            for _ in range(count):
+                ss.update(key)
+        for key, count in counts.items():
+            assert ss.estimate(key) == count
+            assert ss.error_of(key) == 0
+
+    def test_unmonitored_key_bounds(self):
+        ss = SpaceSaving(capacity=2)
+        for key in ["a", "a", "b", "b", "c"]:
+            ss.update(key)
+        # "c" may have evicted someone or not; any unmonitored key has
+        # lower bound 0 and upper bound = current minimum counter.
+        for key in ["zzz", "never-seen"]:
+            assert ss.lower_bound(key) == 0.0
+            assert ss.upper_bound(key) <= max(ss.estimate(k) for k in ss)
+
+    def test_weighted_updates(self):
+        ss = SpaceSaving(capacity=4)
+        ss.update("a", weight=5)
+        ss.update("b", weight=3)
+        ss.update("a", weight=2)
+        assert ss.estimate("a") == 7
+        assert ss.estimate("b") == 3
+
+    def test_rejects_non_positive_weight(self):
+        ss = SpaceSaving(capacity=4)
+        with pytest.raises(ValueError):
+            ss.update("a", weight=0)
+
+    def test_len_and_contains(self):
+        ss = SpaceSaving(capacity=4)
+        ss.update("a")
+        ss.update("b")
+        assert len(ss) == 2
+        assert "a" in ss
+        assert "zzz" not in ss
+
+
+class TestEvictionSemantics:
+    def test_eviction_inherits_min_count(self):
+        ss = SpaceSaving(capacity=2)
+        ss.update("a")
+        ss.update("a")
+        ss.update("b")
+        ss.update("c")  # evicts "b" (count 1) and inherits its count
+        assert "c" in ss
+        assert "b" not in ss
+        assert ss.estimate("c") == 2
+        assert ss.error_of("c") == 1
+        assert ss.lower_bound("c") == 1
+
+    def test_capacity_never_exceeded(self):
+        ss = SpaceSaving(capacity=5)
+        rng = random.Random(1)
+        for _ in range(1_000):
+            ss.update(rng.randrange(50))
+        assert len(ss) <= 5
+
+    def test_total_count_is_preserved(self):
+        """The sum of all counters always equals the number of (unit) updates."""
+        ss = SpaceSaving(capacity=8)
+        rng = random.Random(2)
+        for _ in range(2_000):
+            ss.update(rng.randrange(100))
+        assert sum(ss.estimate(k) for k in ss) == 2_000
+
+
+class TestErrorGuarantees:
+    @pytest.mark.parametrize("capacity,universe,n", [(10, 50, 5_000), (50, 500, 20_000), (100, 80, 10_000)])
+    def test_overestimate_bounded_by_n_over_m(self, capacity, universe, n):
+        rng = random.Random(capacity)
+        ss = SpaceSaving(capacity=capacity)
+        truth = Counter()
+        for _ in range(n):
+            key = int(rng.paretovariate(1.2)) % universe
+            truth[key] += 1
+            ss.update(key)
+        bound = n / capacity
+        for key in ss:
+            assert ss.upper_bound(key) >= truth[key]
+            assert ss.lower_bound(key) <= truth[key]
+            assert ss.upper_bound(key) - truth[key] <= bound + 1e-9
+
+    def test_heavy_keys_are_monitored(self):
+        """Any key with frequency above N/m must be in the summary."""
+        rng = random.Random(7)
+        capacity = 20
+        ss = SpaceSaving(capacity=capacity)
+        truth = Counter()
+        keys = [f"heavy{i}" for i in range(5)] * 300 + [f"light{i}" for i in range(2_000)]
+        rng.shuffle(keys)
+        for key in keys:
+            truth[key] += 1
+            ss.update(key)
+        threshold = len(keys) / capacity
+        for key, count in truth.items():
+            if count > threshold:
+                assert key in ss
+
+
+class TestHeavyHitters:
+    def test_heavy_hitters_report(self):
+        ss = SpaceSaving(capacity=10)
+        for _ in range(60):
+            ss.update("elephant")
+        for i in range(40):
+            ss.update(f"mouse{i}")
+        hitters = ss.heavy_hitters(threshold=0.3 * ss.total)
+        assert hitters, "the elephant must be reported"
+        assert hitters[0].key == "elephant"
+        assert hitters[0].upper_bound >= 60
+        assert hitters[0].lower_bound <= hitters[0].upper_bound
+
+    def test_heavy_hitters_sorted_descending(self):
+        ss = SpaceSaving(capacity=10)
+        for key, count in [("a", 30), ("b", 20), ("c", 10)]:
+            for _ in range(count):
+                ss.update(key)
+        hitters = ss.heavy_hitters(threshold=5)
+        estimates = [h.estimate for h in hitters]
+        assert estimates == sorted(estimates, reverse=True)

@@ -1,0 +1,87 @@
+"""Unit tests for the Full and Partial Ancestry baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.hhh.ancestry import FullAncestry, PartialAncestry
+from repro.hierarchy.ip import ipv4_to_int
+
+
+@pytest.fixture(params=[FullAncestry, PartialAncestry], ids=["full", "partial"])
+def ancestry_cls(request):
+    return request.param
+
+
+class TestConstruction:
+    def test_rejects_bad_epsilon(self, ancestry_cls, byte_hierarchy):
+        with pytest.raises(ConfigurationError):
+            ancestry_cls(byte_hierarchy, epsilon=0.0)
+
+    def test_names_differ(self, byte_hierarchy):
+        assert FullAncestry(byte_hierarchy, epsilon=0.1).name == "full_ancestry"
+        assert PartialAncestry(byte_hierarchy, epsilon=0.1).name == "partial_ancestry"
+
+
+class TestUpdateBehaviour:
+    def test_full_materialises_all_ancestors(self, byte_hierarchy):
+        algorithm = FullAncestry(byte_hierarchy, epsilon=0.1)
+        algorithm.update(ipv4_to_int("10.1.2.3"))
+        # One entry per lattice node for a single-packet stream.
+        assert algorithm.counters() == byte_hierarchy.size
+
+    def test_partial_materialises_only_the_leaf(self, byte_hierarchy):
+        algorithm = PartialAncestry(byte_hierarchy, epsilon=0.1)
+        algorithm.update(ipv4_to_int("10.1.2.3"))
+        assert algorithm.counters() == 1
+
+    def test_memory_stays_bounded(self, ancestry_cls, byte_hierarchy):
+        """Compression must prune the trie even under all-distinct traffic."""
+        algorithm = ancestry_cls(byte_hierarchy, epsilon=0.02)
+        for i in range(30_000):
+            algorithm.update((i * 2654435761) % (1 << 32))
+        # Without compression there would be >= 30000 entries.
+        assert algorithm.counters() < 15_000
+        assert algorithm.compressions > 0
+
+    def test_replacement_counter_advances(self, byte_hierarchy):
+        algorithm = PartialAncestry(byte_hierarchy, epsilon=0.05)
+        for i in range(5_000):
+            algorithm.update((i * 2654435761) % (1 << 32))
+        assert algorithm.replacements > 0
+
+
+class TestOutputQuality:
+    def test_heavy_flow_reported(self, ancestry_cls, byte_hierarchy, skewed_keys_1d):
+        algorithm = ancestry_cls(byte_hierarchy, epsilon=0.05)
+        algorithm.update_stream(skewed_keys_1d)
+        reported = {c.prefix.key() for c in algorithm.output(theta=0.25)}
+        assert (0, 0x0A000001) in reported
+
+    def test_hierarchical_aggregate_reported(self, ancestry_cls, byte_hierarchy):
+        keys = []
+        for i in range(2_000):
+            keys.append(ipv4_to_int(f"77.88.{i % 240}.{i % 200}"))
+        keys += [ipv4_to_int(f"{10 + i % 150}.1.2.3") for i in range(2_000)]
+        algorithm = ancestry_cls(byte_hierarchy, epsilon=0.02)
+        algorithm.update_stream(keys)
+        reported_texts = {c.prefix.text for c in algorithm.output(theta=0.3)}
+        assert "77.88.*" in reported_texts
+
+    def test_frequency_bounds_consistent(self, ancestry_cls, byte_hierarchy, skewed_keys_1d):
+        algorithm = ancestry_cls(byte_hierarchy, epsilon=0.05)
+        algorithm.update_stream(skewed_keys_1d)
+        for candidate in algorithm.output(theta=0.1):
+            assert candidate.lower_bound <= candidate.upper_bound
+            assert candidate.upper_bound <= algorithm.total + algorithm.epsilon * algorithm.total
+
+    def test_two_dimensional_stream(self, ancestry_cls, two_dim_hierarchy, zipf_keys_2d):
+        algorithm = ancestry_cls(two_dim_hierarchy, epsilon=0.05)
+        algorithm.update_stream(zipf_keys_2d)
+        output = algorithm.output(theta=0.1)
+        assert len(output) >= 1
+
+    def test_rejects_bad_theta(self, ancestry_cls, byte_hierarchy):
+        with pytest.raises(ConfigurationError):
+            ancestry_cls(byte_hierarchy, epsilon=0.05).output(theta=0.0)

@@ -1,0 +1,62 @@
+"""Unit tests for the MST baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.hhh.mst import MST
+from repro.hierarchy.ip import ipv4_to_int
+
+
+class TestMST:
+    def test_updates_every_lattice_node(self, byte_hierarchy):
+        mst = MST(byte_hierarchy, epsilon=0.01)
+        key = ipv4_to_int("10.20.30.40")
+        for _ in range(100):
+            mst.update(key)
+        for node in range(byte_hierarchy.size):
+            assert mst.node_counter(node).total == 100
+
+    def test_exact_frequency_estimates_on_small_stream(self, byte_hierarchy):
+        mst = MST(byte_hierarchy, epsilon=0.01)
+        keys = [ipv4_to_int("10.0.0.1")] * 30 + [ipv4_to_int("10.0.0.2")] * 20
+        for key in keys:
+            mst.update(key)
+        assert mst.frequency_estimate(ipv4_to_int("10.0.0.1"), node=0) == 30
+        # The /24 aggregate sees both flows.
+        assert mst.frequency_estimate(ipv4_to_int("10.0.0.1"), node=1) == 50
+
+    def test_finds_hierarchical_aggregate(self, byte_hierarchy):
+        """Many light flows under one /16 make the /16 (not the flows) an HHH."""
+        mst = MST(byte_hierarchy, epsilon=0.01)
+        keys = []
+        for i in range(500):
+            keys.append(ipv4_to_int(f"77.88.{i % 250}.{i % 200}"))
+        keys *= 4  # 2000 packets under 77.88.*
+        keys += [ipv4_to_int(f"{10 + i % 100}.1.2.3") for i in range(2_000)]
+        for key in keys:
+            mst.update(key)
+        output = mst.output(theta=0.3)
+        reported = {c.prefix.text for c in output}
+        assert "77.88.*" in reported
+
+    def test_rejects_bad_parameters(self, byte_hierarchy):
+        with pytest.raises(ConfigurationError):
+            MST(byte_hierarchy, epsilon=0.0)
+        with pytest.raises(ConfigurationError):
+            MST(byte_hierarchy, epsilon=0.01).output(theta=2.0)
+
+    def test_counters_scale_with_h(self, byte_hierarchy, two_dim_hierarchy):
+        small = MST(byte_hierarchy, epsilon=0.01)
+        large = MST(two_dim_hierarchy, epsilon=0.01)
+        assert large.counters() == small.counters() * 5
+
+    def test_two_dimensional_output(self, two_dim_hierarchy, zipf_keys_2d):
+        mst = MST(two_dim_hierarchy, epsilon=0.02)
+        mst.update_stream(zipf_keys_2d)
+        output = mst.output(theta=0.1)
+        assert len(output) >= 1
+        # Every reported frequency interval must be internally consistent.
+        for candidate in output:
+            assert candidate.lower_bound <= candidate.upper_bound

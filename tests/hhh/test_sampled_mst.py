@@ -1,0 +1,54 @@
+"""Unit tests for the naive-sampling (amortized O(1)) baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.hhh.sampled_mst import SampledMST
+from repro.hierarchy.ip import ipv4_to_int
+
+
+class TestSampledMST:
+    def test_default_sampling_rate_is_one_over_h(self, byte_hierarchy):
+        algorithm = SampledMST(byte_hierarchy, epsilon=0.05)
+        assert algorithm.sampling_probability == pytest.approx(1.0 / byte_hierarchy.size)
+
+    def test_sampling_rate_respected(self, byte_hierarchy):
+        algorithm = SampledMST(byte_hierarchy, epsilon=0.05, sampling_probability=0.2, seed=1)
+        for _ in range(5_000):
+            algorithm.update(ipv4_to_int("1.2.3.4"))
+        assert algorithm.total == 5_000
+        assert 0.12 <= algorithm.sampled_packets / 5_000 <= 0.3
+
+    def test_sampled_packets_update_all_nodes(self, byte_hierarchy):
+        algorithm = SampledMST(byte_hierarchy, epsilon=0.05, sampling_probability=1.0, seed=2)
+        for _ in range(100):
+            algorithm.update(ipv4_to_int("1.2.3.4"))
+        assert algorithm.sampled_packets == 100
+        assert algorithm.counters() > 0
+
+    def test_output_rescales_by_sampling_rate(self, byte_hierarchy):
+        algorithm = SampledMST(byte_hierarchy, epsilon=0.05, sampling_probability=0.5, seed=3)
+        heavy = ipv4_to_int("9.8.7.6")
+        for _ in range(20_000):
+            algorithm.update(heavy)
+        output = algorithm.output(theta=0.5)
+        full = next((c for c in output if c.prefix.node == 0), None)
+        assert full is not None
+        assert full.upper_bound == pytest.approx(20_000, rel=0.15)
+
+    def test_recovers_dominant_flow(self, skewed_keys_1d, byte_hierarchy):
+        algorithm = SampledMST(byte_hierarchy, epsilon=0.05, seed=4)
+        algorithm.update_stream(skewed_keys_1d)
+        reported = {c.prefix.key() for c in algorithm.output(theta=0.25)}
+        assert (0, 0x0A000001) in reported
+
+    @pytest.mark.parametrize("kwargs", [dict(epsilon=0.0), dict(sampling_probability=0.0), dict(sampling_probability=1.5)])
+    def test_rejects_bad_parameters(self, byte_hierarchy, kwargs):
+        with pytest.raises(ConfigurationError):
+            SampledMST(byte_hierarchy, **kwargs)
+
+    def test_rejects_bad_theta(self, byte_hierarchy):
+        with pytest.raises(ConfigurationError):
+            SampledMST(byte_hierarchy, epsilon=0.05).output(theta=0.0)

@@ -1,0 +1,68 @@
+"""Unit tests for IP address parsing and formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import HierarchyError
+from repro.hierarchy.ip import (
+    int_to_ipv4,
+    int_to_ipv6,
+    ipv4_to_int,
+    ipv6_to_int,
+    parse_address,
+)
+
+
+class TestIPv4:
+    @pytest.mark.parametrize(
+        "text,value",
+        [
+            ("0.0.0.0", 0),
+            ("255.255.255.255", (1 << 32) - 1),
+            ("10.0.0.1", 0x0A000001),
+            ("181.7.20.6", (181 << 24) | (7 << 16) | (20 << 8) | 6),
+        ],
+    )
+    def test_round_trip(self, text, value):
+        assert ipv4_to_int(text) == value
+        assert int_to_ipv4(value) == text
+
+    @pytest.mark.parametrize("bad", ["1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", ""])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(HierarchyError):
+            ipv4_to_int(bad)
+
+    def test_rejects_out_of_range_int(self):
+        with pytest.raises(HierarchyError):
+            int_to_ipv4(1 << 33)
+
+
+class TestIPv6:
+    def test_full_form(self):
+        value = ipv6_to_int("2001:0db8:0000:0000:0000:0000:0000:0001")
+        assert value == (0x20010DB8 << 96) | 1
+
+    def test_compressed_form(self):
+        assert ipv6_to_int("2001:db8::1") == ipv6_to_int("2001:0db8:0000:0000:0000:0000:0000:0001")
+        assert ipv6_to_int("::") == 0
+        assert ipv6_to_int("::1") == 1
+
+    def test_round_trip_uncompressed(self):
+        value = ipv6_to_int("2001:db8::42")
+        assert ipv6_to_int(int_to_ipv6(value)) == value
+
+    @pytest.mark.parametrize("bad", ["1::2::3", "1:2", "zzzz::1", "1:2:3:4:5:6:7:8:9"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(HierarchyError):
+            ipv6_to_int(bad)
+
+    def test_rejects_out_of_range_int(self):
+        with pytest.raises(HierarchyError):
+            int_to_ipv6(1 << 129)
+
+
+class TestParseAddress:
+    def test_dispatches_on_colon(self):
+        assert parse_address("10.0.0.1") == 0x0A000001
+        assert parse_address("::1") == 1

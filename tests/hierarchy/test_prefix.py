@@ -1,0 +1,29 @@
+"""Unit tests for the Prefix value type."""
+
+from __future__ import annotations
+
+from repro.hierarchy.prefix import Prefix
+
+
+class TestPrefix:
+    def test_key_round_trip(self):
+        prefix = Prefix(node=2, value=0x0A000000, text="10.0.*")
+        assert prefix.key() == (2, 0x0A000000)
+
+    def test_str_uses_text(self):
+        assert str(Prefix(node=1, value=5, text="1.2.3.*")) == "1.2.3.*"
+
+    def test_str_without_text(self):
+        assert "node1" in str(Prefix(node=1, value=5))
+
+    def test_hashable_and_equatable(self):
+        a = Prefix(node=1, value=5, text="x")
+        b = Prefix(node=1, value=5, text="x")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_two_dimensional_value(self):
+        prefix = Prefix(node=7, value=(1, 2), text="(a, b)")
+        assert prefix.value == (1, 2)
+        assert prefix.key() == (7, (1, 2))

@@ -1,0 +1,51 @@
+"""Smoke tests: every example script runs end to end (with reduced packet counts)."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        check=False,
+    )
+    assert result.returncode == 0, f"{name} failed:\n{result.stdout}\n{result.stderr}"
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = _run_example("quickstart.py", "30000")
+        assert "Hierarchical heavy hitters" in out
+        assert "convergence bound psi" in out
+
+    def test_ddos_detection(self):
+        out = _run_example("ddos_detection.py", "60000")
+        assert "DDoS" in out or "attack" in out
+        assert "HHH prefixes" in out
+
+    def test_ovs_line_rate_monitoring(self):
+        out = _run_example("ovs_line_rate_monitoring.py", "20000")
+        assert "Figure 6" in out
+        assert "Forwarded" in out
+        assert "Distributed deployment" in out
+
+    def test_algorithm_comparison(self):
+        out = _run_example("algorithm_comparison.py", "30000")
+        assert "Algorithm comparison" in out
+        assert "rhhh" in out and "mst" in out
+
+    @pytest.mark.slow
+    def test_convergence_study(self):
+        out = _run_example("convergence_study.py")
+        assert "convergence" in out.lower()

@@ -1,0 +1,133 @@
+"""Integration tests asserting the paper's qualitative claims (scaled down).
+
+These are the "shape" checks of DESIGN.md: who wins, what grows with what.
+They intentionally use generous margins - the point is the ordering and the
+trends, not the absolute numbers.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.config import RHHHConfig
+from repro.core.rhhh import RHHH
+from repro.eval.ground_truth import GroundTruth
+from repro.eval.metrics import evaluate_output
+from repro.eval.speed import measure_update_speed
+from repro.hhh.mst import MST
+from repro.hierarchy.onedim import ipv4_bit_hierarchy, ipv4_byte_hierarchy
+from repro.hierarchy.twodim import ipv4_two_dim_byte_hierarchy
+from repro.traffic.caida_like import named_workload
+
+
+class TestConstantTimeUpdateClaim:
+    def test_rhhh_speed_is_flat_in_h_while_mst_degrades(self):
+        """The headline claim: RHHH's update cost does not grow with H, MST's does."""
+        workload = named_workload("sanjose14", num_flows=5_000)
+        keys_1d = workload.keys_1d(15_000)
+        keys_2d = workload.keys_2d(15_000)
+        small = ipv4_byte_hierarchy()  # H = 5
+        large = ipv4_two_dim_byte_hierarchy()  # H = 25
+
+        rhhh_small = measure_update_speed(RHHH(small, epsilon=0.05, delta=0.1, seed=1), keys_1d)
+        rhhh_large = measure_update_speed(RHHH(large, epsilon=0.05, delta=0.1, seed=1), keys_2d)
+        mst_small = measure_update_speed(MST(small, epsilon=0.05), keys_1d)
+        mst_large = measure_update_speed(MST(large, epsilon=0.05), keys_2d)
+
+        # MST slows down by roughly H_large/H_small; RHHH stays within a small factor.
+        mst_slowdown = mst_small.packets_per_second / mst_large.packets_per_second
+        rhhh_slowdown = rhhh_small.packets_per_second / rhhh_large.packets_per_second
+        assert mst_slowdown > 2.5
+        assert rhhh_slowdown < 2.0
+
+    def test_speedup_grows_with_hierarchy_size(self):
+        """Figure 5's trend: the RHHH-over-MST speedup is larger for larger H."""
+        workload = named_workload("chicago16", num_flows=5_000)
+        keys_1d = workload.keys_1d(10_000)
+        speedups = {}
+        for name, hierarchy, keys in (
+            ("bytes", ipv4_byte_hierarchy(), keys_1d),
+            ("bits", ipv4_bit_hierarchy(), keys_1d),
+        ):
+            rhhh = measure_update_speed(RHHH(hierarchy, epsilon=0.05, delta=0.1, seed=2), keys)
+            mst = measure_update_speed(MST(hierarchy, epsilon=0.05), keys)
+            speedups[name] = rhhh.packets_per_second / mst.packets_per_second
+        assert speedups["bits"] > speedups["bytes"] > 1.0
+
+    def test_ten_rhhh_is_faster_than_rhhh(self):
+        hierarchy = ipv4_two_dim_byte_hierarchy()
+        keys = named_workload("chicago15", num_flows=5_000).keys_2d(20_000)
+        rhhh = measure_update_speed(RHHH(hierarchy, epsilon=0.05, delta=0.1, seed=3), keys)
+        ten = measure_update_speed(
+            RHHH(hierarchy, epsilon=0.05, delta=0.1, v=10 * hierarchy.size, seed=3), keys
+        )
+        assert ten.packets_per_second > rhhh.packets_per_second
+
+
+class TestConvergenceClaims:
+    @pytest.fixture(scope="class")
+    def converged_setup(self):
+        hierarchy = ipv4_two_dim_byte_hierarchy()
+        epsilon, delta, theta = 0.1, 0.2, 0.1
+        config = RHHHConfig(h=hierarchy.size, epsilon=epsilon, delta=delta)
+        n = int(config.convergence_bound * 1.4)
+        keys = named_workload("chicago16", num_flows=10_000).keys_2d(n)
+        return hierarchy, epsilon, delta, theta, keys
+
+    def test_false_positive_ratio_decreases_with_stream_length(self, converged_setup):
+        """Figure 4's shape: RHHH's FPR shrinks as the trace approaches/exceeds psi."""
+        hierarchy, epsilon, delta, theta, keys = converged_setup
+        algorithm = RHHH(hierarchy, epsilon=epsilon, delta=delta, seed=5)
+        short_n = len(keys) // 8
+        algorithm.update_stream(keys[:short_n])
+        truth_short = GroundTruth(hierarchy, keys[:short_n])
+        early = evaluate_output(algorithm.output(theta), truth_short, epsilon=epsilon, theta=theta)
+        algorithm.update_stream(keys[short_n:])
+        truth_full = GroundTruth(hierarchy, keys)
+        late = evaluate_output(algorithm.output(theta), truth_full, epsilon=epsilon, theta=theta)
+        assert late.false_positive_ratio <= early.false_positive_ratio
+        assert late.reported <= early.reported
+
+    def test_accuracy_and_coverage_hold_after_convergence(self, converged_setup):
+        """Definition 10 (empirically): post-psi, accuracy errors and coverage errors are rare."""
+        hierarchy, epsilon, delta, theta, keys = converged_setup
+        algorithm = RHHH(hierarchy, epsilon=epsilon, delta=delta, seed=6)
+        algorithm.update_stream(keys)
+        assert algorithm.is_converged
+        truth = GroundTruth(hierarchy, keys)
+        report = evaluate_output(algorithm.output(theta), truth, epsilon=epsilon, theta=theta)
+        assert report.accuracy_error_ratio <= 0.1
+        assert report.coverage_error_ratio <= 0.1
+        assert report.recall >= 0.5
+
+    def test_quality_comparable_to_mst_after_convergence(self, converged_setup):
+        hierarchy, epsilon, delta, theta, keys = converged_setup
+        rhhh = RHHH(hierarchy, epsilon=epsilon, delta=delta, seed=7)
+        mst = MST(hierarchy, epsilon=epsilon)
+        rhhh.update_stream(keys)
+        mst.update_stream(keys)
+        truth = GroundTruth(hierarchy, keys)
+        rhhh_report = evaluate_output(rhhh.output(theta), truth, epsilon=epsilon, theta=theta)
+        mst_report = evaluate_output(mst.output(theta), truth, epsilon=epsilon, theta=theta)
+        # "Comparable": within a third of MST's recall and a bounded FP overhead.
+        # Just past psi the sampling-error correction still inflates RHHH's
+        # output (the paper's Figure 4 shows the same gap closing as the trace
+        # keeps growing), so the FP allowance here is generous.
+        assert rhhh_report.recall >= mst_report.recall - 0.34
+        assert rhhh_report.false_positive_ratio <= mst_report.false_positive_ratio + 0.65
+        assert rhhh_report.reported <= 5 * max(1, mst_report.reported)
+
+
+class TestWorstCaseBehaviour:
+    def test_rhhh_worst_case_packet_touches_one_counter(self):
+        """O(1) worst case: no packet ever triggers more than one counter update."""
+        hierarchy = ipv4_two_dim_byte_hierarchy()
+        algorithm = RHHH(hierarchy, epsilon=0.05, delta=0.1, seed=8)
+        keys = named_workload("sanjose13", num_flows=1_000).keys_2d(5_000)
+        previous = 0
+        for key in keys:
+            algorithm.update(key)
+            assert algorithm.counter_updates - previous <= 1
+            previous = algorithm.counter_updates

@@ -1,0 +1,188 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.output import conditioned_frequency_estimate
+from repro.hh.exact_counter import ExactCounter
+from repro.hh.misra_gries import MisraGries
+from repro.hh.space_saving import SpaceSaving
+from repro.hhh.exact import ExactHHH
+from repro.hierarchy.ip import int_to_ipv4, ipv4_to_int
+from repro.hierarchy.onedim import ipv4_bit_hierarchy, ipv4_byte_hierarchy
+from repro.hierarchy.twodim import ipv4_two_dim_byte_hierarchy
+from repro.traffic.packet import Packet
+from repro.traffic.trace_io import read_trace_binary, write_trace_binary
+from repro.traffic.zipf import zipf_weights
+
+# Strategies -----------------------------------------------------------------
+
+addresses = st.integers(min_value=0, max_value=(1 << 32) - 1)
+# Small universes make collisions (and therefore interesting summary behaviour) likely.
+small_keys = st.integers(min_value=0, max_value=30)
+streams = st.lists(small_keys, min_size=1, max_size=400)
+
+
+# Space Saving ----------------------------------------------------------------
+
+
+class TestSpaceSavingProperties:
+    @given(stream=streams, capacity=st.integers(min_value=1, max_value=10))
+    @settings(max_examples=60, deadline=None)
+    def test_bounds_always_bracket_truth(self, stream, capacity):
+        """For every key: lower <= true count <= upper, and upper - true <= N/m."""
+        ss = SpaceSaving(capacity=capacity)
+        truth = Counter()
+        for key in stream:
+            ss.update(key)
+            truth[key] += 1
+        for key in set(stream):
+            assert ss.lower_bound(key) <= truth[key] <= ss.upper_bound(key)
+            assert ss.upper_bound(key) - truth[key] <= len(stream) / capacity
+
+    @given(stream=streams, capacity=st.integers(min_value=1, max_value=10))
+    @settings(max_examples=60, deadline=None)
+    def test_total_mass_conserved(self, stream, capacity):
+        """The summary's counters always sum to exactly the stream length."""
+        ss = SpaceSaving(capacity=capacity)
+        for key in stream:
+            ss.update(key)
+        assert sum(ss.estimate(k) for k in ss) == len(stream)
+        assert len(ss) <= capacity
+
+
+class TestMisraGriesProperties:
+    @given(stream=streams, capacity=st.integers(min_value=1, max_value=10))
+    @settings(max_examples=60, deadline=None)
+    def test_never_overestimates(self, stream, capacity):
+        mg = MisraGries(capacity=capacity)
+        truth = Counter()
+        for key in stream:
+            mg.update(key)
+            truth[key] += 1
+        for key in set(stream):
+            assert mg.estimate(key) <= truth[key]
+            assert truth[key] - mg.estimate(key) <= len(stream) / (capacity + 1)
+
+
+# Hierarchies ------------------------------------------------------------------
+
+
+class TestHierarchyProperties:
+    @given(address=addresses)
+    @settings(max_examples=100, deadline=None)
+    def test_ipv4_round_trip(self, address):
+        assert ipv4_to_int(int_to_ipv4(address)) == address
+
+    @given(address=addresses, node_a=st.integers(0, 4), node_b=st.integers(0, 4))
+    @settings(max_examples=100, deadline=None)
+    def test_generalization_is_monotone(self, address, node_a, node_b):
+        """Masking further always yields an ancestor of the less-masked prefix."""
+        hierarchy = ipv4_byte_hierarchy()
+        lo, hi = min(node_a, node_b), max(node_a, node_b)
+        specific = (lo, hierarchy.generalize(address, lo))
+        general = (hi, hierarchy.generalize(address, hi))
+        assert hierarchy.is_ancestor(general, specific)
+
+    @given(address=addresses, node=st.integers(0, 32))
+    @settings(max_examples=100, deadline=None)
+    def test_bit_and_byte_hierarchies_agree_on_byte_boundaries(self, address, node):
+        bits = ipv4_bit_hierarchy()
+        bytes_ = ipv4_byte_hierarchy()
+        if node % 8 == 0:
+            assert bits.generalize(address, node) == bytes_.generalize(address, node // 8)
+
+    @given(src=addresses, dst=addresses, a=st.integers(0, 24), b=st.integers(0, 24))
+    @settings(max_examples=100, deadline=None)
+    def test_glb_is_a_common_descendant(self, src, dst, a, b):
+        """Whenever glb(h, h') exists it is generalized by both arguments (Definition 12)."""
+        lattice = ipv4_two_dim_byte_hierarchy()
+        key = (src, dst)
+        p = (a, lattice.generalize(key, a))
+        q = (b, lattice.generalize(key, b))
+        glb = lattice.glb(p, q)
+        assert glb is not None  # prefixes of the same key always share a descendant
+        assert lattice.is_ancestor(p, glb)
+        assert lattice.is_ancestor(q, glb)
+
+    @given(src=addresses, dst=addresses)
+    @settings(max_examples=60, deadline=None)
+    def test_ancestor_relation_is_transitive_along_chains(self, src, dst):
+        lattice = ipv4_two_dim_byte_hierarchy()
+        key = (src, dst)
+        chain = [(node, lattice.generalize(key, node)) for node in lattice.output_order()]
+        for i in range(len(chain) - 1):
+            a, b = chain[i], chain[i + 1]
+            if lattice.is_ancestor(b, a):
+                root = (lattice.fully_general_node(), (0, 0))
+                assert lattice.is_ancestor(root, a)
+
+
+# Conditioned frequencies -------------------------------------------------------
+
+
+class TestConditionedFrequencyProperties:
+    @given(stream=st.lists(st.integers(0, 15), min_size=5, max_size=200), theta=st.sampled_from([0.1, 0.2, 0.4]))
+    @settings(max_examples=40, deadline=None)
+    def test_exact_counters_make_conservative_estimates(self, stream, theta):
+        """With exact per-node counters, the Output estimate never undershoots the exact
+        conditioned frequency (the deterministic core of Theorems 6.11/6.15)."""
+        hierarchy = ipv4_byte_hierarchy()
+        # Spread small integers over a few /8 networks to create hierarchy structure.
+        keys = [ipv4_to_int(f"{10 + (k % 4)}.{k % 3}.{k % 2}.{k}") for k in stream]
+        counters = [ExactCounter() for _ in range(hierarchy.size)]
+        exact = ExactHHH(hierarchy)
+        for key in keys:
+            exact.update(key)
+            for node in range(hierarchy.size):
+                counters[node].update(hierarchy.generalize(key, node))
+        lower = lambda p: counters[p[0]].lower_bound(p[1])
+        upper = lambda p: counters[p[0]].upper_bound(p[1])
+        selected = []
+        for node in hierarchy.output_order():
+            for value in list(counters[node]):
+                prefix = (node, value)
+                estimate = conditioned_frequency_estimate(hierarchy, prefix, selected, lower, upper, 0.0)
+                assert estimate >= exact.conditioned_frequency(prefix, selected)
+                if estimate >= theta * len(keys):
+                    selected.append(prefix)
+
+
+# Traffic ------------------------------------------------------------------------
+
+
+class TestTrafficProperties:
+    @given(population=st.integers(1, 200), skew=st.floats(0.0, 3.0, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_zipf_weights_are_a_distribution(self, population, skew):
+        weights = zipf_weights(population, skew)
+        assert len(weights) == population
+        assert abs(weights.sum() - 1.0) < 1e-9
+        assert (weights >= 0).all()
+
+    @given(
+        packets=st.lists(
+            st.builds(
+                Packet,
+                src=addresses,
+                dst=addresses,
+                src_port=st.integers(0, 65535),
+                dst_port=st.integers(0, 65535),
+                protocol=st.sampled_from([1, 6, 17]),
+                size=st.sampled_from([64, 128, 512, 1500]),
+            ),
+            max_size=50,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_binary_trace_round_trip(self, packets, tmp_path_factory):
+        path = tmp_path_factory.mktemp("traces") / "trace.bin"
+        write_trace_binary(path, packets)
+        restored = list(read_trace_binary(path))
+        assert [(p.src, p.dst, p.src_port, p.dst_port, p.protocol) for p in restored] == [
+            (p.src, p.dst, p.src_port, p.dst_port, p.protocol) for p in packets
+        ]

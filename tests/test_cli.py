@@ -1,0 +1,100 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import FIGURES, HIERARCHIES, main
+from repro.traffic.trace_io import write_trace_binary
+from repro.traffic.zipf import ZipfFlowGenerator
+
+
+class TestDetect:
+    def test_detect_prints_prefixes(self, capsys):
+        exit_code = main(
+            [
+                "detect",
+                "--workload",
+                "chicago16",
+                "--packets",
+                "5000",
+                "--hierarchy",
+                "1d-bytes",
+                "--theta",
+                "0.2",
+                "--algorithm",
+                "mst",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "HHH prefixes" in out
+        assert "prefix" in out
+
+    def test_detect_from_binary_trace(self, tmp_path, capsys):
+        path = tmp_path / "trace.bin"
+        write_trace_binary(path, ZipfFlowGenerator(num_flows=50, skew=1.3, seed=1).packets(2_000))
+        exit_code = main(
+            [
+                "detect",
+                "--trace",
+                str(path),
+                "--packets",
+                "2000",
+                "--hierarchy",
+                "2d-bytes",
+                "--theta",
+                "0.2",
+                "--algorithm",
+                "mst",
+            ]
+        )
+        assert exit_code == 0
+        assert "HHH prefixes" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_compare_prints_table(self, capsys):
+        exit_code = main(
+            [
+                "compare",
+                "--packets",
+                "4000",
+                "--hierarchy",
+                "1d-bytes",
+                "--algorithms",
+                "rhhh",
+                "mst",
+                "--theta",
+                "0.2",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "rhhh" in out and "mst" in out
+        assert "recall" in out
+
+
+class TestFigure:
+    def test_figure_choices_cover_the_paper(self):
+        assert {"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "convergence"} <= set(FIGURES)
+
+    def test_fast_switch_figure(self, capsys):
+        exit_code = main(["figure", "--name", "fig6"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out
+        assert "rhhh" in out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "--name", "fig99"])
+
+
+class TestParser:
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_hierarchy_registry(self):
+        assert set(HIERARCHIES) == {"1d-bytes", "1d-bits", "2d-bytes"}

@@ -1,0 +1,50 @@
+"""Unit tests for the exception hierarchy and the top-level package surface."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.exceptions import (
+    AlgorithmError,
+    ConfigurationError,
+    HierarchyError,
+    ReproError,
+    SwitchError,
+    TraceFormatError,
+)
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exception_type",
+        [ConfigurationError, HierarchyError, AlgorithmError, TraceFormatError, SwitchError],
+    )
+    def test_all_derive_from_repro_error(self, exception_type):
+        assert issubclass(exception_type, ReproError)
+        assert issubclass(exception_type, Exception)
+
+    def test_single_except_clause_catches_library_errors(self):
+        with pytest.raises(ReproError):
+            raise TraceFormatError("boom")
+
+    def test_configuration_errors_surface_from_the_api(self):
+        with pytest.raises(ReproError):
+            repro.RHHHConfig(h=0)
+        with pytest.raises(ReproError):
+            repro.SpaceSaving(epsilon=5.0)
+        with pytest.raises(ReproError):
+            repro.named_workload("not-a-trace")
+
+
+class TestPackageSurface:
+    def test_version_string(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"__all__ lists {name} but it is not importable"
+
+    def test_key_entry_points_exported(self):
+        for name in ("RHHH", "MST", "ExactHHH", "ipv4_two_dim_byte_hierarchy", "named_workload"):
+            assert name in repro.__all__

@@ -1,0 +1,84 @@
+"""Unit tests for the synthetic backbone trace generator."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.hierarchy.onedim import ipv4_byte_hierarchy
+from repro.traffic.caida_like import WORKLOADS, BackboneTraceGenerator, named_workload
+
+
+class TestBackboneTraceGenerator:
+    def test_deterministic_with_seed(self):
+        a = BackboneTraceGenerator(num_flows=1_000, seed=9).keys_2d(2_000)
+        b = BackboneTraceGenerator(num_flows=1_000, seed=9).keys_2d(2_000)
+        assert a == b
+
+    def test_addresses_fit_32_bits(self):
+        generator = BackboneTraceGenerator(num_flows=500, seed=10)
+        for src, dst in generator.keys_2d(1_000):
+            assert 0 <= src < (1 << 32)
+            assert 0 <= dst < (1 << 32)
+
+    def test_hierarchical_concentration(self):
+        """Traffic must concentrate under few /8 and /16 prefixes - that is the point."""
+        hierarchy = ipv4_byte_hierarchy()
+        generator = BackboneTraceGenerator(num_flows=5_000, seed=11)
+        keys = generator.keys_1d(20_000)
+        slash8 = Counter(hierarchy.generalize(k, 3) for k in keys)
+        slash16 = Counter(hierarchy.generalize(k, 2) for k in keys)
+        # The busiest /8 carries a macroscopic share of the traffic.
+        assert slash8.most_common(1)[0][1] > 0.05 * len(keys)
+        # ... and there is real structure below it too.
+        assert slash16.most_common(1)[0][1] > 0.02 * len(keys)
+
+    def test_individual_flows_are_rarely_heavy(self):
+        """Fully specified flows stay light relative to their aggregates (HHH vs HH)."""
+        generator = BackboneTraceGenerator(num_flows=20_000, seed=12)
+        keys = generator.keys_2d(20_000)
+        top_flow = Counter(keys).most_common(1)[0][1]
+        hierarchy = ipv4_byte_hierarchy()
+        top_slash8 = Counter(hierarchy.generalize(s, 3) for s, _ in keys).most_common(1)[0][1]
+        assert top_slash8 > top_flow
+
+    def test_packets_have_mixed_protocols(self):
+        generator = BackboneTraceGenerator(num_flows=500, seed=13)
+        protocols = {p.protocol for p in generator.packets(500)}
+        assert protocols <= {1, 6, 17}
+        assert len(protocols) >= 2
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            BackboneTraceGenerator(num_flows=0)
+        with pytest.raises(ConfigurationError):
+            BackboneTraceGenerator(num_flows=10, top_level_networks=0)
+        with pytest.raises(ConfigurationError):
+            BackboneTraceGenerator(num_flows=10, seed=1).keys_2d(-5)
+
+
+class TestNamedWorkloads:
+    def test_all_four_paper_traces_exist(self):
+        assert set(WORKLOADS) == {"chicago15", "chicago16", "sanjose13", "sanjose14"}
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_each_workload_generates(self, name):
+        generator = named_workload(name, num_flows=1_000)
+        assert len(generator.keys_2d(100)) == 100
+
+    def test_workloads_differ_from_each_other(self):
+        a = named_workload("chicago15", num_flows=1_000).keys_2d(500)
+        b = named_workload("sanjose14", num_flows=1_000).keys_2d(500)
+        assert a != b
+
+    def test_workloads_are_reproducible(self):
+        assert (
+            named_workload("chicago16", num_flows=1_000).keys_2d(500)
+            == named_workload("chicago16", num_flows=1_000).keys_2d(500)
+        )
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            named_workload("paris99")

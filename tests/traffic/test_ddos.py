@@ -1,0 +1,82 @@
+"""Unit tests for the DDoS scenario generator."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.hierarchy.ip import ipv4_to_int
+from repro.hierarchy.onedim import ipv4_byte_hierarchy
+from repro.traffic.ddos import DDoSScenario
+
+
+def _scenario(**overrides):
+    defaults = dict(
+        attack_subnets=[("42.13.7.0", 24)],
+        victim="198.51.100.17",
+        attack_fraction=0.3,
+        hosts_per_subnet=100,
+        seed=1,
+    )
+    defaults.update(overrides)
+    return DDoSScenario(**defaults)
+
+
+class TestDDoSScenario:
+    def test_attack_fraction_respected(self):
+        scenario = _scenario()
+        keys = scenario.keys_2d(20_000)
+        victims = sum(1 for _src, dst in keys if dst == scenario.victim)
+        assert 0.22 <= victims / len(keys) <= 0.38
+
+    def test_attack_sources_come_from_the_subnets(self):
+        scenario = _scenario()
+        subnet = ipv4_to_int("42.13.7.0")
+        for src, dst in scenario.keys_2d(5_000):
+            if dst == scenario.victim:
+                assert src & 0xFFFFFF00 == subnet
+
+    def test_no_single_attacker_is_heavy(self):
+        """The defining property: the subnet is heavy, no individual host is."""
+        scenario = _scenario(hosts_per_subnet=200)
+        keys = scenario.keys_2d(30_000)
+        attack_sources = Counter(src for src, dst in keys if dst == scenario.victim)
+        total = len(keys)
+        assert sum(attack_sources.values()) > 0.2 * total
+        assert max(attack_sources.values()) < 0.05 * total
+
+    def test_attack_subnet_is_source_aggregate(self):
+        hierarchy = ipv4_byte_hierarchy()
+        scenario = _scenario()
+        keys = scenario.keys_1d(20_000)
+        slash24 = Counter(hierarchy.generalize(k, 1) for k in keys)
+        assert slash24[ipv4_to_int("42.13.7.0")] > 0.2 * len(keys)
+
+    def test_multiple_subnets(self):
+        scenario = _scenario(attack_subnets=[("42.13.7.0", 24), ("203.9.81.0", 24)])
+        keys = scenario.keys_2d(10_000)
+        prefixes = {src & 0xFFFFFF00 for src, dst in keys if dst == scenario.victim}
+        assert prefixes == {ipv4_to_int("42.13.7.0"), ipv4_to_int("203.9.81.0")}
+
+    def test_packets_iterator(self):
+        packets = list(_scenario().packets(50))
+        assert len(packets) == 50
+
+    def test_deterministic_with_seed(self):
+        assert _scenario(seed=5).keys_2d(1_000) == _scenario(seed=5).keys_2d(1_000)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            dict(attack_subnets=[]),
+            dict(attack_fraction=0.0),
+            dict(attack_fraction=1.0),
+            dict(hosts_per_subnet=0),
+            dict(attack_subnets=[("42.13.7.0", 0)]),
+        ],
+    )
+    def test_rejects_bad_parameters(self, overrides):
+        with pytest.raises(ConfigurationError):
+            _scenario(**overrides)

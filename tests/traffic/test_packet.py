@@ -1,0 +1,29 @@
+"""Unit tests for the Packet model."""
+
+from __future__ import annotations
+
+from repro.hierarchy.ip import ipv4_to_int
+from repro.traffic.packet import Packet
+
+
+class TestPacket:
+    def test_keys(self):
+        packet = Packet(src=ipv4_to_int("10.0.0.1"), dst=ipv4_to_int("20.0.0.2"))
+        assert packet.key_1d() == ipv4_to_int("10.0.0.1")
+        assert packet.key_2d() == (ipv4_to_int("10.0.0.1"), ipv4_to_int("20.0.0.2"))
+
+    def test_five_tuple(self):
+        packet = Packet(src=1, dst=2, src_port=1234, dst_port=80, protocol=6)
+        assert packet.five_tuple() == (1, 2, 1234, 80, 6)
+
+    def test_str_renders_addresses(self):
+        packet = Packet(src=ipv4_to_int("10.0.0.1"), dst=ipv4_to_int("20.0.0.2"), src_port=5, dst_port=6)
+        text = str(packet)
+        assert "10.0.0.1" in text
+        assert "20.0.0.2" in text
+
+    def test_immutability_and_hash(self):
+        a = Packet(src=1, dst=2)
+        b = Packet(src=1, dst=2)
+        assert a == b
+        assert len({a, b}) == 1

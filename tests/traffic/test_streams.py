@@ -1,0 +1,60 @@
+"""Unit tests for the stream utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traffic.streams import StreamStats, chunked, interleave, stream_stats, take
+
+
+class TestTake:
+    def test_takes_first_n(self):
+        assert take(range(100), 5) == [0, 1, 2, 3, 4]
+
+    def test_short_iterable(self):
+        assert take([1, 2], 10) == [1, 2]
+
+
+class TestChunked:
+    def test_even_chunks(self):
+        assert list(chunked([1, 2, 3, 4], 2)) == [[1, 2], [3, 4]]
+
+    def test_ragged_tail(self):
+        assert list(chunked([1, 2, 3, 4, 5], 2)) == [[1, 2], [3, 4], [5]]
+
+    def test_empty_input(self):
+        assert list(chunked([], 3)) == []
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            list(chunked([1], 0))
+
+
+class TestInterleave:
+    def test_round_robin(self):
+        assert list(interleave([1, 2, 3], ["a", "b"])) == [1, "a", 2, "b", 3]
+
+    def test_empty_inputs(self):
+        assert list(interleave([], [])) == []
+
+
+class TestStreamStats:
+    def test_basic_statistics(self):
+        stats = stream_stats(["a", "b", "a", "a", "c"])
+        assert stats.total == 5
+        assert stats.distinct == 3
+        assert stats.max_frequency == 3
+        assert stats.max_share == pytest.approx(0.6)
+        assert stats.top[0] == ("a", 3)
+
+    def test_empty_stream(self):
+        stats = stream_stats([])
+        assert stats.total == 0
+        assert stats.max_share == 0.0
+
+    def test_top_k_limit(self):
+        stats = stream_stats(list(range(100)), top_k=5)
+        assert len(stats.top) == 5
+
+    def test_dataclass_defaults(self):
+        assert StreamStats().total == 0

@@ -1,0 +1,80 @@
+"""Unit tests for the trace serialization formats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TraceFormatError
+from repro.traffic.packet import Packet
+from repro.traffic.trace_io import (
+    read_trace_binary,
+    read_trace_csv,
+    write_trace_binary,
+    write_trace_csv,
+)
+from repro.traffic.zipf import ZipfFlowGenerator
+
+
+@pytest.fixture
+def sample_packets():
+    return list(ZipfFlowGenerator(num_flows=50, skew=1.0, seed=2).packets(200))
+
+
+class TestCSV:
+    def test_round_trip(self, tmp_path, sample_packets):
+        path = tmp_path / "trace.csv"
+        written = write_trace_csv(path, sample_packets)
+        assert written == len(sample_packets)
+        restored = read_trace_csv(path)
+        assert restored == sample_packets
+
+    def test_missing_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("foo,bar\n1,2\n")
+        with pytest.raises(TraceFormatError):
+            read_trace_csv(path)
+
+    def test_malformed_row_rejected(self, tmp_path):
+        path = tmp_path / "bad2.csv"
+        path.write_text("src,dst\n1,notanumber\n")
+        with pytest.raises(TraceFormatError):
+            read_trace_csv(path)
+
+
+class TestBinary:
+    def test_round_trip(self, tmp_path, sample_packets):
+        path = tmp_path / "trace.bin"
+        written = write_trace_binary(path, sample_packets)
+        assert written == len(sample_packets)
+        restored = list(read_trace_binary(path))
+        assert len(restored) == len(sample_packets)
+        for original, loaded in zip(sample_packets, restored):
+            assert loaded.src == original.src
+            assert loaded.dst == original.dst
+            assert loaded.src_port == original.src_port
+            assert loaded.protocol == original.protocol
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        assert write_trace_binary(path, []) == 0
+        assert list(read_trace_binary(path)) == []
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"NOPE" + b"\x00" * 16)
+        with pytest.raises(TraceFormatError):
+            list(read_trace_binary(path))
+
+    def test_truncated_file_rejected(self, tmp_path, sample_packets):
+        path = tmp_path / "trunc.bin"
+        write_trace_binary(path, sample_packets)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 5])
+        with pytest.raises(TraceFormatError):
+            list(read_trace_binary(path))
+
+    def test_truncated_header_rejected(self, tmp_path):
+        path = tmp_path / "header.bin"
+        path.write_bytes(b"RH")
+        with pytest.raises(TraceFormatError):
+            list(read_trace_binary(path))

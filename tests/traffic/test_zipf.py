@@ -1,0 +1,75 @@
+"""Unit tests for the Zipf flow generator."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.traffic.zipf import ZipfFlowGenerator, zipf_weights
+
+
+class TestZipfWeights:
+    def test_weights_sum_to_one(self):
+        assert zipf_weights(100, 1.0).sum() == pytest.approx(1.0)
+
+    def test_weights_are_decreasing(self):
+        weights = zipf_weights(50, 1.2)
+        assert all(weights[i] >= weights[i + 1] for i in range(49))
+
+    def test_zero_skew_is_uniform(self):
+        weights = zipf_weights(10, 0.0)
+        assert np.allclose(weights, 0.1)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ConfigurationError):
+            zipf_weights(10, -1.0)
+
+
+class TestZipfFlowGenerator:
+    def test_deterministic_with_seed(self):
+        a = ZipfFlowGenerator(num_flows=100, skew=1.0, seed=3).keys_2d(1_000)
+        b = ZipfFlowGenerator(num_flows=100, skew=1.0, seed=3).keys_2d(1_000)
+        assert a == b
+
+    def test_keys_come_from_the_population(self):
+        generator = ZipfFlowGenerator(num_flows=50, skew=1.0, seed=4)
+        population = set(generator.flow_population())
+        assert set(generator.keys_2d(2_000)) <= population
+
+    def test_skew_concentrates_traffic(self):
+        skewed = ZipfFlowGenerator(num_flows=1_000, skew=1.5, seed=5).keys_2d(20_000)
+        flat = ZipfFlowGenerator(num_flows=1_000, skew=0.1, seed=5).keys_2d(20_000)
+        top_skewed = Counter(skewed).most_common(1)[0][1]
+        top_flat = Counter(flat).most_common(1)[0][1]
+        assert top_skewed > 3 * top_flat
+
+    def test_explicit_flow_population(self):
+        flows = [(1, 2), (3, 4), (5, 6)]
+        generator = ZipfFlowGenerator(flows=flows, skew=1.0, seed=6)
+        assert generator.num_flows == 3
+        assert set(generator.keys_2d(100)) <= set(flows)
+
+    def test_keys_1d_are_sources(self):
+        generator = ZipfFlowGenerator(num_flows=20, skew=1.0, seed=7)
+        keys_2d = generator.keys_2d(0)
+        sources = {src for src, _ in generator.flow_population()}
+        assert set(generator.keys_1d(500)) <= sources
+
+    def test_packets_iterator(self):
+        generator = ZipfFlowGenerator(num_flows=20, skew=1.0, seed=8, packet_size=128)
+        packets = list(generator.packets(10))
+        assert len(packets) == 10
+        assert all(p.size == 128 for p in packets)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ZipfFlowGenerator(num_flows=0)
+        with pytest.raises(ConfigurationError):
+            ZipfFlowGenerator(flows=[])
+        with pytest.raises(ConfigurationError):
+            ZipfFlowGenerator(num_flows=10, seed=1).keys_2d(-1)

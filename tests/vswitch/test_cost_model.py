@@ -1,0 +1,109 @@
+"""Unit tests for the switch cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rhhh import RHHH
+from repro.exceptions import ConfigurationError
+from repro.hhh.ancestry import FullAncestry, PartialAncestry
+from repro.hhh.mst import MST
+from repro.hhh.sampled_mst import SampledMST
+from repro.vswitch.cost_model import CostModel, ThroughputResult
+
+
+class TestThroughputConversion:
+    def test_mpps_from_cycles(self):
+        model = CostModel(cpu_ghz=3.1)
+        assert model.mpps_for_cycles(310.0) == pytest.approx(10.0)
+
+    def test_line_rate_cap(self):
+        model = CostModel()
+        result = model.throughput(10.0, offered_mpps=14.88, line_rate_mpps=14.88)
+        assert result.achieved_mpps == 14.88  # CPU could do far more, line rate caps it
+
+    def test_cpu_cap(self):
+        model = CostModel(cpu_ghz=3.1)
+        result = model.throughput(1_000.0, offered_mpps=14.88, line_rate_mpps=14.88)
+        assert result.achieved_mpps == pytest.approx(3.1)
+        assert result.loss_fraction == pytest.approx(1 - 3.1 / 14.88, rel=1e-3)
+
+    def test_offered_load_cap(self):
+        model = CostModel()
+        result = model.throughput(100.0, offered_mpps=2.0, line_rate_mpps=14.88)
+        assert result.achieved_mpps == 2.0
+        assert result.loss_fraction == 0.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            CostModel(cpu_ghz=0)
+        with pytest.raises(ConfigurationError):
+            CostModel(rng_cycles=-1)
+        with pytest.raises(ConfigurationError):
+            CostModel().throughput(10.0, offered_mpps=1.0, line_rate_mpps=0.0)
+
+
+class TestMeasurementCycles:
+    def test_rhhh_cost_independent_of_h(self, byte_hierarchy, two_dim_hierarchy):
+        """The core claim: RHHH's per-packet cost does not grow with H."""
+        model = CostModel()
+        small = model.measurement_cycles(RHHH(byte_hierarchy, epsilon=0.05, delta=0.1))
+        large = model.measurement_cycles(RHHH(two_dim_hierarchy, epsilon=0.05, delta=0.1))
+        assert large == pytest.approx(small, rel=0.01)
+
+    def test_mst_cost_scales_with_h(self, byte_hierarchy, two_dim_hierarchy):
+        model = CostModel()
+        small = model.measurement_cycles(MST(byte_hierarchy, epsilon=0.05))
+        large = model.measurement_cycles(MST(two_dim_hierarchy, epsilon=0.05))
+        assert large == pytest.approx(small * 5, rel=0.01)
+
+    def test_larger_v_is_cheaper(self, two_dim_hierarchy):
+        model = CostModel()
+        v_h = model.measurement_cycles(RHHH(two_dim_hierarchy, epsilon=0.05, delta=0.1))
+        v_10h = model.measurement_cycles(
+            RHHH(two_dim_hierarchy, epsilon=0.05, delta=0.1, v=10 * two_dim_hierarchy.size)
+        )
+        assert v_10h < v_h
+
+    def test_multi_update_costs_r_times_more(self, two_dim_hierarchy):
+        model = CostModel()
+        single = model.measurement_cycles(RHHH(two_dim_hierarchy, epsilon=0.05, delta=0.1))
+        triple = model.measurement_cycles(
+            RHHH(two_dim_hierarchy, epsilon=0.05, delta=0.1, updates_per_packet=3)
+        )
+        assert triple == pytest.approx(3 * single)
+
+    def test_ordering_matches_the_paper(self, two_dim_hierarchy):
+        """10-RHHH < RHHH < Partial Ancestry < MST in per-packet cost (Figure 6's ordering)."""
+        model = CostModel()
+        ten_rhhh = model.measurement_cycles(
+            RHHH(two_dim_hierarchy, epsilon=0.001, delta=0.001, v=10 * two_dim_hierarchy.size)
+        )
+        rhhh = model.measurement_cycles(RHHH(two_dim_hierarchy, epsilon=0.001, delta=0.001))
+        partial = model.measurement_cycles(PartialAncestry(two_dim_hierarchy, epsilon=0.001))
+        full = model.measurement_cycles(FullAncestry(two_dim_hierarchy, epsilon=0.001))
+        mst = model.measurement_cycles(MST(two_dim_hierarchy, epsilon=0.001))
+        assert ten_rhhh < rhhh < partial <= full < mst
+
+    def test_sampled_mst_cost(self, two_dim_hierarchy):
+        model = CostModel()
+        cost = model.measurement_cycles(SampledMST(two_dim_hierarchy, epsilon=0.01))
+        mst_cost = model.measurement_cycles(MST(two_dim_hierarchy, epsilon=0.01))
+        assert cost < mst_cost
+
+    def test_unknown_algorithm_rejected(self, byte_hierarchy):
+        model = CostModel()
+
+        class Fake:
+            hierarchy = byte_hierarchy
+
+        with pytest.raises(ConfigurationError):
+            model.measurement_cycles(Fake())
+
+    def test_sampling_forward_cycles(self):
+        model = CostModel()
+        dense = model.sampling_forward_cycles(25, 25)
+        sparse = model.sampling_forward_cycles(25, 250)
+        assert sparse < dense
+        with pytest.raises(ConfigurationError):
+            model.sampling_forward_cycles(25, 10)

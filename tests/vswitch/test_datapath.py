@@ -1,0 +1,95 @@
+"""Unit tests for the datapath and ports/actions plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SwitchError
+from repro.hierarchy.ip import ipv4_to_int
+from repro.traffic.packet import Packet
+from repro.vswitch.actions import DropAction, OutputAction
+from repro.vswitch.cost_model import CostModel
+from repro.vswitch.datapath import Datapath
+from repro.vswitch.flow_table import FlowTable
+from repro.vswitch.ports import Port, PortStats
+
+
+def _packet(i=0):
+    return Packet(src=ipv4_to_int("10.0.0.1") + i, dst=ipv4_to_int("20.0.0.2"), src_port=1000 + i)
+
+
+def _datapath(default_action=OutputAction(1)):
+    datapath = Datapath(FlowTable(default_action=default_action), CostModel())
+    datapath.add_port(Port(0, "dpdk0"))
+    datapath.add_port(Port(1, "dpdk1"))
+    return datapath
+
+
+class TestPortsAndActions:
+    def test_port_stats_accumulate(self):
+        port = Port(3, "vhost0", peer="vm1")
+        port.record_rx(64)
+        port.record_tx(64)
+        port.record_drop()
+        assert port.stats == PortStats(rx_packets=1, tx_packets=1, rx_bytes=64, tx_bytes=64, dropped=1)
+
+    def test_negative_port_number_rejected(self):
+        with pytest.raises(SwitchError):
+            Port(-1, "bad")
+
+    def test_action_descriptions(self):
+        assert OutputAction(2).describe() == "output:2"
+        assert DropAction().describe() == "drop"
+
+
+class TestDatapath:
+    def test_forwarding_updates_port_counters(self):
+        datapath = _datapath()
+        datapath.process(_packet(), ingress_port=0)
+        assert datapath.port(0).stats.rx_packets == 1
+        assert datapath.port(1).stats.tx_packets == 1
+        assert datapath.processed == 1
+        assert datapath.dropped == 0
+
+    def test_drop_action_counts_drop(self):
+        datapath = _datapath(default_action=DropAction())
+        datapath.process(_packet(), ingress_port=0)
+        assert datapath.dropped == 1
+        assert datapath.port(0).stats.dropped == 1
+
+    def test_duplicate_port_rejected(self):
+        datapath = _datapath()
+        with pytest.raises(SwitchError):
+            datapath.add_port(Port(0, "dup"))
+
+    def test_unknown_port_rejected(self):
+        with pytest.raises(SwitchError):
+            _datapath().process(_packet(), ingress_port=9)
+
+    def test_cycles_accumulate_and_classifier_costs_more(self):
+        datapath = _datapath()
+        packet = _packet()
+        datapath.process(packet, ingress_port=0)  # EMC miss -> classifier charged
+        first = datapath.total_cycles
+        datapath.process(packet, ingress_port=0)  # EMC hit
+        second = datapath.total_cycles - first
+        assert first > second
+        assert datapath.cycles_per_packet == pytest.approx(datapath.total_cycles / 2)
+
+    def test_measurement_hook_cycles_charged(self):
+        datapath = _datapath()
+        calls = []
+
+        def hook(packet):
+            calls.append(packet)
+            return 500.0
+
+        datapath.set_measurement_hook(hook)
+        datapath.process(_packet(), ingress_port=0)
+        assert len(calls) == 1
+        assert datapath.total_cycles >= 500.0
+
+    def test_process_many_counts_forwarded(self):
+        datapath = _datapath()
+        forwarded = datapath.process_many([_packet(i) for i in range(10)], ingress_port=0)
+        assert forwarded == 10

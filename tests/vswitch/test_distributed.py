@@ -1,0 +1,77 @@
+"""Unit tests for the distributed (measurement VM) deployment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rhhh import RHHH
+from repro.exceptions import SwitchError
+from repro.traffic.caida_like import named_workload
+from repro.vswitch.cost_model import CostModel
+from repro.vswitch.distributed import DistributedMeasurement, MeasurementVM
+
+
+def _vm(hierarchy, seed=1):
+    return MeasurementVM(RHHH(hierarchy, epsilon=0.05, delta=0.1, seed=seed), CostModel())
+
+
+class TestMeasurementVM:
+    def test_vm_requires_v_equals_h(self, two_dim_hierarchy):
+        with pytest.raises(SwitchError):
+            MeasurementVM(RHHH(two_dim_hierarchy, epsilon=0.05, delta=0.1, v=250))
+
+    def test_vm_processes_received_packets(self, two_dim_hierarchy):
+        vm = _vm(two_dim_hierarchy)
+        for i in range(100):
+            vm.receive((i, i))
+        assert vm.received == 100
+        assert vm.algorithm.total == 100
+
+    def test_vm_processing_rate_positive(self, two_dim_hierarchy):
+        assert _vm(two_dim_hierarchy).processing_rate_mpps() > 0
+
+
+class TestDistributedMeasurement:
+    def test_forwarding_probability(self, two_dim_hierarchy):
+        vm = _vm(two_dim_hierarchy)
+        deployment = DistributedMeasurement(25, 250, vm, CostModel(), seed=2)
+        assert deployment.forwarding_probability == pytest.approx(0.1)
+
+    def test_only_sampled_packets_reach_the_vm(self, two_dim_hierarchy):
+        vm = _vm(two_dim_hierarchy)
+        deployment = DistributedMeasurement(25, 250, vm, CostModel(), seed=3)
+        workload = named_workload("chicago16", num_flows=500)
+        deployment.process(workload.packets(5_000))
+        assert deployment.seen == 5_000
+        assert deployment.forwarded == vm.received
+        assert 0.05 <= deployment.forwarded / 5_000 <= 0.16
+
+    def test_vm_measurement_still_finds_heavy_hitters(self, two_dim_hierarchy):
+        vm = _vm(two_dim_hierarchy, seed=4)
+        deployment = DistributedMeasurement(25, 50, vm, CostModel(), seed=4)
+        workload = named_workload("sanjose14", num_flows=2_000)
+        deployment.process(workload.packets(20_000))
+        output = vm.output(theta=0.2)
+        assert len(output) >= 1
+
+    def test_throughput_improves_with_v(self, two_dim_hierarchy):
+        """Figure 8's shape: larger V means fewer forwarded packets and higher switch throughput."""
+        cost = CostModel()
+        results = []
+        for v in (25, 100, 250):
+            deployment = DistributedMeasurement(25, v, _vm(two_dim_hierarchy), cost, seed=5)
+            results.append(deployment.throughput().achieved_mpps)
+        assert results[0] < results[1] < results[2]
+
+    def test_switch_cycles_override_base(self, two_dim_hierarchy):
+        deployment = DistributedMeasurement(25, 250, _vm(two_dim_hierarchy), CostModel(), seed=6)
+        assert deployment.switch_cycles_per_packet(base_forwarding_cycles=0.0) < (
+            deployment.switch_cycles_per_packet()
+        )
+
+    def test_rejects_bad_parameters(self, two_dim_hierarchy):
+        vm = _vm(two_dim_hierarchy)
+        with pytest.raises(SwitchError):
+            DistributedMeasurement(25, 10, vm)
+        with pytest.raises(SwitchError):
+            DistributedMeasurement(25, 50, vm, dimensions=3)

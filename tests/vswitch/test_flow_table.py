@@ -1,0 +1,98 @@
+"""Unit tests for the exact-match cache + tuple-space classifier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SwitchError
+from repro.hierarchy.ip import ipv4_to_int
+from repro.traffic.packet import Packet
+from repro.vswitch.actions import DropAction, OutputAction
+from repro.vswitch.flow_table import FlowEntry, FlowTable
+
+
+def _packet(src="10.0.0.1", dst="20.0.0.2", sport=1000, dport=80):
+    return Packet(src=ipv4_to_int(src), dst=ipv4_to_int(dst), src_port=sport, dst_port=dport)
+
+
+def _wildcard_entry(src_prefix, dst_prefix, action, priority=0):
+    """Build a FlowEntry matching /16 source and /8 destination prefixes."""
+    return FlowEntry(
+        src_mask=0xFFFF0000,
+        dst_mask=0xFF000000,
+        src_match=ipv4_to_int(src_prefix) & 0xFFFF0000,
+        dst_match=ipv4_to_int(dst_prefix) & 0xFF000000,
+        action=action,
+        priority=priority,
+    )
+
+
+class TestFlowEntry:
+    def test_matches_respects_masks(self):
+        entry = _wildcard_entry("10.0.0.0", "20.0.0.0", OutputAction(1))
+        assert entry.matches(_packet("10.0.99.99", "20.55.66.77"))
+        assert not entry.matches(_packet("10.1.0.1", "20.0.0.2"))
+        assert not entry.matches(_packet("10.0.0.1", "21.0.0.2"))
+
+
+class TestLookup:
+    def test_default_action_on_miss(self):
+        table = FlowTable(default_action=OutputAction(1))
+        action, emc_hit = table.lookup(_packet())
+        assert isinstance(action, OutputAction)
+        assert not emc_hit
+
+    def test_no_default_means_none(self):
+        table = FlowTable()
+        action, _hit = table.lookup(_packet())
+        assert action is None
+        assert table.stats.classifier_misses == 1
+
+    def test_classifier_match_then_emc_hit(self):
+        table = FlowTable(default_action=DropAction())
+        table.add_flow(_wildcard_entry("10.0.0.0", "20.0.0.0", OutputAction(2)))
+        packet = _packet()
+        first_action, first_hit = table.lookup(packet)
+        second_action, second_hit = table.lookup(packet)
+        assert isinstance(first_action, OutputAction) and not first_hit
+        assert isinstance(second_action, OutputAction) and second_hit
+        assert table.stats.emc_hits == 1
+        assert table.stats.classifier_hits == 1
+        assert 0.0 < table.stats.emc_hit_rate < 1.0
+
+    def test_priority_wins(self):
+        table = FlowTable()
+        table.add_flow(_wildcard_entry("10.0.0.0", "20.0.0.0", OutputAction(1), priority=1))
+        table.add_flow(
+            FlowEntry(
+                src_mask=0xFF000000,
+                dst_mask=0,
+                src_match=ipv4_to_int("10.0.0.0"),
+                dst_match=0,
+                action=OutputAction(9),
+                priority=5,
+            )
+        )
+        action, _ = table.lookup(_packet())
+        assert action == OutputAction(9)
+
+    def test_flow_and_mask_counts(self):
+        table = FlowTable()
+        table.add_flow(_wildcard_entry("10.0.0.0", "20.0.0.0", OutputAction(1)))
+        table.add_flow(_wildcard_entry("30.0.0.0", "40.0.0.0", OutputAction(2)))
+        assert table.flow_count() == 2
+        assert table.mask_count() == 1  # same mask pair -> one tuple
+
+    def test_emc_eviction_fifo(self):
+        table = FlowTable(emc_capacity=2, default_action=OutputAction(1))
+        p1, p2, p3 = _packet(sport=1), _packet(sport=2), _packet(sport=3)
+        table.lookup(p1)
+        table.lookup(p2)
+        table.lookup(p3)  # evicts p1's five-tuple
+        table.lookup(p1)
+        # p1 had to go through the classifier path again.
+        assert table.stats.emc_hits == 0
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(SwitchError):
+            FlowTable(emc_capacity=0)

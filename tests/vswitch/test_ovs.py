@@ -1,0 +1,111 @@
+"""Unit tests for the simulated OVS switch and the dataplane measurement integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rhhh import RHHH
+from repro.exceptions import SwitchError
+from repro.hhh.mst import MST
+from repro.traffic.caida_like import named_workload
+from repro.vswitch.cost_model import CostModel
+from repro.vswitch.moongen import LINE_RATE_64B_MPPS, TrafficGenerator, line_rate_mpps
+from repro.vswitch.ovs import DataplaneMeasurement, OVSSwitch
+
+
+class TestMoonGen:
+    def test_line_rate_formula(self):
+        assert line_rate_mpps(10, 64) == pytest.approx(14.88, abs=0.01)
+        assert LINE_RATE_64B_MPPS == pytest.approx(14.88, abs=0.01)
+
+    def test_larger_frames_mean_fewer_packets(self):
+        assert line_rate_mpps(10, 1024) < line_rate_mpps(10, 64)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(SwitchError):
+            line_rate_mpps(0, 64)
+        with pytest.raises(SwitchError):
+            TrafficGenerator(frame_bytes=32)
+
+    def test_generator_produces_fixed_size_packets(self):
+        generator = TrafficGenerator(seed=1)
+        packets = list(generator.packets(20))
+        assert len(packets) == 20
+        assert all(p.size == 64 for p in packets)
+
+    def test_duration(self):
+        generator = TrafficGenerator(offered_mpps=10.0, seed=1)
+        assert generator.duration_seconds(10_000_000) == pytest.approx(1.0)
+
+
+class TestUnmodifiedSwitch:
+    def test_line_rate_limited(self):
+        """Unmodified OVS forwards at line rate (the paper's baseline in Figure 6)."""
+        switch = OVSSwitch(CostModel())
+        result = switch.throughput()
+        assert result.achieved_mpps == pytest.approx(LINE_RATE_64B_MPPS, abs=0.01)
+
+    def test_forwarding_is_functional(self):
+        switch = OVSSwitch(CostModel())
+        generator = TrafficGenerator(named_workload("chicago16", num_flows=500), seed=2)
+        forwarded = switch.forward(generator.packets(1_000))
+        assert forwarded == 1_000
+
+    def test_emc_hit_rate_parameter_validated(self):
+        with pytest.raises(SwitchError):
+            OVSSwitch().expected_cycles_per_packet(emc_hit_rate=2.0)
+
+
+class TestDataplaneMeasurement:
+    def test_measurement_updates_algorithm_while_forwarding(self, two_dim_hierarchy):
+        cost = CostModel()
+        switch = OVSSwitch(cost)
+        algorithm = RHHH(two_dim_hierarchy, epsilon=0.05, delta=0.1, seed=3)
+        switch.attach_measurement(DataplaneMeasurement(algorithm, cost))
+        generator = TrafficGenerator(named_workload("chicago16", num_flows=500), seed=3)
+        switch.forward(generator.packets(2_000))
+        assert algorithm.total == 2_000
+
+    def test_one_dimensional_measurement(self, byte_hierarchy):
+        cost = CostModel()
+        switch = OVSSwitch(cost)
+        algorithm = RHHH(byte_hierarchy, epsilon=0.05, delta=0.1, seed=4)
+        switch.attach_measurement(DataplaneMeasurement(algorithm, cost, dimensions=1))
+        generator = TrafficGenerator(named_workload("sanjose14", num_flows=500), seed=4)
+        switch.forward(generator.packets(1_000))
+        assert algorithm.total == 1_000
+        assert len(algorithm.output(0.2)) >= 1
+
+    def test_throughput_ordering_matches_figure6(self, two_dim_hierarchy):
+        cost = CostModel()
+
+        def throughput_with(algorithm):
+            switch = OVSSwitch(cost)
+            switch.attach_measurement(DataplaneMeasurement(algorithm, cost))
+            return switch.throughput().achieved_mpps
+
+        unmodified = OVSSwitch(cost).throughput().achieved_mpps
+        ten_rhhh = throughput_with(
+            RHHH(two_dim_hierarchy, epsilon=0.001, delta=0.001, v=10 * two_dim_hierarchy.size)
+        )
+        rhhh = throughput_with(RHHH(two_dim_hierarchy, epsilon=0.001, delta=0.001))
+        mst = throughput_with(MST(two_dim_hierarchy, epsilon=0.001))
+        assert unmodified >= ten_rhhh > rhhh > mst
+        # The paper's headline: 10-RHHH within a few percent of the unmodified switch.
+        assert ten_rhhh >= 0.9 * unmodified
+        # ... and RHHH-family throughput is a small multiple below line rate while MST is far below.
+        assert rhhh > 2 * mst
+
+    def test_detach_measurement(self, two_dim_hierarchy):
+        cost = CostModel()
+        switch = OVSSwitch(cost)
+        switch.attach_measurement(
+            DataplaneMeasurement(RHHH(two_dim_hierarchy, epsilon=0.05, delta=0.1), cost)
+        )
+        switch.attach_measurement(None)
+        assert switch.measurement is None
+        assert switch.throughput().achieved_mpps == pytest.approx(LINE_RATE_64B_MPPS, abs=0.01)
+
+    def test_invalid_dimensions_rejected(self, two_dim_hierarchy):
+        with pytest.raises(SwitchError):
+            DataplaneMeasurement(RHHH(two_dim_hierarchy, epsilon=0.05, delta=0.1), dimensions=3)
