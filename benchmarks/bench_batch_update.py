@@ -1,0 +1,216 @@
+"""Scalar-vs-batch update throughput microbenchmark for the RHHH batch engine.
+
+Compares three ways of feeding the same stream into RHHH at the Figure 5
+settings (sanjose14 backbone workload, 2D-bytes lattice by default):
+
+* ``update``       - the per-packet general entry point (the scalar baseline);
+* ``update_fast``  - the per-packet unit-weight fast path;
+* ``update_batch`` - the vectorized batch engine, fed ``--batch-size`` chunks.
+
+Before timing anything the script verifies the batch engine end to end: a
+seeded instance fed through the vectorized ``update_batch`` must be
+bit-identical (same ``output(theta)`` candidates and same per-node counter
+state) to a same-seed instance fed through the scalar reference
+``update_batch_reference``.  The benchmark refuses to report numbers for a
+batch path that does not match its sequential specification.
+
+Runs standalone (no pytest-benchmark dependency)::
+
+    PYTHONPATH=src python benchmarks/bench_batch_update.py
+    PYTHONPATH=src python benchmarks/bench_batch_update.py --packets 100000 --json out.json
+
+Exit status is non-zero if verification fails, or if ``--min-speedup`` is
+given and the measured batch speedup over the ``update`` loop falls short.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.rhhh import RHHH
+from repro.eval.reporting import format_table
+from repro.hierarchy.onedim import ipv4_bit_hierarchy, ipv4_byte_hierarchy
+from repro.hierarchy.twodim import ipv4_two_dim_byte_hierarchy
+from repro.traffic.caida_like import named_workload
+
+HIERARCHIES = {
+    "1d-bytes": ipv4_byte_hierarchy,
+    "1d-bits": ipv4_bit_hierarchy,
+    "2d-bytes": ipv4_two_dim_byte_hierarchy,
+}
+
+
+def _parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--workload", default="sanjose14")
+    parser.add_argument("--num-flows", type=int, default=10_000)
+    parser.add_argument("--packets", type=int, default=500_000)
+    parser.add_argument("--hierarchy", default="2d-bytes", choices=sorted(HIERARCHIES))
+    parser.add_argument("--epsilon", type=float, default=0.003, help="Figure 5 accuracy target")
+    parser.add_argument("--delta", type=float, default=0.01)
+    parser.add_argument("--v-multiplier", type=int, default=1, help="V = multiplier * H (10 = 10-RHHH)")
+    parser.add_argument("--batch-size", type=int, default=131_072)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--repeats", type=int, default=3, help="median-of-N timing repeats")
+    parser.add_argument("--verify-packets", type=int, default=100_000,
+                        help="prefix length used for the batch-vs-reference equivalence check")
+    parser.add_argument("--theta", type=float, default=0.1, help="threshold for the verification output")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail (exit 1) if batch speedup over the update loop is below this")
+    parser.add_argument("--json", default=None, help="write results to this JSON file")
+    return parser.parse_args(argv)
+
+
+def _make(args, hierarchy) -> RHHH:
+    return RHHH(
+        hierarchy,
+        epsilon=args.epsilon,
+        delta=args.delta,
+        v=args.v_multiplier * hierarchy.size,
+        seed=args.seed,
+    )
+
+
+def _counter_state(algorithm: RHHH):
+    state = []
+    for node in range(algorithm.hierarchy.size):
+        counter = algorithm.node_counter(node)
+        state.append(
+            sorted((key, counter.estimate(key), counter.lower_bound(key)) for key in counter)
+        )
+    return state
+
+
+def verify_equivalence(args, hierarchy, keys) -> bool:
+    """Vectorized update_batch must be bit-identical to the scalar reference."""
+    count = min(args.verify_packets, len(keys))
+    vectorized = _make(args, hierarchy)
+    reference = _make(args, hierarchy)
+    for start in range(0, count, args.batch_size):
+        chunk = keys[start : start + args.batch_size]
+        vectorized.update_batch(chunk)
+        reference.update_batch_reference(chunk)
+    tallies_match = (
+        vectorized.total == reference.total
+        and vectorized.ignored_packets == reference.ignored_packets
+        and vectorized.counter_updates == reference.counter_updates
+    )
+    counters_match = _counter_state(vectorized) == _counter_state(reference)
+    out_v = vectorized.output(args.theta)
+    out_r = reference.output(args.theta)
+    outputs_match = [
+        (c.prefix.node, c.prefix.value, c.lower_bound, c.upper_bound, c.conditioned_estimate)
+        for c in out_v
+    ] == [
+        (c.prefix.node, c.prefix.value, c.lower_bound, c.upper_bound, c.conditioned_estimate)
+        for c in out_r
+    ]
+    return tallies_match and counters_match and outputs_match
+
+
+def _median_time(run, repeats: int) -> float:
+    return statistics.median(run() for _ in range(repeats))
+
+
+def main(argv=None) -> int:
+    args = _parse_args(argv)
+    hierarchy = HIERARCHIES[args.hierarchy]()
+    generator = named_workload(args.workload, num_flows=args.num_flows)
+    key_array = generator.key_array(args.packets) if hierarchy.dimensions == 2 else None
+    if hierarchy.dimensions == 2:
+        scalar_keys = [(int(s), int(d)) for s, d in key_array]
+        batch_keys = key_array
+    else:
+        scalar_keys = generator.keys_1d(args.packets)
+        batch_keys = np.asarray(scalar_keys, dtype=np.int64)
+
+    print(
+        f"workload={args.workload} flows={args.num_flows} packets={args.packets:,} "
+        f"hierarchy={args.hierarchy} (H={hierarchy.size}) epsilon={args.epsilon} "
+        f"V={args.v_multiplier}*H batch_size={args.batch_size}"
+    )
+
+    bit_identical = verify_equivalence(args, hierarchy, batch_keys)
+    print(f"batch output bit-identical to sequential reference: {bit_identical}")
+    if not bit_identical:
+        print("FAIL: vectorized batch path diverges from its scalar specification", file=sys.stderr)
+        return 1
+
+    def run_update() -> float:
+        algorithm = _make(args, hierarchy)
+        update = algorithm.update
+        start = time.perf_counter()
+        for key in scalar_keys:
+            update(key)
+        return time.perf_counter() - start
+
+    def run_update_fast() -> float:
+        algorithm = _make(args, hierarchy)
+        update = algorithm.update_fast
+        start = time.perf_counter()
+        for key in scalar_keys:
+            update(key)
+        return time.perf_counter() - start
+
+    def run_batch() -> float:
+        algorithm = _make(args, hierarchy)
+        update_batch = algorithm.update_batch
+        start = time.perf_counter()
+        for lo in range(0, len(batch_keys), args.batch_size):
+            update_batch(batch_keys[lo : lo + args.batch_size])
+        return time.perf_counter() - start
+
+    # Interleave the variants so machine noise hits them evenly.
+    times: Dict[str, List[float]] = {"update": [], "update_fast": [], "update_batch": []}
+    for _ in range(max(1, args.repeats)):
+        times["update"].append(run_update())
+        times["update_fast"].append(run_update_fast())
+        times["update_batch"].append(run_batch())
+    medians = {name: statistics.median(values) for name, values in times.items()}
+
+    baseline = medians["update"]
+    rows = [
+        {
+            "path": name,
+            "seconds": seconds,
+            "kpps": args.packets / seconds / 1e3,
+            "speedup_vs_update": baseline / seconds,
+        }
+        for name, seconds in medians.items()
+    ]
+    print(format_table(rows, title="scalar vs batch update throughput (medians)"))
+
+    speedup = baseline / medians["update_batch"]
+    print(f"\nbatch speedup over per-packet update loop: {speedup:.2f}x")
+
+    if args.json:
+        payload = {
+            "settings": vars(args),
+            "hierarchy_size": hierarchy.size,
+            "bit_identical": bit_identical,
+            "median_seconds": medians,
+            "raw_seconds": times,
+            "batch_speedup_vs_update": speedup,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json}")
+
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        print(
+            f"FAIL: batch speedup {speedup:.2f}x below required {args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,7 +30,7 @@ from repro.eval import figures as figure_module
 from repro.eval.ground_truth import GroundTruth
 from repro.eval.metrics import evaluate_output
 from repro.eval.reporting import format_table
-from repro.eval.speed import measure_update_speed
+from repro.eval.speed import measure_batch_update_speed, measure_update_speed
 from repro.hhh.registry import ALGORITHM_REGISTRY, make_algorithm
 from repro.hierarchy.onedim import ipv4_bit_hierarchy, ipv4_byte_hierarchy
 from repro.hierarchy.twodim import ipv4_two_dim_byte_hierarchy
@@ -88,6 +88,13 @@ def _add_stream_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--epsilon", type=float, default=0.05)
     parser.add_argument("--delta", type=float, default=0.1)
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="feed the stream through update_batch in chunks of this size "
+        "(default: per-packet updates)",
+    )
 
 
 def _load_keys(args: argparse.Namespace, dimensions: int) -> List:
@@ -100,13 +107,30 @@ def _load_keys(args: argparse.Namespace, dimensions: int) -> List:
     return workload.keys_2d(args.packets)
 
 
+def _check_batch_size(batch_size) -> None:
+    """Exit with a clean message on a non-positive --batch-size."""
+    if batch_size is not None and batch_size < 1:
+        raise SystemExit(f"--batch-size must be >= 1, got {batch_size}")
+
+
+def _feed_stream(algorithm, keys, batch_size) -> None:
+    """Feed a key stream per-packet, or through update_batch when a size is given."""
+    _check_batch_size(batch_size)
+    if batch_size is None:
+        algorithm.update_stream(keys)
+        return
+    for start in range(0, len(keys), batch_size):
+        algorithm.update_batch(keys[start : start + batch_size])
+
+
 def _command_detect(args: argparse.Namespace) -> int:
+    _check_batch_size(args.batch_size)
     hierarchy = HIERARCHIES[args.hierarchy]()
     keys = _load_keys(args, hierarchy.dimensions)
     algorithm = make_algorithm(
         args.algorithm, hierarchy, epsilon=args.epsilon, delta=args.delta, seed=args.seed
     )
-    algorithm.update_stream(keys)
+    _feed_stream(algorithm, keys, args.batch_size)
     output = algorithm.output(args.theta)
     rows = [
         {
@@ -130,6 +154,7 @@ def _command_detect(args: argparse.Namespace) -> int:
 
 
 def _command_compare(args: argparse.Namespace) -> int:
+    _check_batch_size(args.batch_size)
     hierarchy = HIERARCHIES[args.hierarchy]()
     keys = _load_keys(args, hierarchy.dimensions)
     truth = GroundTruth(hierarchy, keys)
@@ -138,7 +163,10 @@ def _command_compare(args: argparse.Namespace) -> int:
         algorithm = make_algorithm(
             name, hierarchy, epsilon=args.epsilon, delta=args.delta, seed=args.seed
         )
-        speed = measure_update_speed(algorithm, keys)
+        if args.batch_size is not None:
+            speed = measure_batch_update_speed(algorithm, keys, batch_size=args.batch_size)
+        else:
+            speed = measure_update_speed(algorithm, keys)
         report = evaluate_output(algorithm.output(args.theta), truth, epsilon=args.epsilon, theta=args.theta)
         rows.append(
             {

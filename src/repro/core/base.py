@@ -10,8 +10,11 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Hashable, List
+from typing import Hashable, List, Optional, Sequence
 
+import numpy as np
+
+from repro.exceptions import ConfigurationError
 from repro.hierarchy.base import Hierarchy
 from repro.hierarchy.prefix import Prefix
 
@@ -112,6 +115,42 @@ class HHHAlgorithm(abc.ABC):
         """Feed every key of an iterable through :meth:`update`."""
         for key in keys:
             self.update(key)
+
+    def update_batch(self, keys: Sequence[Hashable], weights: Optional[Sequence[int]] = None) -> None:
+        """Process a whole batch of packets at once.
+
+        Semantically equivalent to calling :meth:`update` once per packet in
+        stream order; this default *is* that sequential loop, so every
+        algorithm supports the batch API out of the box.  Algorithms with a
+        vectorizable hot path (notably :class:`repro.core.rhhh.RHHH`) override
+        it to amortize per-packet interpreter overhead across the batch.
+
+        Args:
+            keys: the batch of fully specified keys.  Accepts any sequence;
+                numpy arrays are understood natively (a ``(batch, 2)`` integer
+                array is read as (source, destination) pairs).
+            weights: optional per-packet weights, defaulting to 1 each.
+        """
+        if weights is None:
+            update = self.update
+            for key in self._iter_batch_keys(keys):
+                update(key)
+        else:
+            if len(weights) != len(keys):
+                raise ConfigurationError(
+                    f"weights length ({len(weights)}) does not match keys length ({len(keys)})"
+                )
+            for key, weight in zip(self._iter_batch_keys(keys), weights):
+                self.update(key, int(weight))
+
+    @staticmethod
+    def _iter_batch_keys(keys):
+        """Iterate a key batch as plain Python keys (ints or tuples of ints)."""
+        if isinstance(keys, np.ndarray):
+            if keys.ndim == 2:
+                return (tuple(row) for row in keys.tolist())
+            return iter(keys.tolist())
+        return iter(keys)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(H={self._hierarchy.size}, N={self._total})"

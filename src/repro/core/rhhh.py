@@ -21,7 +21,9 @@ cost of ``r`` counter updates per packet.
 from __future__ import annotations
 
 import random
-from typing import Hashable, List, Optional
+from typing import Hashable, List, Optional, Sequence
+
+import numpy as np
 
 from repro.analysis.bounds import coverage_correction
 from repro.core.base import HHHAlgorithm, HHHOutput
@@ -31,6 +33,55 @@ from repro.exceptions import ConfigurationError
 from repro.hh.base import CounterAlgorithm
 from repro.hh.factory import make_counter
 from repro.hierarchy.base import Hierarchy
+
+
+def _unique_totals(values: np.ndarray, weights: Optional[np.ndarray], *, axis=None):
+    """Unique values (ascending) and their total weights (counts if unweighted)."""
+    if weights is None:
+        unique, counts = np.unique(values, axis=axis, return_counts=True)
+        return unique, counts.tolist()
+    unique, inverse = np.unique(values, axis=axis, return_inverse=True)
+    return unique, np.bincount(inverse.ravel(), weights=weights).astype(np.int64).tolist()
+
+
+def _aggregate_masked(masked, weights: Optional[np.ndarray]):
+    """Aggregate duplicate masked keys into ``(key, total_weight)`` pairs.
+
+    Pairs are returned in ascending key order (lexicographic for 2-D keys),
+    which both the vectorized and the scalar reference path follow so their
+    counter states match exactly.  ``masked`` is a numpy array from a
+    vectorized batch generalizer (1-D for scalar keys, ``(n, 2)`` for pairs)
+    or a plain list from the scalar-loop fallback.
+    """
+    if isinstance(masked, np.ndarray):
+        if masked.ndim == 2 and masked.dtype.kind in "iu" and masked.shape[1] == 2:
+            # Pack (src, dst) pairs that fit 32 bits each into one uint64 so
+            # np.unique runs a flat integer sort instead of the much slower
+            # structured-row sort; uint64 order == lexicographic pair order.
+            if masked.size == 0 or (masked.min() >= 0 and masked.max() < 1 << 32):
+                packed = (masked[:, 0].astype(np.uint64) << np.uint64(32)) | masked[
+                    :, 1
+                ].astype(np.uint64)
+                unique, totals = _unique_totals(packed, weights)
+                sources = (unique >> np.uint64(32)).astype(np.int64).tolist()
+                destinations = (unique & np.uint64(0xFFFFFFFF)).astype(np.int64).tolist()
+                return zip(zip(sources, destinations), totals)
+        axis = 0 if masked.ndim == 2 else None
+        unique, totals = _unique_totals(masked, weights, axis=axis)
+        if masked.ndim == 2:
+            return zip(map(tuple, unique.tolist()), totals)
+        return zip(unique.tolist(), totals)
+    aggregate: dict = {}
+    if weights is None:
+        for key in masked:
+            aggregate[key] = aggregate.get(key, 0) + 1
+    else:
+        for key, weight in zip(masked, weights.tolist()):
+            aggregate[key] = aggregate.get(key, 0) + weight
+    try:
+        return sorted(aggregate.items())
+    except TypeError:  # unorderable custom keys: keep insertion order
+        return list(aggregate.items())
 
 
 class RHHH(HHHAlgorithm):
@@ -83,6 +134,11 @@ class RHHH(HHHAlgorithm):
             make_counter(config.counter, config.counter_epsilon) for _ in range(self._h)
         ]
         self._generalizers = hierarchy.compile_generalizers()
+        self._batch_generalizers = hierarchy.compile_batch_generalizers()
+        # The batch path pre-draws node choices with a numpy Generator: an
+        # independent (but equally seeded, hence reproducible) RNG stream from
+        # the per-packet random.Random used by update()/update_fast().
+        self._batch_rng = np.random.default_rng(config.seed)
         self._ignored = 0
         self._update_calls = 0
 
@@ -116,6 +172,143 @@ class RHHH(HHHAlgorithm):
         d = self._rng.randrange(self._v)
         if d < self._h:
             self._counters[d].update(self._generalizers[d](key), 1)
+
+    # ------------------------------------------------------------------ #
+    # batch stream processing
+    # ------------------------------------------------------------------ #
+
+    def _draw_nodes(self, count: int) -> np.ndarray:
+        """Pre-draw the node choices of ``count * r`` updates in one RNG call.
+
+        The draws are laid out packet-major: packet ``i``'s ``r`` draws occupy
+        indices ``i*r .. i*r + r - 1``, matching the nested loop order of the
+        scalar reference.  Both batch paths share this helper so they consume
+        the RNG stream identically.
+        """
+        return self._batch_rng.integers(0, self._v, size=count * self._r)
+
+    def update_batch(self, keys: Sequence[Hashable], weights: Optional[Sequence[int]] = None) -> None:
+        """Vectorized batch update (the paper's Algorithm 1, amortized).
+
+        For every packet (and each of its ``r`` updates) a node choice ``d``
+        is pre-drawn uniformly from ``[0, V)`` in a single numpy call; the
+        ``d >= H`` ignores are discarded in bulk; surviving packets are
+        grouped by lattice node; each group's keys are masked with the
+        hierarchy's vectorized batch generalizers; and duplicate masked keys
+        are pre-aggregated so every counter sees one weighted update per
+        distinct key, applied in ascending key order.
+
+        The sampling process is identical in distribution to a per-packet
+        :meth:`update` loop, but the node choices come from this instance's
+        numpy Generator rather than its ``random.Random``, so a batch-fed
+        instance and an update()-fed instance diverge even with equal seeds.
+        :meth:`update_batch_reference` replays the exact batch semantics with
+        scalar loops and is bit-identical to this method for equal seeds.
+        """
+        n = len(keys)
+        if n == 0:
+            return
+        if weights is not None:
+            weights_arr = np.asarray(weights, dtype=np.int64)
+            if len(weights_arr) != n:
+                raise ConfigurationError(
+                    f"weights length ({len(weights_arr)}) does not match keys length ({n})"
+                )
+            total_weight = int(weights_arr.sum())
+        else:
+            weights_arr = None
+            total_weight = n
+        if isinstance(keys, np.ndarray):
+            keys_arr = keys
+        else:
+            try:
+                keys_arr = np.asarray(keys)
+            except (OverflowError, ValueError):  # e.g. >64-bit IPv6 integers
+                keys_arr = np.empty(0, dtype=object)
+        if keys_arr.dtype == object or len(keys_arr) != n:
+            # Non-numeric keys: vectorized masking does not apply, but the
+            # batch semantics (and RNG consumption) must stay identical.
+            self._apply_batch_scalar(list(keys), weights_arr, self._draw_nodes(n))
+            self._total += total_weight
+            return
+        draws = self._draw_nodes(n)
+        self._total += total_weight
+        survive = draws < self._h
+        survived = int(survive.sum())
+        self._ignored += draws.size - survived
+        self._update_calls += survived
+        if survived == 0:
+            return
+        nodes = draws[survive]
+        if self._r > 1:
+            chosen = np.repeat(np.arange(n), self._r)[survive]
+        else:
+            chosen = np.flatnonzero(survive)
+        order = np.argsort(nodes, kind="stable")
+        sorted_nodes = nodes[order]
+        sorted_packets = chosen[order]
+        unique_nodes, first = np.unique(sorted_nodes, return_index=True)
+        groups = np.split(sorted_packets, first[1:])
+        for node, packet_ids in zip(unique_nodes.tolist(), groups):
+            masked = self._batch_generalizers[node](keys_arr[packet_ids])
+            group_weights = weights_arr[packet_ids] if weights_arr is not None else None
+            self._counters[node].update_batch(_aggregate_masked(masked, group_weights))
+
+    def update_batch_reference(
+        self, keys: Sequence[Hashable], weights: Optional[Sequence[int]] = None
+    ) -> None:
+        """Scalar specification of :meth:`update_batch` (pure-Python loops).
+
+        Consumes the same pre-drawn node choices and applies the same
+        group-by-node / aggregate-duplicates / ascending-key-order semantics,
+        but with per-key dictionaries and scalar generalizers and counter
+        updates.  A same-seed instance fed through either method reaches a
+        bit-identical state; the equivalence tests rely on this.
+        """
+        n = len(keys)
+        if n == 0:
+            return
+        if weights is not None:
+            if len(weights) != n:
+                raise ConfigurationError(
+                    f"weights length ({len(weights)}) does not match keys length ({n})"
+                )
+            weight_list = [int(w) for w in weights]
+        else:
+            weight_list = [1] * n
+        draws = self._draw_nodes(n)
+        self._total += sum(weight_list)
+        self._apply_batch_scalar(keys, np.asarray(weight_list), draws)
+
+    def _apply_batch_scalar(self, keys, weights_arr, draws) -> None:
+        """Apply pre-drawn node choices to a batch with scalar loops."""
+        h = self._h
+        r = self._r
+        weight_list = weights_arr.tolist() if weights_arr is not None else None
+        per_node: dict = {}
+        survived = 0
+        ignored = 0
+        for i, key in enumerate(self._iter_batch_keys(keys)):
+            weight = weight_list[i] if weight_list is not None else 1
+            for j in range(r):
+                d = int(draws[i * r + j])
+                if d >= h:
+                    ignored += 1
+                    continue
+                survived += 1
+                masked = self._generalizers[d](key)
+                aggregate = per_node.setdefault(d, {})
+                aggregate[masked] = aggregate.get(masked, 0) + weight
+        self._ignored += ignored
+        self._update_calls += survived
+        for node in sorted(per_node):
+            counter = self._counters[node]
+            try:
+                pairs = sorted(per_node[node].items())
+            except TypeError:  # unorderable custom keys: keep insertion order
+                pairs = list(per_node[node].items())
+            for masked, weight in pairs:
+                counter.update(masked, weight)
 
     # ------------------------------------------------------------------ #
     # queries

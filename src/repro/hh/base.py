@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Hashable, Iterable, Iterator, List
+from typing import Hashable, Iterable, Iterator, List, Tuple
 
 
 @dataclass(frozen=True)
@@ -82,6 +82,17 @@ class FrequencyEstimator(abc.ABC):
         """Convenience helper: update once for every key in ``keys``."""
         for key in keys:
             self.update(key)
+
+    def update_batch(self, items: Iterable[Tuple[Hashable, int]]) -> None:
+        """Apply a batch of aggregated ``(key, weight)`` updates.
+
+        The batch engine pre-aggregates duplicate keys so each distinct key
+        arrives as a single weighted update.  The default implementation is a
+        sequential fallback over :meth:`update`; implementations with a cheap
+        monitored-key fast path may override it with a tighter loop.
+        """
+        for key, weight in items:
+            self.update(key, weight)
 
 
 class CounterAlgorithm(FrequencyEstimator):

@@ -106,6 +106,24 @@ class Hierarchy(abc.ABC):
         """
         return [lambda key, node=node: self.generalize(key, node) for node in range(self.size)]
 
+    def compile_batch_generalizers(self):
+        """Return one batch ``keys -> masked values`` callable per lattice node.
+
+        Each callable receives a whole batch of fully specified keys (a numpy
+        array for the integer-key hierarchies, any sequence otherwise) and
+        returns the masked keys, preferably as a numpy array of the same
+        leading length so the batch engine can aggregate duplicates with
+        ``numpy.unique``.  The default is a scalar loop over
+        :meth:`compile_generalizers`, which returns a plain list; hierarchies
+        whose masking is a bitwise AND override it with vectorized closures.
+        """
+        scalar = self.compile_generalizers()
+
+        def _make(generalize):
+            return lambda keys: [generalize(key) for key in keys]
+
+        return [_make(g) for g in scalar]
+
     def is_proper_ancestor(self, ancestor: PrefixKey, descendant: PrefixKey) -> bool:
         """Return True when ``ancestor`` strictly generalizes ``descendant``."""
         return ancestor != descendant and self.is_ancestor(ancestor, descendant)

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from typing import Hashable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.exceptions import ConfigurationError, HierarchyError
 from repro.hierarchy.base import Hierarchy, PrefixKey
 from repro.hierarchy.ip import IPV4_BITS, IPV6_BITS, int_to_ipv4, int_to_ipv6
@@ -108,6 +110,16 @@ class OneDimHierarchy(Hierarchy):
     def compile_generalizers(self):
         """Validation-free per-node masking closures for the packet fast path."""
         return [lambda key, mask=mask: key & mask for mask in self._masks]
+
+    def compile_batch_generalizers(self):
+        """Vectorized per-node masking over whole key arrays.
+
+        Falls back to the scalar loop for domains wider than 63 bits (IPv6),
+        whose masks do not fit in a signed numpy integer.
+        """
+        if self._total_bits > 63:
+            return super().compile_batch_generalizers()
+        return [lambda keys, mask=mask: np.bitwise_and(keys, mask) for mask in self._masks]
 
     def generalize_prefix(self, prefix: PrefixKey, node: int) -> Optional[int]:
         self._check_node(node)

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import Hashable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.exceptions import HierarchyError
 from repro.hierarchy.base import Hierarchy, PrefixKey
 from repro.hierarchy.onedim import OneDimHierarchy, ipv4_byte_hierarchy
@@ -125,6 +127,23 @@ class TwoDimHierarchy(Hierarchy):
             generalizers.append(
                 lambda key, sm=src_mask, dm=dst_mask: (key[0] & sm, key[1] & dm)
             )
+        return generalizers
+
+    def compile_batch_generalizers(self):
+        """Vectorized per-node masking over ``(batch, 2)`` key arrays.
+
+        Falls back to the scalar loop when either dimension is wider than 63
+        bits, whose masks do not fit in a signed numpy integer.
+        """
+        if self._src.total_bits > 63 or self._dst.total_bits > 63:
+            return super().compile_batch_generalizers()
+        src_masks = self._src.masks()
+        dst_masks = self._dst.masks()
+        generalizers = []
+        for node in range(self.size):
+            i, j = self.decode(node)
+            mask = np.array([src_masks[i], dst_masks[j]], dtype=np.int64)
+            generalizers.append(lambda keys, mask=mask: np.bitwise_and(keys, mask))
         return generalizers
 
     def generalize_prefix(self, prefix: PrefixKey, node: int) -> Optional[Tuple[int, int]]:

@@ -19,7 +19,12 @@ introduction) and a simple trace serialization format are included as well.
 """
 
 from repro.traffic.packet import Packet
-from repro.traffic.zipf import ZipfFlowGenerator, zipf_weights
+from repro.traffic.zipf import (
+    DEFAULT_KEY_BATCH_SIZE,
+    ZipfFlowGenerator,
+    batched_key_arrays,
+    zipf_weights,
+)
 from repro.traffic.caida_like import BackboneTraceGenerator, named_workload, WORKLOADS
 from repro.traffic.ddos import DDoSScenario
 from repro.traffic.trace_io import write_trace_csv, read_trace_csv, write_trace_binary, read_trace_binary
@@ -29,6 +34,8 @@ __all__ = [
     "Packet",
     "ZipfFlowGenerator",
     "zipf_weights",
+    "batched_key_arrays",
+    "DEFAULT_KEY_BATCH_SIZE",
     "BackboneTraceGenerator",
     "named_workload",
     "WORKLOADS",

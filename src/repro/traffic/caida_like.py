@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.traffic.packet import Packet
-from repro.traffic.zipf import zipf_weights
+from repro.traffic.zipf import DEFAULT_KEY_BATCH_SIZE, batched_key_arrays, zipf_weights
 
 
 @dataclass(frozen=True)
@@ -138,6 +138,12 @@ class BackboneTraceGenerator:
             raise ConfigurationError(f"count must be non-negative, got {count}")
         indices = self._rng.choice(self._num_flows, size=count, p=self._weights)
         return self._flows[indices]
+
+    def key_batches(
+        self, count: int, batch_size: int = DEFAULT_KEY_BATCH_SIZE
+    ) -> Iterator[np.ndarray]:
+        """Emit the stream as ``(batch, 2)`` key arrays for the batch update path."""
+        yield from batched_key_arrays(self.key_array, count, batch_size)
 
     def keys_2d(self, count: int) -> List[Tuple[int, int]]:
         """Draw ``count`` (source, destination) keys."""

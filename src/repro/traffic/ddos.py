@@ -18,6 +18,7 @@ from repro.exceptions import ConfigurationError
 from repro.hierarchy.ip import ipv4_to_int
 from repro.traffic.caida_like import BackboneTraceGenerator
 from repro.traffic.packet import Packet
+from repro.traffic.zipf import DEFAULT_KEY_BATCH_SIZE, batched_key_arrays
 
 
 class DDoSScenario:
@@ -82,25 +83,37 @@ class DDoSScenario:
         """Fraction of packets belonging to the attack."""
         return self._attack_fraction
 
-    def keys_2d(self, count: int) -> List[Tuple[int, int]]:
-        """Draw ``count`` (source, destination) keys of the blended stream."""
+    def key_array(self, count: int) -> np.ndarray:
+        """Draw ``count`` blended (source, destination) pairs as an ``(count, 2)`` array.
+
+        The RNG draw order (attack mask, then background population, then
+        attack sources) matches the historical scalar emitter, so a given seed
+        produces the same stream through either API.
+        """
         if count < 0:
             raise ConfigurationError(f"count must be non-negative, got {count}")
         is_attack = self._rng.random(count) < self._attack_fraction
         attack_count = int(is_attack.sum())
-        background_keys = iter(self._background.keys_2d(count - attack_count))
-        attack_keys = iter(self._attack_keys(attack_count))
-        return [next(attack_keys) if flag else next(background_keys) for flag in is_attack]
+        keys = np.empty((count, 2), dtype=np.int64)
+        keys[~is_attack] = self._background.key_array(count - attack_count)
+        if attack_count:
+            keys[is_attack, 0] = self._rng.choice(self._attack_sources, size=attack_count)
+            keys[is_attack, 1] = self._victim
+        return keys
+
+    def key_batches(
+        self, count: int, batch_size: int = DEFAULT_KEY_BATCH_SIZE
+    ) -> Iterator[np.ndarray]:
+        """Emit the blended stream as ``(batch, 2)`` key arrays for the batch update path."""
+        yield from batched_key_arrays(self.key_array, count, batch_size)
+
+    def keys_2d(self, count: int) -> List[Tuple[int, int]]:
+        """Draw ``count`` (source, destination) keys of the blended stream."""
+        return [(int(s), int(d)) for s, d in self.key_array(count)]
 
     def keys_1d(self, count: int) -> List[int]:
         """Draw ``count`` source-address keys of the blended stream."""
         return [src for src, _ in self.keys_2d(count)]
-
-    def _attack_keys(self, count: int) -> List[Tuple[int, int]]:
-        if count == 0:
-            return []
-        sources = self._rng.choice(self._attack_sources, size=count)
-        return [(int(s), self._victim) for s in sources]
 
     def packets(self, count: int) -> Iterator[Packet]:
         """Draw ``count`` :class:`~repro.traffic.packet.Packet` objects of the blended stream."""

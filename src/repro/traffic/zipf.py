@@ -34,6 +34,29 @@ def zipf_weights(population: int, skew: float) -> np.ndarray:
     return weights / weights.sum()
 
 
+#: Default chunk size of the ``key_batches`` emitters: large enough to feed
+#: the vectorized update engine efficiently, small enough to stay cache- and
+#: memory-friendly (a 2-D int64 batch is ~2 MB).
+DEFAULT_KEY_BATCH_SIZE = 131_072
+
+
+def batched_key_arrays(key_array, count: int, batch_size: int) -> Iterator[np.ndarray]:
+    """Chunk a ``key_array`` drawer into arrays (shared by every generator).
+
+    Drawing batch by batch keeps memory bounded for arbitrarily long streams;
+    each yielded array is an independent draw from the same flow population.
+    """
+    if batch_size < 1:
+        raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+    if count < 0:
+        raise ConfigurationError(f"count must be non-negative, got {count}")
+    remaining = count
+    while remaining > 0:
+        size = min(batch_size, remaining)
+        yield key_array(size)
+        remaining -= size
+
+
 class ZipfFlowGenerator:
     """Draw packets from a Zipf-popular population of (source, destination) flows.
 
@@ -86,6 +109,12 @@ class ZipfFlowGenerator:
             raise ConfigurationError(f"count must be non-negative, got {count}")
         indices = self._rng.choice(self._num_flows, size=count, p=self._weights)
         return self._flows[indices]
+
+    def key_batches(
+        self, count: int, batch_size: int = DEFAULT_KEY_BATCH_SIZE
+    ) -> Iterator[np.ndarray]:
+        """Emit the stream as ``(batch, 2)`` key arrays for the batch update path."""
+        yield from batched_key_arrays(self.key_array, count, batch_size)
 
     def keys_2d(self, count: int) -> List[Tuple[int, int]]:
         """Draw ``count`` (source, destination) keys."""

@@ -11,7 +11,9 @@ the deployment mode of Figures 6 and 7.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Optional
+from typing import Hashable, Iterable, Optional, Sequence
+
+import numpy as np
 
 from repro.core.base import HHHAlgorithm, HHHOutput
 from repro.exceptions import SwitchError
@@ -64,6 +66,23 @@ class DataplaneMeasurement:
         self._algorithm.update(key)
         return self._cycles_per_packet
 
+    def update_batch(self, packets: Sequence[Packet]) -> float:
+        """The batch datapath hook: one vectorized update for a whole RX burst.
+
+        Extracts the key column(s) into a numpy array and hands it to the
+        algorithm's ``update_batch``, so an attached RHHH instance takes its
+        vectorized path; the charged cycles are the same per-packet cost as
+        the scalar hook times the batch size.
+        """
+        if not packets:
+            return 0.0
+        if self._dimensions == 1:
+            keys = np.fromiter((p.src for p in packets), dtype=np.int64, count=len(packets))
+        else:
+            keys = np.array([(p.src, p.dst) for p in packets], dtype=np.int64)
+        self._algorithm.update_batch(keys)
+        return self._cycles_per_packet * len(packets)
+
     def output(self, theta: float) -> HHHOutput:
         """Query the attached algorithm."""
         return self._algorithm.output(theta)
@@ -104,6 +123,9 @@ class OVSSwitch:
         """Attach (or detach, with ``None``) a dataplane HHH measurement."""
         self._measurement = measurement
         self._datapath.set_measurement_hook(measurement)
+        self._datapath.set_batch_measurement_hook(
+            measurement.update_batch if measurement is not None else None
+        )
 
     # ------------------------------------------------------------------ #
     # experiments
@@ -112,6 +134,14 @@ class OVSSwitch:
     def forward(self, packets: Iterable[Packet]) -> int:
         """Functionally forward a batch of packets (updates the measurement if attached)."""
         return self._datapath.process_many(packets, ingress_port=0)
+
+    def forward_batch(self, packets: Sequence[Packet]) -> int:
+        """Forward a packet burst through the batch fast path.
+
+        Uses :meth:`Datapath.process_batch`, so an attached measurement is fed
+        through its vectorized batch hook instead of packet by packet.
+        """
+        return self._datapath.process_batch(packets, ingress_port=0)
 
     def expected_cycles_per_packet(self, *, emc_hit_rate: float = 1.0) -> float:
         """Expected per-packet cost of the current configuration.

@@ -31,6 +31,42 @@ class TestDetect:
         assert "HHH prefixes" in out
         assert "prefix" in out
 
+    def test_detect_with_batch_size_uses_the_batch_engine(self, capsys):
+        exit_code = main(
+            [
+                "detect",
+                "--workload",
+                "chicago16",
+                "--packets",
+                "5000",
+                "--hierarchy",
+                "2d-bytes",
+                "--theta",
+                "0.2",
+                "--algorithm",
+                "rhhh",
+                "--batch-size",
+                "1024",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "HHH prefixes" in out
+
+    def test_detect_rejects_bad_batch_size(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "detect",
+                    "--workload",
+                    "chicago16",
+                    "--packets",
+                    "100",
+                    "--batch-size",
+                    "0",
+                ]
+            )
+
     def test_detect_from_binary_trace(self, tmp_path, capsys):
         path = tmp_path / "trace.bin"
         write_trace_binary(path, ZipfFlowGenerator(num_flows=50, skew=1.3, seed=1).packets(2_000))
@@ -73,6 +109,41 @@ class TestCompare:
         out = capsys.readouterr().out
         assert "rhhh" in out and "mst" in out
         assert "recall" in out
+
+    def test_compare_with_batch_size(self, capsys):
+        exit_code = main(
+            [
+                "compare",
+                "--packets",
+                "4000",
+                "--hierarchy",
+                "2d-bytes",
+                "--algorithms",
+                "rhhh",
+                "mst",
+                "--theta",
+                "0.2",
+                "--batch-size",
+                "1000",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "rhhh" in out and "mst" in out
+
+    def test_compare_rejects_bad_batch_size(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "compare",
+                    "--packets",
+                    "100",
+                    "--algorithms",
+                    "rhhh",
+                    "--batch-size",
+                    "0",
+                ]
+            )
 
 
 class TestFigure:

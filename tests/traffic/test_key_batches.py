@@ -1,0 +1,61 @@
+"""Array-based batch emitters of the traffic generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.hierarchy.ip import ipv4_to_int
+from repro.traffic.caida_like import named_workload
+from repro.traffic.ddos import DDoSScenario
+from repro.traffic.zipf import ZipfFlowGenerator
+
+
+class TestKeyBatches:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda seed: ZipfFlowGenerator(num_flows=200, seed=seed),
+            lambda seed: named_workload("chicago15", num_flows=200),
+            lambda seed: DDoSScenario([("42.13.7.0", 24)], "9.9.9.9", seed=seed),
+        ],
+        ids=["zipf", "backbone", "ddos"],
+    )
+    def test_shapes_and_total_count(self, make):
+        generator = make(3)
+        batches = list(generator.key_batches(2_500, batch_size=1_000))
+        assert [len(batch) for batch in batches] == [1_000, 1_000, 500]
+        for batch in batches:
+            assert isinstance(batch, np.ndarray)
+            assert batch.shape[1] == 2
+
+    def test_zero_count_yields_nothing(self):
+        generator = ZipfFlowGenerator(num_flows=10, seed=1)
+        assert list(generator.key_batches(0)) == []
+
+    def test_invalid_batch_size_rejected(self):
+        generator = ZipfFlowGenerator(num_flows=10, seed=1)
+        with pytest.raises(ConfigurationError):
+            list(generator.key_batches(10, batch_size=0))
+
+
+class TestDDoSKeyArray:
+    def test_attack_rows_target_the_victim(self):
+        scenario = DDoSScenario(
+            [("42.13.7.0", 24)], "9.9.9.9", attack_fraction=0.5, seed=8
+        )
+        keys = scenario.key_array(4_000)
+        victim = ipv4_to_int("9.9.9.9")
+        attack_rows = keys[keys[:, 1] == victim]
+        fraction = len(attack_rows) / len(keys)
+        assert 0.4 < fraction < 0.6
+        subnet = ipv4_to_int("42.13.7.0") & ~0xFF
+        assert np.all((attack_rows[:, 0] & ~np.int64(0xFF)) == subnet)
+
+    def test_keys_2d_matches_key_array_stream(self):
+        # The scalar emitter is defined in terms of the array emitter: same
+        # seed, same draws.
+        a = DDoSScenario([("42.13.7.0", 24)], "9.9.9.9", seed=5)
+        b = DDoSScenario([("42.13.7.0", 24)], "9.9.9.9", seed=5)
+        assert a.keys_2d(1_000) == [(int(s), int(d)) for s, d in b.key_array(1_000)]

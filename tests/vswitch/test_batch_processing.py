@@ -1,0 +1,67 @@
+"""Batch fast-path of the datapath and the OVS measurement integration."""
+
+from __future__ import annotations
+
+from repro.core.rhhh import RHHH
+from repro.hierarchy.twodim import ipv4_two_dim_byte_hierarchy
+from repro.traffic.caida_like import named_workload
+from repro.vswitch.cost_model import CostModel
+from repro.vswitch.ovs import DataplaneMeasurement, OVSSwitch
+
+
+def _packets(count: int, seed: int = 4):
+    return list(named_workload("chicago15", num_flows=500).packets(count))
+
+
+class TestProcessBatch:
+    def test_matches_per_packet_accounting(self):
+        packets = _packets(300)
+        scalar_switch = OVSSwitch()
+        batch_switch = OVSSwitch()
+        forwarded_scalar = scalar_switch.forward(packets)
+        forwarded_batch = batch_switch.forward_batch(packets)
+        assert forwarded_batch == forwarded_scalar
+        assert batch_switch.datapath.processed == scalar_switch.datapath.processed
+        assert batch_switch.datapath.dropped == scalar_switch.datapath.dropped
+        assert batch_switch.datapath.total_cycles == scalar_switch.datapath.total_cycles
+
+    def test_batch_hook_feeds_measurement_once_per_batch(self):
+        packets = _packets(200)
+        switch = OVSSwitch()
+        algorithm = RHHH(ipv4_two_dim_byte_hierarchy(), epsilon=0.05, delta=0.1, seed=1)
+        measurement = DataplaneMeasurement(algorithm, CostModel())
+        switch.attach_measurement(measurement)
+        switch.forward_batch(packets)
+        assert algorithm.total == len(packets)
+        # The same cycles are charged as the per-packet hook would charge.
+        expected = measurement.cycles_per_packet * len(packets)
+        baseline = OVSSwitch()
+        baseline.forward_batch(packets)
+        assert switch.datapath.total_cycles - baseline.datapath.total_cycles == expected
+
+    def test_scalar_forward_still_uses_per_packet_hook(self):
+        packets = _packets(50)
+        switch = OVSSwitch()
+        algorithm = RHHH(ipv4_two_dim_byte_hierarchy(), epsilon=0.05, delta=0.1, seed=1)
+        switch.attach_measurement(DataplaneMeasurement(algorithm, CostModel()))
+        switch.forward(packets)
+        assert algorithm.total == len(packets)
+
+    def test_detach_clears_both_hooks(self):
+        switch = OVSSwitch()
+        algorithm = RHHH(ipv4_two_dim_byte_hierarchy(), epsilon=0.05, delta=0.1, seed=1)
+        switch.attach_measurement(DataplaneMeasurement(algorithm, CostModel()))
+        switch.attach_measurement(None)
+        switch.forward_batch(_packets(20))
+        assert algorithm.total == 0
+
+
+class TestMeasurementBatchHook:
+    def test_update_batch_returns_charged_cycles(self):
+        algorithm = RHHH(ipv4_two_dim_byte_hierarchy(), epsilon=0.05, delta=0.1, seed=2)
+        measurement = DataplaneMeasurement(algorithm, CostModel())
+        packets = _packets(64)
+        cycles = measurement.update_batch(packets)
+        assert cycles == measurement.cycles_per_packet * len(packets)
+        assert algorithm.total == len(packets)
+        assert measurement.update_batch([]) == 0.0
