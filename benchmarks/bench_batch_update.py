@@ -65,7 +65,22 @@ def _parse_args(argv=None) -> argparse.Namespace:
     parser.add_argument("--min-speedup", type=float, default=None,
                         help="fail (exit 1) if batch speedup over the update loop is below this")
     parser.add_argument("--json", default=None, help="write results to this JSON file")
-    return parser.parse_args(argv)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI smoke preset: a small stream, one timing repeat, no "
+                        "speedup gate - exercises the full verify+measure pipeline fast")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.packets = min(args.packets, 100_000)
+        args.verify_packets = min(args.verify_packets, args.packets)
+        args.repeats = 1
+        args.min_speedup = None
+        # Keep the verification output() tractable: at Figure-5 epsilon the
+        # candidate set explodes on short streams (the RHHH correction term
+        # shrinks only as sqrt(N) relative to theta*N) and the quadratic
+        # closest_descendants scan dominates the whole run.
+        args.epsilon = max(args.epsilon, 0.01)
+        args.theta = max(args.theta, 0.2)
+    return args
 
 
 def _make(args, hierarchy) -> RHHH:

@@ -14,7 +14,8 @@ from __future__ import annotations
 
 import sys
 
-from repro import ipv4_two_dim_byte_hierarchy, make_algorithm, named_workload
+from repro import ipv4_two_dim_byte_hierarchy, named_workload
+from repro.api import AlgorithmSpec, build_algorithm
 from repro.eval.ground_truth import GroundTruth
 from repro.eval.metrics import evaluate_output
 from repro.eval.reporting import format_table
@@ -38,7 +39,9 @@ def main(packets: int = 150_000) -> None:
     rows = []
     speeds = {}
     for name in ALGORITHMS:
-        algorithm = make_algorithm(name, hierarchy, epsilon=EPSILON, delta=DELTA, seed=23)
+        algorithm = build_algorithm(
+            AlgorithmSpec(name=name, epsilon=EPSILON, delta=DELTA, seed=23), hierarchy
+        )
         speed = measure_update_speed(algorithm, keys)
         speeds[name] = speed.packets_per_second
         report = evaluate_output(algorithm.output(THETA), truth, epsilon=EPSILON, theta=THETA)

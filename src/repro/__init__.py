@@ -2,6 +2,11 @@
 
 The package is organised as:
 
+* :mod:`repro.api` - the unified experiment API: declarative, JSON-able
+  specs (:class:`ExperimentSpec` / :class:`AlgorithmSpec` /
+  :class:`CounterSpec`), decorator-based plugin registries
+  (:func:`register_algorithm`, :func:`register_counter`) and the batch-first
+  :class:`Session` run protocol;
 * :mod:`repro.core` - the paper's contribution: the RHHH algorithm, its
   configuration and the shared Output procedure;
 * :mod:`repro.hh` - the heavy-hitter counter substrate (Space Saving and
@@ -18,7 +23,7 @@ The package is organised as:
 * :mod:`repro.eval` - metrics, ground-truth comparison, experiment runner and
   per-figure regeneration entry points.
 
-Quickstart::
+Quickstart (imperative)::
 
     from repro import RHHH, ipv4_two_dim_byte_hierarchy, named_workload
 
@@ -29,8 +34,34 @@ Quickstart::
         algorithm.update(key)
     for candidate in algorithm.output(theta=0.05):
         print(candidate)
+
+Quickstart (declarative, the :mod:`repro.api` way)::
+
+    from repro import AlgorithmSpec, ExperimentSpec, Session
+
+    spec = ExperimentSpec(
+        algorithm=AlgorithmSpec(name="rhhh", epsilon=0.01, delta=0.01, seed=7),
+        hierarchy="2d-bytes", workload="chicago16",
+        packets=200_000, theta=0.05, batch_size=65_536,
+    )
+    for candidate in Session(spec).run().output:
+        print(candidate)
 """
 
+from repro.api import (
+    AlgorithmSpec,
+    CounterSpec,
+    ExperimentSpec,
+    Session,
+    SessionResult,
+    build_algorithm,
+    build_counter,
+    make_hierarchy,
+    register_algorithm,
+    register_counter,
+    register_hierarchy,
+    run_experiment,
+)
 from repro.core.base import HHHAlgorithm, HHHCandidate, HHHOutput
 from repro.core.config import RHHHConfig, ten_rhhh_config
 from repro.core.rhhh import RHHH
@@ -67,6 +98,19 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # unified experiment API (repro.api)
+    "ExperimentSpec",
+    "AlgorithmSpec",
+    "CounterSpec",
+    "Session",
+    "SessionResult",
+    "run_experiment",
+    "build_algorithm",
+    "build_counter",
+    "make_hierarchy",
+    "register_algorithm",
+    "register_counter",
+    "register_hierarchy",
     # core
     "RHHH",
     "RHHHConfig",

@@ -1,0 +1,324 @@
+"""The batch-first run protocol: one object owns the stream → output loop.
+
+A :class:`Session` ties together the pieces an experiment needs - hierarchy,
+algorithm, traffic source, feed strategy - behind one uniform interface.  It
+subsumes the bespoke driver loops that used to live in ``eval/runner.py``,
+``eval/speed.py``, ``eval/figures.py`` and the CLI:
+
+* **per-packet and batch paths**: ``batch_size=None`` on the spec drives the
+  algorithm through per-packet ``update`` calls; a batch size feeds
+  ``update_batch`` in exactly the chunks the manual loop would
+  (``keys[i : i + batch_size]``), so a Session batch run is bit-identical to
+  the legacy hand-written loop;
+* **progress hooks**: called after every fed chunk with the processed count;
+* **measurement hooks**: called at caller-chosen stream positions
+  (checkpoints), which is how the quality experiments evaluate one stream at
+  several lengths in a single pass;
+* **timing**: :meth:`Session.run` reports wall-clock feed time, and
+  :meth:`Session.measure_speed` wraps the Figure 5 speed measurement with the
+  feed strategy the spec selects.
+
+Example::
+
+    from repro.api import AlgorithmSpec, CounterSpec, ExperimentSpec, Session
+
+    spec = ExperimentSpec(
+        algorithm=AlgorithmSpec(name="rhhh", epsilon=0.05, delta=0.1, seed=7,
+                                counter=CounterSpec(name="space_saving")),
+        hierarchy="2d-bytes", workload="chicago16",
+        packets=200_000, theta=0.1, batch_size=65_536,
+    )
+    result = Session(spec).run()
+    for candidate in result.output:
+        print(candidate)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.api.registry import build_algorithm, make_hierarchy
+from repro.api.specs import ExperimentSpec
+from repro.core.base import HHHAlgorithm, HHHOutput
+from repro.core.output import validate_theta
+from repro.exceptions import ConfigurationError
+from repro.hierarchy.base import Hierarchy
+from repro.traffic.caida_like import named_workload
+
+#: Progress hook: ``hook(session, processed, total)`` after every fed chunk.
+ProgressHook = Callable[["Session", int, int], None]
+
+#: Measurement hook: ``hook(session, processed) -> record`` at each checkpoint;
+#: non-None records are collected into :attr:`SessionResult.measurements`.
+MeasurementHook = Callable[["Session", int], Any]
+
+Keys = Union[Sequence, np.ndarray]
+
+
+@dataclass
+class SessionResult:
+    """The outcome of one :meth:`Session.run`.
+
+    Attributes:
+        spec: the experiment spec that produced the result.
+        output: the final ``output(theta)`` report.
+        packets: packets fed.
+        seconds: wall-clock time of the feed loop (hooks excluded from the
+            algorithm's work but included in the wall clock).
+        measurements: records returned by measurement hooks, in firing order.
+    """
+
+    spec: ExperimentSpec
+    output: HHHOutput
+    packets: int
+    seconds: float
+    measurements: List[Any] = field(default_factory=list)
+
+    @property
+    def packets_per_second(self) -> float:
+        """Feed throughput in packets per second."""
+        return self.packets / self.seconds if self.seconds > 0 else float("inf")
+
+
+class Session:
+    """Owns one experiment: hierarchy, algorithm, traffic source, feed loop.
+
+    Args:
+        spec: the declarative experiment description.
+        hierarchy: explicit hierarchy instance (defaults to building
+            ``spec.hierarchy`` from the registry).
+        algorithm: explicit algorithm instance (defaults to building
+            ``spec.algorithm`` on the hierarchy) - the escape hatch for
+            algorithms constructed outside the registry.
+        keys: explicit key stream; when given, the named workload of the spec
+            is never materialised and the stream is used verbatim (this is how
+            the evaluation harness feeds every algorithm the same packets).
+    """
+
+    def __init__(
+        self,
+        spec: ExperimentSpec,
+        *,
+        hierarchy: Optional[Hierarchy] = None,
+        algorithm: Optional[HHHAlgorithm] = None,
+        keys: Optional[Keys] = None,
+    ) -> None:
+        if not isinstance(spec, ExperimentSpec):
+            raise ConfigurationError(f"spec must be an ExperimentSpec, got {type(spec).__name__}")
+        self._spec = spec
+        self._hierarchy = hierarchy if hierarchy is not None else make_hierarchy(spec.hierarchy)
+        self._algorithm = (
+            algorithm if algorithm is not None else build_algorithm(spec.algorithm, self._hierarchy)
+        )
+        self._keys = keys
+        self._progress_hooks: List[ProgressHook] = []
+        self._measurement_hooks: List[MeasurementHook] = []
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def spec(self) -> ExperimentSpec:
+        """The experiment spec this session runs."""
+        return self._spec
+
+    @property
+    def hierarchy(self) -> Hierarchy:
+        """The hierarchical domain."""
+        return self._hierarchy
+
+    @property
+    def algorithm(self) -> HHHAlgorithm:
+        """The algorithm under test."""
+        return self._algorithm
+
+    @property
+    def processed(self) -> int:
+        """Packets the algorithm has seen so far."""
+        return self._algorithm.total
+
+    # ------------------------------------------------------------------ #
+    # hooks
+    # ------------------------------------------------------------------ #
+
+    def add_progress_hook(self, hook: ProgressHook) -> "Session":
+        """Register a per-chunk progress callback; returns ``self`` for chaining."""
+        self._progress_hooks.append(hook)
+        return self
+
+    def add_measurement_hook(self, hook: MeasurementHook) -> "Session":
+        """Register a checkpoint measurement callback; returns ``self`` for chaining."""
+        self._measurement_hooks.append(hook)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # traffic source
+    # ------------------------------------------------------------------ #
+
+    def keys(self) -> Keys:
+        """Materialise (and cache) the key stream this session feeds.
+
+        Explicit ``keys`` passed to the constructor win; otherwise the spec's
+        named workload is drawn.  The batch path materialises a numpy key
+        array (the zero-copy route into the vectorized batch engine); the
+        per-packet path materialises plain Python keys.
+        """
+        if self._keys is None:
+            generator = named_workload(self._spec.workload, num_flows=self._spec.num_flows)
+            count = self._spec.packets
+            if self._spec.batch_size is not None:
+                if self._hierarchy.dimensions == 2:
+                    self._keys = generator.key_array(count)
+                else:
+                    self._keys = np.asarray(generator.keys_1d(count), dtype=np.int64)
+            else:
+                self._keys = (
+                    generator.keys_2d(count)
+                    if self._hierarchy.dimensions == 2
+                    else generator.keys_1d(count)
+                )
+        return self._keys
+
+    # ------------------------------------------------------------------ #
+    # the feed loop
+    # ------------------------------------------------------------------ #
+
+    def feed(self, keys: Optional[Keys] = None, *, checkpoints: Sequence[int] = ()) -> List[Any]:
+        """Drive the whole stream through the algorithm.
+
+        Args:
+            keys: stream override; defaults to :meth:`keys`.
+            checkpoints: stream positions (packet counts) at which the
+                measurement hooks fire.  The stream is cut at every
+                checkpoint; batch chunking restarts after each cut, so a
+                checkpoint that is not a multiple of the batch size changes
+                chunk boundaries relative to an uncheckpointed run.  With no
+                checkpoints the batch path is bit-identical to the manual
+                ``keys[i : i + batch_size]`` loop.
+
+        Returns:
+            the non-None records produced by the measurement hooks.
+        """
+        if keys is None:
+            keys = self.keys()
+        total = len(keys)
+        marks = sorted(set(int(c) for c in checkpoints))
+        if marks and (marks[0] < 1 or marks[-1] > total):
+            raise ConfigurationError(
+                f"checkpoints must lie in [1, {total}], got {marks[0]}..{marks[-1]}"
+            )
+        measurements: List[Any] = []
+        marks_set = set(marks)
+        cuts = marks + ([total] if not marks or marks[-1] != total else [])
+        position = 0
+        for cut in cuts:
+            self._feed_segment(keys, position, cut, total)
+            position = cut
+            if cut in marks_set:
+                for hook in self._measurement_hooks:
+                    record = hook(self, position)
+                    if record is not None:
+                        measurements.append(record)
+        return measurements
+
+    def _feed_segment(self, keys: Keys, start: int, stop: int, total: int) -> None:
+        """Feed ``keys[start:stop]``, per-packet or in batch chunks."""
+        batch_size = self._spec.batch_size
+        if batch_size is None:
+            update = self._algorithm.update
+            for key in HHHAlgorithm._iter_batch_keys(keys[start:stop]):
+                update(key)
+            self._fire_progress(stop, total)
+            return
+        update_batch = self._algorithm.update_batch
+        for chunk_start in range(start, stop, batch_size):
+            update_batch(keys[chunk_start : min(chunk_start + batch_size, stop)])
+            self._fire_progress(min(chunk_start + batch_size, stop), total)
+
+    def _fire_progress(self, processed: int, total: int) -> None:
+        for hook in self._progress_hooks:
+            hook(self, min(processed, total), total)
+
+    # ------------------------------------------------------------------ #
+    # queries and runs
+    # ------------------------------------------------------------------ #
+
+    def output(self, theta: Optional[float] = None) -> HHHOutput:
+        """Query the algorithm's HHH report (defaults to the spec's theta)."""
+        theta = validate_theta(theta if theta is not None else self._spec.theta)
+        return self._algorithm.output(theta)
+
+    def run(
+        self,
+        *,
+        theta: Optional[float] = None,
+        checkpoints: Sequence[int] = (),
+    ) -> SessionResult:
+        """Feed the full stream, take the final output, return a :class:`SessionResult`."""
+        keys = self.keys()
+        start = time.perf_counter()
+        measurements = self.feed(keys, checkpoints=checkpoints)
+        seconds = time.perf_counter() - start
+        return SessionResult(
+            spec=self._spec,
+            output=self.output(theta),
+            packets=len(keys),
+            seconds=seconds,
+            measurements=measurements,
+        )
+
+    def measure_speed(self, keys: Optional[Keys] = None) -> "SpeedResult":  # noqa: F821
+        """Time the feed loop the spec selects (the Figure 5 measurement).
+
+        Per-packet specs use the unit-weight fast path measurement; batch
+        specs time ``update_batch`` over the spec's chunk size.
+        """
+        # Late import: repro.eval imports this module through its runner.
+        from repro.eval.speed import measure_batch_update_speed, measure_update_speed
+
+        if keys is None:
+            keys = self.keys()
+        if self._spec.batch_size is not None:
+            return measure_batch_update_speed(
+                self._algorithm, keys, batch_size=self._spec.batch_size
+            )
+        return measure_update_speed(self._algorithm, keys)
+
+    # ------------------------------------------------------------------ #
+    # virtual-switch integration
+    # ------------------------------------------------------------------ #
+
+    def bind_switch(self, switch, cost_model=None):
+        """Attach this session's algorithm to a simulated switch's dataplane.
+
+        Wraps the algorithm in a
+        :class:`~repro.vswitch.ovs.DataplaneMeasurement` (which installs both
+        the per-packet and the batch datapath hooks) so the switch's
+        forwarding loop feeds the same algorithm instance this session owns -
+        the Figures 6-8 deployment mode, driven through the unified API.
+
+        Returns the attached measurement.
+        """
+        from repro.vswitch.ovs import DataplaneMeasurement  # late: keep vswitch import-light
+
+        measurement = DataplaneMeasurement(
+            self._algorithm, cost_model if cost_model is not None else switch.cost_model
+        )
+        switch.attach_measurement(measurement)
+        return measurement
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Session(algorithm={self._spec.algorithm.name!r}, "
+            f"hierarchy={self._spec.hierarchy!r}, processed={self.processed})"
+        )
+
+
+def run_experiment(spec: ExperimentSpec, **session_kwargs: Any) -> SessionResult:
+    """One-shot convenience: build a :class:`Session` for ``spec`` and run it."""
+    return Session(spec, **session_kwargs).run()

@@ -1,10 +1,14 @@
 """Command-line interface of the reproduction.
 
-Three sub-commands cover the common workflows without writing any Python:
+Four sub-commands cover the common workflows without writing any Python:
 
 ``detect``
     run one HHH algorithm over a synthetic workload (or a serialized trace)
-    and print the detected prefixes;
+    and print the detected prefixes; ``--print-spec`` emits the equivalent
+    JSON :class:`~repro.api.specs.ExperimentSpec` instead of running;
+
+``run``
+    execute a JSON experiment spec (the declarative twin of ``detect``);
 
 ``compare``
     run several algorithms over the same stream and print speed + quality
@@ -16,32 +20,38 @@ Three sub-commands cover the common workflows without writing any Python:
 Examples::
 
     python -m repro.cli detect --workload chicago16 --packets 200000 --theta 0.05
+    python -m repro.cli detect --print-spec > experiment.json
+    python -m repro.cli run --spec experiment.json
     python -m repro.cli compare --algorithms rhhh mst --packets 50000
     python -m repro.cli figure --name fig6
+
+The CLI is a thin veneer over :mod:`repro.api`: algorithm and hierarchy
+choices come from the plugin registries, and every execution path goes
+through :class:`~repro.api.session.Session`.
 """
 
 from __future__ import annotations
 
 import argparse
+import functools
 import sys
 from typing import List, Optional, Sequence
 
+from repro.api.registry import algorithm_names, hierarchy_names, make_hierarchy
+from repro.api.session import Session, SessionResult
+from repro.api.specs import AlgorithmSpec, ExperimentSpec
+from repro.core.base import HHHAlgorithm
 from repro.eval import figures as figure_module
 from repro.eval.ground_truth import GroundTruth
 from repro.eval.metrics import evaluate_output
 from repro.eval.reporting import format_table
-from repro.eval.speed import measure_batch_update_speed, measure_update_speed
-from repro.hhh.registry import ALGORITHM_REGISTRY, make_algorithm
-from repro.hierarchy.onedim import ipv4_bit_hierarchy, ipv4_byte_hierarchy
-from repro.hierarchy.twodim import ipv4_two_dim_byte_hierarchy
-from repro.traffic.caida_like import WORKLOADS, named_workload
+from repro.exceptions import ReproError
+from repro.traffic.caida_like import WORKLOADS
 from repro.traffic.trace_io import read_trace_binary
 
-HIERARCHIES = {
-    "1d-bytes": ipv4_byte_hierarchy,
-    "1d-bits": ipv4_bit_hierarchy,
-    "2d-bytes": ipv4_two_dim_byte_hierarchy,
-}
+#: Hierarchy constructors, keyed by registry name (kept as a dict for
+#: backwards compatibility; the source of truth is the repro.api registry).
+HIERARCHIES = {name: functools.partial(make_hierarchy, name) for name in hierarchy_names()}
 
 FIGURES = {
     "fig2": figure_module.figure2_accuracy_error,
@@ -61,8 +71,17 @@ def _build_parser() -> argparse.ArgumentParser:
 
     detect = subparsers.add_parser("detect", help="run one algorithm and print the HHH prefixes")
     _add_stream_arguments(detect)
-    detect.add_argument("--algorithm", default="rhhh", choices=sorted(ALGORITHM_REGISTRY))
+    detect.add_argument("--algorithm", default="rhhh", choices=algorithm_names())
     detect.add_argument("--theta", type=float, default=0.05, help="HHH threshold fraction")
+    detect.add_argument(
+        "--print-spec",
+        action="store_true",
+        help="print the equivalent JSON ExperimentSpec instead of running",
+    )
+
+    run = subparsers.add_parser("run", help="execute a JSON experiment spec")
+    run.add_argument("--spec", required=True, help="path to an ExperimentSpec JSON file ('-' for stdin)")
+    run.add_argument("--theta", type=float, default=None, help="override the spec's theta")
 
     compare = subparsers.add_parser("compare", help="compare several algorithms on the same stream")
     _add_stream_arguments(compare)
@@ -70,7 +89,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--algorithms",
         nargs="+",
         default=["rhhh", "10-rhhh", "mst", "partial_ancestry"],
-        choices=sorted(ALGORITHM_REGISTRY),
+        choices=algorithm_names(),
     )
     compare.add_argument("--theta", type=float, default=0.05, help="HHH threshold fraction")
 
@@ -84,7 +103,7 @@ def _add_stream_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workload", default="chicago16", choices=sorted(WORKLOADS))
     parser.add_argument("--trace", help="read packets from a binary trace instead of a synthetic workload")
     parser.add_argument("--packets", type=int, default=100_000)
-    parser.add_argument("--hierarchy", default="2d-bytes", choices=sorted(HIERARCHIES))
+    parser.add_argument("--hierarchy", default="2d-bytes", choices=hierarchy_names())
     parser.add_argument("--epsilon", type=float, default=0.05)
     parser.add_argument("--delta", type=float, default=0.1)
     parser.add_argument("--seed", type=int, default=42)
@@ -97,14 +116,30 @@ def _add_stream_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _load_keys(args: argparse.Namespace, dimensions: int) -> List:
-    if args.trace:
-        packets = list(read_trace_binary(args.trace))[: args.packets]
-        return [p.key_1d() if dimensions == 1 else p.key_2d() for p in packets]
-    workload = named_workload(args.workload)
-    if dimensions == 1:
-        return workload.keys_1d(args.packets)
-    return workload.keys_2d(args.packets)
+def _spec_from_args(args: argparse.Namespace, algorithm: str, theta: float) -> ExperimentSpec:
+    """Translate stream arguments into a declarative ExperimentSpec."""
+    _check_batch_size(args.batch_size)
+    try:
+        return ExperimentSpec(
+            algorithm=AlgorithmSpec(
+                name=algorithm, epsilon=args.epsilon, delta=args.delta, seed=args.seed
+            ),
+            hierarchy=args.hierarchy,
+            workload=args.workload,
+            packets=args.packets,
+            theta=theta,
+            batch_size=args.batch_size,
+        )
+    except ReproError as exc:
+        raise SystemExit(str(exc)) from None
+
+
+def _trace_keys(args: argparse.Namespace, dimensions: int) -> Optional[List]:
+    """Materialise keys from a binary trace, or None for synthetic workloads."""
+    if not args.trace:
+        return None
+    packets = list(read_trace_binary(args.trace))[: args.packets]
+    return [p.key_1d() if dimensions == 1 else p.key_2d() for p in packets]
 
 
 def _check_batch_size(batch_size) -> None:
@@ -113,61 +148,94 @@ def _check_batch_size(batch_size) -> None:
         raise SystemExit(f"--batch-size must be >= 1, got {batch_size}")
 
 
-def _feed_stream(algorithm, keys, batch_size) -> None:
-    """Feed a key stream per-packet, or through update_batch when a size is given."""
-    _check_batch_size(batch_size)
-    if batch_size is None:
-        algorithm.update_stream(keys)
-        return
-    for start in range(0, len(keys), batch_size):
-        algorithm.update_batch(keys[start : start + batch_size])
-
-
-def _command_detect(args: argparse.Namespace) -> int:
-    _check_batch_size(args.batch_size)
-    hierarchy = HIERARCHIES[args.hierarchy]()
-    keys = _load_keys(args, hierarchy.dimensions)
-    algorithm = make_algorithm(
-        args.algorithm, hierarchy, epsilon=args.epsilon, delta=args.delta, seed=args.seed
-    )
-    _feed_stream(algorithm, keys, args.batch_size)
-    output = algorithm.output(args.theta)
+def _print_detection(result: SessionResult, *, algorithm: str, hierarchy: str, theta: float) -> None:
     rows = [
         {
             "prefix": candidate.prefix.text,
             "lower": candidate.lower_bound,
             "upper": candidate.upper_bound,
         }
-        for candidate in output
+        for candidate in result.output
     ]
     print(
         format_table(
             rows,
             title=(
-                f"{args.algorithm} on {len(keys):,} packets "
-                f"({args.hierarchy}, theta={args.theta:.2%}): {len(rows)} HHH prefixes"
+                f"{algorithm} on {result.packets:,} packets "
+                f"({hierarchy}, theta={theta:.2%}): {len(rows)} HHH prefixes"
             ),
             float_format="{:,.0f}",
         )
+    )
+
+
+def _command_detect(args: argparse.Namespace) -> int:
+    spec = _spec_from_args(args, args.algorithm, args.theta)
+    if args.print_spec:
+        if args.trace:
+            # A spec names a synthetic workload; it cannot encode a trace
+            # file, so printing one here would silently change the stream.
+            raise SystemExit("--print-spec cannot express --trace runs; specs name synthetic workloads")
+        print(spec.to_json())
+        return 0
+    hierarchy = make_hierarchy(spec.hierarchy)
+    session = Session(spec, hierarchy=hierarchy, keys=_trace_keys(args, hierarchy.dimensions))
+    result = session.run()
+    _print_detection(result, algorithm=spec.algorithm.name, hierarchy=spec.hierarchy, theta=spec.theta)
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    try:
+        if args.spec == "-":
+            text = sys.stdin.read()
+        else:
+            with open(args.spec) as handle:
+                text = handle.read()
+        spec = ExperimentSpec.from_json(text)
+        result = Session(spec).run(theta=args.theta)
+    except OSError as exc:
+        print(f"error: cannot read spec: {exc}", file=sys.stderr)
+        return 1
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    _print_detection(
+        result,
+        algorithm=spec.algorithm.name,
+        hierarchy=spec.hierarchy,
+        theta=args.theta if args.theta is not None else spec.theta,
+    )
+    print(
+        f"\n{result.packets:,} packets in {result.seconds:.2f}s "
+        f"({result.packets_per_second / 1e3:,.0f} kpps)"
+        + (f"  [{spec.label}]" if spec.label else "")
     )
     return 0
 
 
 def _command_compare(args: argparse.Namespace) -> int:
     _check_batch_size(args.batch_size)
-    hierarchy = HIERARCHIES[args.hierarchy]()
-    keys = _load_keys(args, hierarchy.dimensions)
-    truth = GroundTruth(hierarchy, keys)
+    hierarchy = make_hierarchy(args.hierarchy)
+    trace_keys = _trace_keys(args, hierarchy.dimensions)
     rows = []
+    truth: Optional[GroundTruth] = None
+    keys = trace_keys
+    packets = 0
     for name in args.algorithms:
-        algorithm = make_algorithm(
-            name, hierarchy, epsilon=args.epsilon, delta=args.delta, seed=args.seed
+        spec = _spec_from_args(args, name, args.theta)
+        # Materialise the stream once (the first session draws it) and share
+        # it: every algorithm must see the same packets anyway, and workload
+        # generation is far from free.
+        session = Session(spec, hierarchy=hierarchy, keys=keys)
+        keys = session.keys()
+        packets = len(keys)
+        if truth is None:
+            truth = GroundTruth(hierarchy, list(HHHAlgorithm._iter_batch_keys(keys)))
+        speed = session.measure_speed()
+        report = evaluate_output(
+            session.output(args.theta), truth, epsilon=args.epsilon, theta=args.theta
         )
-        if args.batch_size is not None:
-            speed = measure_batch_update_speed(algorithm, keys, batch_size=args.batch_size)
-        else:
-            speed = measure_update_speed(algorithm, keys)
-        report = evaluate_output(algorithm.output(args.theta), truth, epsilon=args.epsilon, theta=args.theta)
         rows.append(
             {
                 "algorithm": name,
@@ -178,7 +246,7 @@ def _command_compare(args: argparse.Namespace) -> int:
                 "false_positive_ratio": report.false_positive_ratio,
             }
         )
-    print(format_table(rows, title=f"{len(keys):,} packets, {args.hierarchy}, theta={args.theta:.2%}"))
+    print(format_table(rows, title=f"{packets:,} packets, {args.hierarchy}, theta={args.theta:.2%}"))
     return 0
 
 
@@ -195,6 +263,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "detect":
         return _command_detect(args)
+    if args.command == "run":
+        return _command_run(args)
     if args.command == "compare":
         return _command_compare(args)
     if args.command == "figure":

@@ -12,12 +12,12 @@ size, and exposes the convergence bound ``psi``.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.analysis.bounds import coverage_correction, oversample_adjusted_counters, psi
 from repro.exceptions import ConfigurationError
+from repro.hh.factory import CounterLike
 
 
 @dataclass(frozen=True)
@@ -35,8 +35,10 @@ class RHHHConfig:
             (the plain "RHHH" configuration); ``V = 10 H`` is the paper's
             "10-RHHH".
         epsilon_a, epsilon_s, delta_a, delta_s: optional explicit splits.
-        counter: name of the per-node counter algorithm (see
-            :data:`repro.hh.factory.COUNTER_REGISTRY`).
+        counter: the per-node counter backend - a registered backend name, a
+            :class:`~repro.api.specs.CounterSpec` (which is how the
+            memory-budget auto-selection ``CounterSpec(auto=True,
+            memory_bytes=...)`` plugs in), or a ``factory(epsilon)`` callable.
         seed: RNG seed for the level-selection randomness; ``None`` uses
             nondeterministic seeding.
     """
@@ -49,7 +51,7 @@ class RHHHConfig:
     epsilon_s: Optional[float] = None
     delta_a: Optional[float] = None
     delta_s: Optional[float] = None
-    counter: str = "space_saving"
+    counter: CounterLike = "space_saving"
     seed: Optional[int] = None
     # Derived fields (filled in __post_init__).
     effective_v: int = field(init=False, default=0)
@@ -138,6 +140,16 @@ class RHHHConfig:
         """True once ``n`` packets exceed the convergence bound ``psi``."""
         return n > self.convergence_bound
 
+    @property
+    def counter_label(self) -> str:
+        """A short human-readable name of the counter backend."""
+        if isinstance(self.counter, str):
+            return self.counter
+        name = getattr(self.counter, "name", None)  # CounterSpec
+        if isinstance(name, str):
+            return f"auto({name})" if getattr(self.counter, "auto", False) else name
+        return getattr(self.counter, "__name__", "custom")
+
     def describe(self) -> str:
         """Return a human-readable multi-line summary of the configuration."""
         return "\n".join(
@@ -146,7 +158,7 @@ class RHHHConfig:
                 f"(update probability {self.update_probability:.3f})",
                 f"  epsilon = {self.epsilon} (counter {self.resolved_epsilon_a}, sample {self.resolved_epsilon_s})",
                 f"  delta   = {self.delta} (counter {self.resolved_delta_a}, sample {self.resolved_delta_s})",
-                f"  counter algorithm = {self.counter} with {self.counters_per_node} counters/node "
+                f"  counter algorithm = {self.counter_label} with {self.counters_per_node} counters/node "
                 f"({self.total_counters()} total)",
                 f"  convergence bound psi = {self.convergence_bound:,.0f} packets",
             ]

@@ -13,11 +13,30 @@ from __future__ import annotations
 from typing import Callable, List, Sequence
 
 from repro.core.base import HHHCandidate, HHHOutput
+from repro.exceptions import ConfigurationError
 from repro.hh.base import CounterAlgorithm
 from repro.hierarchy.base import Hierarchy, PrefixKey
 
 #: A function mapping an internal ``(node, value)`` prefix to a frequency bound.
 BoundFn = Callable[[PrefixKey], float]
+
+
+def validate_theta(theta: float) -> float:
+    """Validate the HHH threshold fraction and return it.
+
+    Every ``output(theta)`` entry point shares this check: a ``theta`` outside
+    ``(0, 1]`` would make the ``theta * N`` threshold non-positive (reporting
+    everything) or unreachable (reporting nothing) without any error - the
+    classic silent-garbage failure mode.
+
+    Raises:
+        ConfigurationError: when ``theta`` is not in ``(0, 1]``.
+    """
+    if not isinstance(theta, (int, float)) or isinstance(theta, bool):
+        raise ConfigurationError(f"theta must be a number in (0, 1], got {theta!r}")
+    if not 0.0 < theta <= 1.0:
+        raise ConfigurationError(f"theta must be in (0, 1], got {theta}")
+    return float(theta)
 
 
 def calc_pred(

@@ -28,10 +28,10 @@ import numpy as np
 from repro.analysis.bounds import coverage_correction
 from repro.core.base import HHHAlgorithm, HHHOutput
 from repro.core.config import RHHHConfig
-from repro.core.output import lattice_output
+from repro.core.output import lattice_output, validate_theta
 from repro.exceptions import ConfigurationError
 from repro.hh.base import CounterAlgorithm
-from repro.hh.factory import make_counter
+from repro.hh.factory import CounterLike, prepare_counter_factory
 from repro.hierarchy.base import Hierarchy
 
 
@@ -95,7 +95,10 @@ class RHHH(HHHAlgorithm):
         delta: overall confidence target (ignored when ``config`` is given).
         v: the performance parameter ``V``; ``None`` means ``V = H`` and
             ``v = 10 * H`` reproduces the paper's "10-RHHH".
-        counter: name of the per-node counter algorithm.
+        counter: the per-node counter backend - a registered backend name, a
+            :class:`~repro.api.specs.CounterSpec` (explicit sketch sizes,
+            memory-budget auto-selection, ...), or a bare
+            ``factory(epsilon) -> CounterAlgorithm`` callable.
         seed: RNG seed for reproducible experiments.
         updates_per_packet: the ``r`` of Corollary 6.8 (default 1).
     """
@@ -110,7 +113,7 @@ class RHHH(HHHAlgorithm):
         epsilon: float = 0.001,
         delta: float = 0.001,
         v: Optional[int] = None,
-        counter: str = "space_saving",
+        counter: CounterLike = "space_saving",
         seed: Optional[int] = None,
         updates_per_packet: int = 1,
     ) -> None:
@@ -130,9 +133,8 @@ class RHHH(HHHAlgorithm):
         self._rng = random.Random(config.seed)
         self._v = config.effective_v
         self._h = hierarchy.size
-        self._counters: List[CounterAlgorithm] = [
-            make_counter(config.counter, config.counter_epsilon) for _ in range(self._h)
-        ]
+        counter_factory = prepare_counter_factory(config.counter, config.counter_epsilon)
+        self._counters: List[CounterAlgorithm] = [counter_factory() for _ in range(self._h)]
         self._generalizers = hierarchy.compile_generalizers()
         self._batch_generalizers = hierarchy.compile_batch_generalizers()
         # The batch path pre-draws node choices with a numpy Generator: an
@@ -316,8 +318,7 @@ class RHHH(HHHAlgorithm):
 
     def output(self, theta: float) -> HHHOutput:
         """Return the approximate HHH set for threshold fraction ``theta`` (Algorithm 1, Output)."""
-        if not 0.0 < theta <= 1.0:
-            raise ConfigurationError(f"theta must be in (0, 1], got {theta}")
+        theta = validate_theta(theta)
         scale = self._v / self._r
         correction = (
             coverage_correction(self._total * self._r, self._v, self._config.delta) / self._r

@@ -18,17 +18,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro.api.registry import build_algorithm, make_hierarchy
+from repro.api.specs import AlgorithmSpec
 from repro.core.config import RHHHConfig
-from repro.core.rhhh import RHHH
 from repro.eval.reporting import format_table
 from repro.eval.runner import ExperimentRunner
-from repro.hhh.registry import make_algorithm
-from repro.hierarchy.onedim import ipv4_bit_hierarchy, ipv4_byte_hierarchy
-from repro.hierarchy.twodim import ipv4_two_dim_byte_hierarchy
 from repro.traffic.caida_like import named_workload
 from repro.vswitch.cost_model import CostModel
 from repro.vswitch.distributed import DistributedMeasurement, MeasurementVM
-from repro.vswitch.moongen import LINE_RATE_64B_MPPS
 from repro.vswitch.ovs import DataplaneMeasurement, OVSSwitch
 
 Number = Union[int, float]
@@ -78,13 +75,7 @@ def _workload_keys(workload: str, count: int, dimensions: int) -> list:
 
 
 def _hierarchy_by_name(name: str):
-    if name == "1d-bytes":
-        return ipv4_byte_hierarchy()
-    if name == "1d-bits":
-        return ipv4_bit_hierarchy()
-    if name == "2d-bytes":
-        return ipv4_two_dim_byte_hierarchy()
-    raise ValueError(f"unknown hierarchy name {name!r}")
+    return make_hierarchy(name)
 
 
 # --------------------------------------------------------------------------- #
@@ -109,7 +100,14 @@ def quality_vs_length(
     rows: List[Dict[str, Union[str, Number]]] = []
     for workload in workloads:
         keys = _workload_keys(workload, max(lengths), hierarchy.dimensions)
-        runner = ExperimentRunner(hierarchy, epsilon=epsilon, delta=delta, theta=theta, seed=seed)
+        runner = ExperimentRunner(
+            hierarchy,
+            epsilon=epsilon,
+            delta=delta,
+            theta=theta,
+            seed=seed,
+            hierarchy_name=hierarchy_name,
+        )
         result = runner.quality_experiment(
             algorithms, keys, lengths=lengths, workload=workload, repetitions=repetitions
         )
@@ -220,7 +218,7 @@ def figure5_update_speed(
         hierarchy = _hierarchy_by_name(hierarchy_name)
         for workload in workloads:
             keys = _workload_keys(workload, packets, hierarchy.dimensions)
-            runner = ExperimentRunner(hierarchy, delta=delta, seed=seed)
+            runner = ExperimentRunner(hierarchy, delta=delta, seed=seed, hierarchy_name=hierarchy_name)
             result = runner.speed_experiment(algorithms, keys, epsilons=epsilons, workload=workload)
             for row in result.rows:
                 rows.append(
@@ -258,7 +256,7 @@ def figure6_ovs_dataplane(
 ) -> FigureResult:
     """Figure 6: dataplane throughput of unmodified OVS vs the four measurement variants."""
     cost = cost_model or CostModel()
-    hierarchy = ipv4_two_dim_byte_hierarchy()
+    hierarchy = make_hierarchy("2d-bytes")
     rows: List[Dict[str, Union[str, Number]]] = []
 
     baseline_switch = OVSSwitch(cost)
@@ -271,10 +269,8 @@ def figure6_ovs_dataplane(
     )
 
     variants = [
-        ("10-rhhh", RHHH(hierarchy, epsilon=epsilon, delta=delta, v=10 * hierarchy.size, seed=seed)),
-        ("rhhh", RHHH(hierarchy, epsilon=epsilon, delta=delta, seed=seed)),
-        ("partial_ancestry", make_algorithm("partial_ancestry", hierarchy, epsilon=epsilon)),
-        ("mst", make_algorithm("mst", hierarchy, epsilon=epsilon)),
+        (name, build_algorithm(AlgorithmSpec(name=name, epsilon=epsilon, delta=delta, seed=seed), hierarchy))
+        for name in ("10-rhhh", "rhhh", "partial_ancestry", "mst")
     ]
     for name, algorithm in variants:
         switch = OVSSwitch(cost)
@@ -308,11 +304,13 @@ def figure7_dataplane_v_sweep(
 ) -> FigureResult:
     """Figure 7: dataplane throughput as V grows from H to 10H."""
     cost = cost_model or CostModel()
-    hierarchy = ipv4_two_dim_byte_hierarchy()
+    hierarchy = make_hierarchy("2d-bytes")
     rows: List[Dict[str, Union[str, Number]]] = []
     for multiplier in v_multipliers:
         v = multiplier * hierarchy.size
-        algorithm = RHHH(hierarchy, epsilon=epsilon, delta=delta, v=v, seed=seed)
+        algorithm = build_algorithm(
+            AlgorithmSpec(name="rhhh", epsilon=epsilon, delta=delta, v=v, seed=seed), hierarchy
+        )
         switch = OVSSwitch(cost)
         switch.attach_measurement(DataplaneMeasurement(algorithm, cost))
         result = switch.throughput()
@@ -344,11 +342,14 @@ def figure8_distributed_v_sweep(
 ) -> FigureResult:
     """Figure 8: distributed (measurement VM) deployment throughput as V grows."""
     cost = cost_model or CostModel()
-    hierarchy = ipv4_two_dim_byte_hierarchy()
+    hierarchy = make_hierarchy("2d-bytes")
     rows: List[Dict[str, Union[str, Number]]] = []
     for multiplier in v_multipliers:
         v = multiplier * hierarchy.size
-        vm = MeasurementVM(RHHH(hierarchy, epsilon=epsilon, delta=delta, seed=seed), cost)
+        vm = MeasurementVM(
+            build_algorithm(AlgorithmSpec(name="rhhh", epsilon=epsilon, delta=delta, seed=seed), hierarchy),
+            cost,
+        )
         deployment = DistributedMeasurement(hierarchy.size, v, vm, cost, seed=seed)
         result = deployment.throughput()
         rows.append(
@@ -387,7 +388,7 @@ def convergence_study(
     seed: int = 42,
 ) -> FigureResult:
     """Section 7's convergence narrative: error vs stream length measured in units of psi."""
-    hierarchy = ipv4_two_dim_byte_hierarchy()
+    hierarchy = make_hierarchy("2d-bytes")
     config = RHHHConfig(h=hierarchy.size, epsilon=epsilon, delta=delta)
     psi = config.convergence_bound
     lengths = sorted({max(1_000, int(psi * fraction)) for fraction in checkpoints})

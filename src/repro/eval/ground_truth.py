@@ -7,7 +7,7 @@ trace can score many algorithm outputs.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Hashable, Iterable, List, Sequence, Set
 
 from repro.hhh.exact import ExactHHH
 from repro.hierarchy.base import Hierarchy, PrefixKey

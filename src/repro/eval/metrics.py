@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Set, Tuple
+from typing import Set, Tuple
 
 from repro.core.base import HHHOutput
 from repro.eval.ground_truth import GroundTruth

@@ -7,7 +7,7 @@ these helpers keep that formatting in one place.
 from __future__ import annotations
 
 import io
-from typing import Dict, List, Mapping, Sequence, Union
+from typing import List, Mapping, Sequence, Union
 
 Number = Union[int, float]
 Row = Mapping[str, Union[str, Number]]

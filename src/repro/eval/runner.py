@@ -4,20 +4,38 @@ The runner is deliberately workload-agnostic: it consumes a pre-materialised
 list of keys (so every algorithm sees exactly the same stream) and produces
 plain dict rows, which the reporting helpers and the per-figure entry points
 format.
+
+Since the :mod:`repro.api` redesign the runner is a thin orchestration layer:
+algorithms are described by :class:`~repro.api.specs.AlgorithmSpec` and
+driven through :class:`~repro.api.session.Session`.  The quality experiment
+exploits Session checkpoints to evaluate one stream at several lengths in a
+single pass - bit-identical to the historical run-per-length loop (an
+algorithm fed ``L`` packets is in the same state whether or not more packets
+follow), but H times cheaper for an H-point length sweep.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Sequence, Union
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
+from repro.api.session import Session
+from repro.api.specs import AlgorithmSpec, ExperimentSpec
 from repro.eval.ground_truth import GroundTruth
 from repro.eval.metrics import evaluate_output
-from repro.eval.speed import measure_update_speed
-from repro.hhh.registry import make_algorithm
 from repro.hierarchy.base import Hierarchy
 
 Number = Union[int, float]
+
+#: The metric columns every quality row carries.
+QUALITY_METRICS = (
+    "accuracy_error_ratio",
+    "coverage_error_ratio",
+    "false_positive_ratio",
+    "precision",
+    "recall",
+    "reported",
+)
 
 
 @dataclass
@@ -47,6 +65,11 @@ class ExperimentRunner:
         theta: HHH threshold fraction used by the quality metrics.
         seed: base RNG seed; repetition ``i`` of a randomized algorithm uses
             ``seed + i`` so repeated runs are independent but reproducible.
+        hierarchy_name: the registry name of ``hierarchy`` (e.g.
+            ``"2d-bytes"``), recorded in the specs the runner builds so they
+            re-run standalone; when omitted the specs carry the instance's
+            own label, which round-trips as documentation but not through
+            :func:`repro.api.registry.make_hierarchy`.
     """
 
     def __init__(
@@ -57,12 +80,42 @@ class ExperimentRunner:
         delta: float = 0.05,
         theta: float = 0.05,
         seed: int = 42,
+        hierarchy_name: Optional[str] = None,
     ) -> None:
         self._hierarchy = hierarchy
+        self._hierarchy_name = (
+            hierarchy_name or getattr(hierarchy, "name", "") or type(hierarchy).__name__
+        )
         self._epsilon = epsilon
         self._delta = delta
         self._theta = theta
         self._seed = seed
+
+    def _session(
+        self,
+        name: str,
+        keys: Sequence[Hashable],
+        *,
+        epsilon: Optional[float] = None,
+        seed: Optional[int] = None,
+        batch_size: Optional[int] = None,
+        workload: str = "",
+    ) -> Session:
+        """Build a Session for algorithm ``name`` over an explicit key stream."""
+        spec = ExperimentSpec(
+            algorithm=AlgorithmSpec(
+                name=name,
+                epsilon=epsilon if epsilon is not None else self._epsilon,
+                delta=self._delta,
+                seed=seed if seed is not None else self._seed,
+            ),
+            hierarchy=self._hierarchy_name,
+            packets=len(keys),
+            theta=self._theta,
+            batch_size=batch_size,
+            label=workload,
+        )
+        return Session(spec, hierarchy=self._hierarchy, keys=keys)
 
     # ------------------------------------------------------------------ #
     # quality
@@ -78,6 +131,9 @@ class ExperimentRunner:
         repetitions: int = 1,
     ) -> ExperimentResult:
         """Run every algorithm over growing prefixes of ``keys`` and score each output.
+
+        Each repetition feeds one Session over the longest requested prefix
+        and evaluates at every length checkpoint on the way (single pass).
 
         Args:
             algorithms: algorithm names from the registry.
@@ -99,43 +155,39 @@ class ExperimentRunner:
                 "hierarchy": getattr(self._hierarchy, "name", ""),
             }
         )
-        truths: Dict[int, GroundTruth] = {}
-        for length in lengths:
-            truths[length] = GroundTruth(self._hierarchy, keys[:length])
+        truths: Dict[int, GroundTruth] = {
+            length: GroundTruth(self._hierarchy, keys[:length]) for length in set(lengths)
+        }
+        max_length = max(lengths)
         for name in algorithms:
-            for length in lengths:
-                truth = truths[length]
-                metrics_accumulator: Dict[str, float] = {}
-                for repetition in range(repetitions):
-                    algorithm = make_algorithm(
-                        name,
-                        self._hierarchy,
-                        epsilon=self._epsilon,
-                        delta=self._delta,
-                        seed=self._seed + repetition,
-                    )
-                    for key in keys[:length]:
-                        algorithm.update(key)
+            accumulator: Dict[Tuple[int, str], float] = {}
+            for repetition in range(repetitions):
+                session = self._session(
+                    name, keys[:max_length], seed=self._seed + repetition, workload=workload
+                )
+
+                def measure(sess: Session, processed: int):
                     report = evaluate_output(
-                        algorithm.output(self._theta), truth, epsilon=self._epsilon, theta=self._theta
+                        sess.output(self._theta),
+                        truths[processed],
+                        epsilon=self._epsilon,
+                        theta=self._theta,
                     )
-                    for metric_name in (
-                        "accuracy_error_ratio",
-                        "coverage_error_ratio",
-                        "false_positive_ratio",
-                        "precision",
-                        "recall",
-                        "reported",
-                    ):
-                        value = float(getattr(report, metric_name))
-                        metrics_accumulator[metric_name] = metrics_accumulator.get(metric_name, 0.0) + value
+                    return processed, report
+
+                session.add_measurement_hook(measure)
+                for processed, report in session.feed(checkpoints=set(lengths)):
+                    for metric in QUALITY_METRICS:
+                        key = (processed, metric)
+                        accumulator[key] = accumulator.get(key, 0.0) + float(getattr(report, metric))
+            for length in lengths:
                 row: Dict[str, Union[str, Number]] = {
                     "workload": workload,
                     "algorithm": name,
                     "length": length,
                 }
-                for metric_name, accumulated in metrics_accumulator.items():
-                    row[metric_name] = accumulated / repetitions
+                for metric in QUALITY_METRICS:
+                    row[metric] = accumulator[(length, metric)] / repetitions
                 row["exact_hhh"] = len(truths[length].hhh_set(self._theta))
                 result.rows.append(row)
         return result
@@ -151,11 +203,14 @@ class ExperimentRunner:
         *,
         epsilons: Optional[Sequence[float]] = None,
         workload: str = "",
+        batch_size: Optional[int] = None,
     ) -> ExperimentResult:
         """Measure the update throughput of every algorithm for every ``epsilon``.
 
         Mirrors Figure 5: throughput as a function of the accuracy target, per
-        algorithm, on a fixed hierarchy and workload.
+        algorithm, on a fixed hierarchy and workload.  ``batch_size`` selects
+        the Session feed path: ``None`` times the per-packet fast path, a size
+        times ``update_batch`` over chunks of that size.
         """
         epsilons = list(epsilons) if epsilons is not None else [self._epsilon]
         result = ExperimentResult(
@@ -168,10 +223,10 @@ class ExperimentRunner:
         baseline: Dict[float, float] = {}
         for name in algorithms:
             for epsilon in epsilons:
-                algorithm = make_algorithm(
-                    name, self._hierarchy, epsilon=epsilon, delta=self._delta, seed=self._seed
+                session = self._session(
+                    name, keys, epsilon=epsilon, batch_size=batch_size, workload=workload
                 )
-                speed = measure_update_speed(algorithm, keys)
+                speed = session.measure_speed()
                 row: Dict[str, Union[str, Number]] = {
                     "workload": workload,
                     "algorithm": name,

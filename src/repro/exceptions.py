@@ -31,3 +31,12 @@ class TraceFormatError(ReproError):
 
 class SwitchError(ReproError):
     """The simulated virtual switch was configured or driven incorrectly."""
+
+
+class ConfigurationWarning(UserWarning):
+    """A parameter was accepted but silently adjusted (e.g. an epsilon clamp).
+
+    Emitted via :mod:`warnings` rather than raised: the run proceeds with the
+    adjusted value, but the caller is told their request was not honoured
+    verbatim.
+    """

@@ -39,6 +39,8 @@ class CountMinSketch(CounterAlgorithm):
         epsilon: float = 0.001,
         delta: float = 0.01,
         *,
+        width: Optional[int] = None,
+        depth: Optional[int] = None,
         track: Optional[int] = None,
         seed: int = 0x5EED,
     ) -> None:
@@ -47,10 +49,13 @@ class CountMinSketch(CounterAlgorithm):
             raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
         if not 0 < delta < 1:
             raise ConfigurationError(f"delta must be in (0, 1), got {delta}")
+        for name, value in (("width", width), ("depth", depth)):
+            if value is not None and value < 1:
+                raise ConfigurationError(f"{name} must be >= 1, got {value}")
         self._epsilon = epsilon
         self._delta = delta
-        self._width = max(2, int(math.ceil(math.e / epsilon)))
-        self._depth = max(1, int(math.ceil(math.log(1.0 / delta))))
+        self._width = width if width is not None else max(2, int(math.ceil(math.e / epsilon)))
+        self._depth = depth if depth is not None else max(1, int(math.ceil(math.log(1.0 / delta))))
         rng = np.random.default_rng(seed)
         self._a = rng.integers(1, _PRIME, size=self._depth, dtype=np.uint64)
         self._b = rng.integers(0, _PRIME, size=self._depth, dtype=np.uint64)

@@ -37,6 +37,8 @@ class CountSketch(CounterAlgorithm):
         epsilon: float = 0.01,
         delta: float = 0.01,
         *,
+        width: Optional[int] = None,
+        depth: Optional[int] = None,
         track: Optional[int] = None,
         seed: int = 0xC0DE,
     ) -> None:
@@ -45,11 +47,17 @@ class CountSketch(CounterAlgorithm):
             raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
         if not 0 < delta < 1:
             raise ConfigurationError(f"delta must be in (0, 1), got {delta}")
+        for name, value in (("width", width), ("depth", depth)):
+            if value is not None and value < 1:
+                raise ConfigurationError(f"{name} must be >= 1, got {value}")
         self._epsilon = epsilon
         self._delta = delta
-        width = int(math.ceil(3.0 / (epsilon * epsilon)))
-        self._width = max(4, min(width, self._MAX_WIDTH))
-        self._depth = max(1, int(math.ceil(math.log(1.0 / delta))))
+        if width is not None:
+            self._width = width
+        else:
+            derived = int(math.ceil(3.0 / (epsilon * epsilon)))
+            self._width = max(4, min(derived, self._MAX_WIDTH))
+        self._depth = depth if depth is not None else max(1, int(math.ceil(math.log(1.0 / delta))))
         if self._depth % 2 == 0:
             self._depth += 1  # odd depth makes the median unambiguous
         rng = np.random.default_rng(seed)

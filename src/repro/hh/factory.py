@@ -1,67 +1,111 @@
-"""Factory helpers for constructing counter algorithms by name.
+"""Legacy counter-construction surface (deprecation shim).
 
-The HHH algorithms (and the benchmark harness) accept a ``counter`` argument
-naming which heavy-hitter algorithm to instantiate per lattice node; this
-module centralises that mapping.
+The canonical construction API is :mod:`repro.api`: describe a backend with a
+:class:`~repro.api.specs.CounterSpec` and build it with
+:func:`~repro.api.registry.build_counter`, or register new backends with
+:func:`~repro.api.registry.register_counter`.  This module keeps the two
+pre-API entry points alive for existing callers:
+
+* :func:`make_counter` - ``(name, epsilon)`` construction (deprecated);
+* :data:`COUNTER_REGISTRY` - the frozen legacy view of the builtin backends
+  as ``factory(epsilon)`` callables (deprecated; new backends registered via
+  the decorator API do **not** appear here).
+
+Note the count-sketch epsilon clamp that used to hide in this module now
+lives in :class:`~repro.api.specs.CounterSpec` as the overridable
+``min_epsilon`` field, and warns when it fires.
+
+:func:`resolve_counter` is the non-deprecated internal helper the HHH
+algorithms use to accept a backend name, a ``CounterSpec`` or a bare factory
+callable interchangeably.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+import warnings
+from typing import Callable, Dict, Union
 
-from repro.exceptions import ConfigurationError
 from repro.hh.base import CounterAlgorithm
-from repro.hh.conservative_update import ConservativeCountMin
-from repro.hh.count_min import CountMinSketch
-from repro.hh.count_sketch import CountSketch
-from repro.hh.exact_counter import ExactCounter
-from repro.hh.lossy_counting import LossyCounting
-from repro.hh.misra_gries import MisraGries
-from repro.hh.space_saving import SpaceSaving
+
+#: What an HHH algorithm accepts as its ``counter`` argument: a registered
+#: backend name, a :class:`~repro.api.specs.CounterSpec`, or a bare
+#: ``factory(epsilon) -> CounterAlgorithm`` callable.
+CounterLike = Union[str, "CounterSpec", Callable[[float], CounterAlgorithm]]  # noqa: F821
+
+#: The builtin backend names of the legacy registry surface.  Frozen: the
+#: decorator-registered plugin table lives in :mod:`repro.api.registry`.
+_LEGACY_COUNTER_NAMES = (
+    "space_saving",
+    "misra_gries",
+    "lossy_counting",
+    "count_min",
+    "count_sketch",
+    "conservative_count_min",
+    "exact",
+)
 
 
-def _make_space_saving(epsilon: float) -> CounterAlgorithm:
-    return SpaceSaving(epsilon=epsilon)
+def resolve_counter(counter: CounterLike, epsilon: float) -> CounterAlgorithm:
+    """Instantiate a per-node counter from any of the accepted ``counter`` forms.
+
+    Args:
+        counter: a backend name, a ``CounterSpec``, or a ``factory(epsilon)``
+            callable (the extension point for pre-built or exotic counters).
+        epsilon: the per-counter error target the owning algorithm resolved
+            (over-sample correction already applied); a ``CounterSpec`` that
+            pins its own ``epsilon`` wins over this default.
+    """
+    if callable(counter) and not isinstance(counter, str):
+        return counter(epsilon)
+    # Late import: repro.api.registry imports the algorithm modules, which
+    # import this module - the cycle only resolves at call time.
+    from repro.api.registry import build_counter
+
+    return build_counter(counter, epsilon=epsilon)
 
 
-def _make_misra_gries(epsilon: float) -> CounterAlgorithm:
-    return MisraGries(epsilon=epsilon)
+def prepare_counter_factory(counter: CounterLike, epsilon: float) -> Callable[[], CounterAlgorithm]:
+    """Return a zero-argument factory producing fresh counters for ``counter``.
+
+    Used by the lattice algorithms (one counter instance per node): the spec
+    is resolved **once** - so an epsilon clamp or an ``auto`` backend choice
+    (and its warning) happens once per algorithm, not once per lattice node -
+    and the returned factory then builds identical independent instances.
+    """
+    if callable(counter) and not isinstance(counter, str):
+        return lambda: counter(epsilon)
+    from repro.api.registry import build_counter  # late import, see resolve_counter
+    from repro.api.specs import CounterSpec
+
+    spec = CounterSpec(name=counter) if isinstance(counter, str) else counter
+    resolved = spec.resolve(default_epsilon=epsilon)
+    return lambda: build_counter(resolved)
 
 
-def _make_lossy_counting(epsilon: float) -> CounterAlgorithm:
-    return LossyCounting(epsilon=epsilon)
+def _legacy_factory(name: str) -> Callable[[float], CounterAlgorithm]:
+    def factory(epsilon: float) -> CounterAlgorithm:
+        return resolve_counter(name, epsilon)
 
-
-def _make_count_min(epsilon: float) -> CounterAlgorithm:
-    return CountMinSketch(epsilon=epsilon)
-
-
-def _make_count_sketch(epsilon: float) -> CounterAlgorithm:
-    return CountSketch(epsilon=max(epsilon, 0.005))
-
-
-def _make_conservative(epsilon: float) -> CounterAlgorithm:
-    return ConservativeCountMin(epsilon=epsilon)
-
-
-def _make_exact(epsilon: float) -> CounterAlgorithm:  # noqa: ARG001 - signature parity
-    return ExactCounter()
+    factory.__name__ = f"make_{name}"
+    factory.__doc__ = f"Legacy ``factory(epsilon)`` wrapper over repro.api for {name!r}."
+    return factory
 
 
 COUNTER_REGISTRY: Dict[str, Callable[[float], CounterAlgorithm]] = {
-    "space_saving": _make_space_saving,
-    "misra_gries": _make_misra_gries,
-    "lossy_counting": _make_lossy_counting,
-    "count_min": _make_count_min,
-    "count_sketch": _make_count_sketch,
-    "conservative_count_min": _make_conservative,
-    "exact": _make_exact,
+    name: _legacy_factory(name) for name in _LEGACY_COUNTER_NAMES
 }
-"""Mapping of counter-algorithm name to a ``factory(epsilon) -> CounterAlgorithm``."""
+"""Deprecated: mapping of builtin counter name to ``factory(epsilon)``.
+
+Use :func:`repro.api.registry.build_counter` / ``counter_names()`` instead.
+"""
 
 
 def make_counter(name: str, epsilon: float) -> CounterAlgorithm:
-    """Instantiate the counter algorithm called ``name`` with error target ``epsilon``.
+    """Instantiate the counter algorithm called ``name`` (deprecated).
+
+    Deprecated in favour of :func:`repro.api.registry.build_counter`, which
+    accepts a full :class:`~repro.api.specs.CounterSpec` (explicit sketch
+    sizes, seeds, memory-budget auto-selection) instead of epsilon alone.
 
     Args:
         name: one of the keys of :data:`COUNTER_REGISTRY`.
@@ -70,9 +114,10 @@ def make_counter(name: str, epsilon: float) -> CounterAlgorithm:
     Raises:
         ConfigurationError: if the name is unknown.
     """
-    try:
-        factory = COUNTER_REGISTRY[name]
-    except KeyError:
-        known = ", ".join(sorted(COUNTER_REGISTRY))
-        raise ConfigurationError(f"unknown counter algorithm {name!r}; known: {known}") from None
-    return factory(epsilon)
+    warnings.warn(
+        "make_counter(name, epsilon) is deprecated; use "
+        "repro.api.build_counter(CounterSpec(name=...), epsilon=...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return resolve_counter(name, epsilon)

@@ -25,10 +25,10 @@ shrinks), and deterministic accuracy/coverage comparable to MST.
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, List
 
 from repro.core.base import HHHAlgorithm, HHHCandidate, HHHOutput
-from repro.core.output import conditioned_frequency_estimate
+from repro.core.output import conditioned_frequency_estimate, validate_theta
 from repro.exceptions import ConfigurationError
 from repro.hierarchy.base import Hierarchy, PrefixKey
 
@@ -156,8 +156,7 @@ class _AncestryBase(HHHAlgorithm):
         RHHH, which is what makes the three families directly comparable in
         the evaluation.
         """
-        if not 0.0 < theta <= 1.0:
-            raise ConfigurationError(f"theta must be in (0, 1], got {theta}")
+        theta = validate_theta(theta)
         threshold = theta * self._total
         hierarchy = self._hierarchy
         slack = float(self._bucket - 1)

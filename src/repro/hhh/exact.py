@@ -14,10 +14,10 @@ which the metrics module uses to score the approximate algorithms' outputs
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Hashable, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
 
 from repro.core.base import HHHAlgorithm, HHHCandidate, HHHOutput
-from repro.exceptions import ConfigurationError
+from repro.core.output import validate_theta
 from repro.hierarchy.base import Hierarchy, PrefixKey
 
 
@@ -94,8 +94,7 @@ class ExactHHH(HHHAlgorithm):
 
     def output(self, theta: float) -> HHHOutput:
         """Materialise the exact HHH set per Definition 8."""
-        if not 0.0 < theta <= 1.0:
-            raise ConfigurationError(f"theta must be in (0, 1], got {theta}")
+        theta = validate_theta(theta)
         threshold = theta * self._total
         hierarchy = self._hierarchy
         generalizers = self._generalizers

@@ -9,13 +9,13 @@ correction.
 
 from __future__ import annotations
 
-from typing import Hashable, List, Optional
+from typing import Hashable, List
 
 from repro.core.base import HHHAlgorithm, HHHOutput
-from repro.core.output import lattice_output
+from repro.core.output import lattice_output, validate_theta
 from repro.exceptions import ConfigurationError
 from repro.hh.base import CounterAlgorithm
-from repro.hh.factory import make_counter
+from repro.hh.factory import CounterLike, prepare_counter_factory
 from repro.hierarchy.base import Hierarchy
 
 
@@ -25,18 +25,21 @@ class MST(HHHAlgorithm):
     Args:
         hierarchy: the hierarchical domain.
         epsilon: per-prefix accuracy target (each node gets ``1/epsilon`` counters).
-        counter: name of the per-node counter algorithm.
+        counter: the per-node counter backend (name, CounterSpec or factory).
     """
 
     name = "mst"
 
-    def __init__(self, hierarchy: Hierarchy, *, epsilon: float = 0.001, counter: str = "space_saving") -> None:
+    def __init__(
+        self, hierarchy: Hierarchy, *, epsilon: float = 0.001, counter: CounterLike = "space_saving"
+    ) -> None:
         super().__init__(hierarchy)
         if not 0.0 < epsilon < 1.0:
             raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
         self._epsilon = epsilon
+        counter_factory = prepare_counter_factory(counter, epsilon)
         self._counters: List[CounterAlgorithm] = [
-            make_counter(counter, epsilon) for _ in range(hierarchy.size)
+            counter_factory() for _ in range(hierarchy.size)
         ]
         self._generalizers = hierarchy.compile_generalizers()
 
@@ -53,8 +56,7 @@ class MST(HHHAlgorithm):
             counters[node].update(generalize(key), weight)
 
     def output(self, theta: float) -> HHHOutput:
-        if not 0.0 < theta <= 1.0:
-            raise ConfigurationError(f"theta must be in (0, 1], got {theta}")
+        theta = validate_theta(theta)
         return lattice_output(self._hierarchy, self._counters, theta, self._total)
 
     def frequency_estimate(self, key: Hashable, node: int = 0) -> float:

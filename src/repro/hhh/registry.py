@@ -1,63 +1,66 @@
-"""Registry mapping algorithm names to constructors.
+"""Legacy algorithm-construction surface (deprecation shim).
 
-Used by the evaluation harness and the benchmark modules so every experiment
-can be parameterised by a plain string (e.g. ``"rhhh"``, ``"10-rhhh"``,
-``"mst"``, ``"partial_ancestry"``), mirroring the algorithm line-up of the
-paper's figures.
+The canonical construction API is :mod:`repro.api`: describe an algorithm
+with an :class:`~repro.api.specs.AlgorithmSpec` and build it with
+:func:`~repro.api.registry.build_algorithm`, or register new algorithms with
+:func:`~repro.api.registry.register_algorithm`.  This module keeps the two
+pre-API entry points alive for existing callers:
+
+* :func:`make_algorithm` - keyword construction locked to the historical
+  ``(hierarchy, epsilon, delta, seed)`` parameter set (deprecated);
+* :data:`ALGORITHM_REGISTRY` - the frozen legacy view of the builtin
+  algorithms as positional ``factory(hierarchy, epsilon, delta, seed)``
+  callables (deprecated; algorithms registered via the decorator API do
+  **not** appear here).
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Dict, Optional
 
 from repro.core.base import HHHAlgorithm
-from repro.core.rhhh import RHHH
-from repro.exceptions import ConfigurationError
-from repro.hhh.ancestry import FullAncestry, PartialAncestry
-from repro.hhh.exact import ExactHHH
-from repro.hhh.mst import MST
-from repro.hhh.sampled_mst import SampledMST
 from repro.hierarchy.base import Hierarchy
 
-
-def _make_rhhh(hierarchy: Hierarchy, epsilon: float, delta: float, seed: Optional[int]) -> HHHAlgorithm:
-    return RHHH(hierarchy, epsilon=epsilon, delta=delta, seed=seed)
-
-
-def _make_10_rhhh(hierarchy: Hierarchy, epsilon: float, delta: float, seed: Optional[int]) -> HHHAlgorithm:
-    return RHHH(hierarchy, epsilon=epsilon, delta=delta, v=10 * hierarchy.size, seed=seed)
-
-
-def _make_mst(hierarchy: Hierarchy, epsilon: float, delta: float, seed: Optional[int]) -> HHHAlgorithm:
-    return MST(hierarchy, epsilon=epsilon)
-
-
-def _make_sampled_mst(hierarchy: Hierarchy, epsilon: float, delta: float, seed: Optional[int]) -> HHHAlgorithm:
-    return SampledMST(hierarchy, epsilon=epsilon, delta=delta, seed=seed)
+#: The builtin algorithm names of the legacy registry surface.  Frozen: the
+#: decorator-registered plugin table lives in :mod:`repro.api.registry`.
+_LEGACY_ALGORITHM_NAMES = (
+    "rhhh",
+    "10-rhhh",
+    "mst",
+    "sampled_mst",
+    "full_ancestry",
+    "partial_ancestry",
+    "exact",
+)
 
 
-def _make_full_ancestry(hierarchy: Hierarchy, epsilon: float, delta: float, seed: Optional[int]) -> HHHAlgorithm:
-    return FullAncestry(hierarchy, epsilon=epsilon)
+def _build(name: str, hierarchy: Hierarchy, epsilon: float, delta: float, seed: Optional[int]) -> HHHAlgorithm:
+    # Late import: repro.api.registry imports the algorithm modules, whose
+    # package __init__ imports this module - the cycle resolves at call time.
+    from repro.api.registry import build_algorithm
+
+    return build_algorithm(name, hierarchy, epsilon=epsilon, delta=delta, seed=seed)
 
 
-def _make_partial_ancestry(hierarchy: Hierarchy, epsilon: float, delta: float, seed: Optional[int]) -> HHHAlgorithm:
-    return PartialAncestry(hierarchy, epsilon=epsilon)
+def _legacy_factory(name: str) -> Callable[[Hierarchy, float, float, Optional[int]], HHHAlgorithm]:
+    def factory(
+        hierarchy: Hierarchy, epsilon: float, delta: float, seed: Optional[int]
+    ) -> HHHAlgorithm:
+        return _build(name, hierarchy, epsilon, delta, seed)
 
-
-def _make_exact(hierarchy: Hierarchy, epsilon: float, delta: float, seed: Optional[int]) -> HHHAlgorithm:
-    return ExactHHH(hierarchy)
+    factory.__name__ = f"make_{name.replace('-', '_')}"
+    factory.__doc__ = f"Legacy positional factory over repro.api for {name!r}."
+    return factory
 
 
 ALGORITHM_REGISTRY: Dict[str, Callable[[Hierarchy, float, float, Optional[int]], HHHAlgorithm]] = {
-    "rhhh": _make_rhhh,
-    "10-rhhh": _make_10_rhhh,
-    "mst": _make_mst,
-    "sampled_mst": _make_sampled_mst,
-    "full_ancestry": _make_full_ancestry,
-    "partial_ancestry": _make_partial_ancestry,
-    "exact": _make_exact,
+    name: _legacy_factory(name) for name in _LEGACY_ALGORITHM_NAMES
 }
-"""Mapping of algorithm name to ``factory(hierarchy, epsilon, delta, seed) -> HHHAlgorithm``."""
+"""Deprecated: mapping of builtin algorithm name to a positional factory.
+
+Use :func:`repro.api.registry.build_algorithm` / ``algorithm_names()`` instead.
+"""
 
 
 def make_algorithm(
@@ -68,7 +71,12 @@ def make_algorithm(
     delta: float = 0.001,
     seed: Optional[int] = None,
 ) -> HHHAlgorithm:
-    """Instantiate the HHH algorithm called ``name``.
+    """Instantiate the HHH algorithm called ``name`` (deprecated).
+
+    Deprecated in favour of :func:`repro.api.registry.build_algorithm`, which
+    accepts a full :class:`~repro.api.specs.AlgorithmSpec` (performance
+    parameter ``V``, multi-update ``r``, per-node counter specs) instead of
+    this fixed parameter set.
 
     Args:
         name: one of the keys of :data:`ALGORITHM_REGISTRY`.
@@ -80,9 +88,10 @@ def make_algorithm(
     Raises:
         ConfigurationError: if the name is unknown.
     """
-    try:
-        factory = ALGORITHM_REGISTRY[name]
-    except KeyError:
-        known = ", ".join(sorted(ALGORITHM_REGISTRY))
-        raise ConfigurationError(f"unknown HHH algorithm {name!r}; known: {known}") from None
-    return factory(hierarchy, epsilon, delta, seed)
+    warnings.warn(
+        "make_algorithm(name, ...) is deprecated; use "
+        "repro.api.build_algorithm(AlgorithmSpec(name=...), hierarchy) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _build(name, hierarchy, epsilon, delta, seed)

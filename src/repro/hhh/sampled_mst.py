@@ -16,10 +16,10 @@ from typing import Hashable, List, Optional
 
 from repro.analysis.bounds import coverage_correction
 from repro.core.base import HHHAlgorithm, HHHOutput
-from repro.core.output import lattice_output
+from repro.core.output import lattice_output, validate_theta
 from repro.exceptions import ConfigurationError
 from repro.hh.base import CounterAlgorithm
-from repro.hh.factory import make_counter
+from repro.hh.factory import CounterLike, prepare_counter_factory
 from repro.hierarchy.base import Hierarchy
 
 
@@ -33,7 +33,7 @@ class SampledMST(HHHAlgorithm):
         sampling_probability: probability of processing a packet; defaults to
             ``1 / H`` so the expected per-packet work matches RHHH with
             ``V = H``.
-        counter: name of the per-node counter algorithm.
+        counter: the per-node counter backend (name, CounterSpec or factory).
         seed: RNG seed for reproducibility.
     """
 
@@ -46,7 +46,7 @@ class SampledMST(HHHAlgorithm):
         epsilon: float = 0.001,
         delta: float = 0.001,
         sampling_probability: Optional[float] = None,
-        counter: str = "space_saving",
+        counter: CounterLike = "space_saving",
         seed: Optional[int] = None,
     ) -> None:
         super().__init__(hierarchy)
@@ -62,8 +62,9 @@ class SampledMST(HHHAlgorithm):
         self._delta = delta
         self._p = sampling_probability
         self._rng = random.Random(seed)
+        counter_factory = prepare_counter_factory(counter, epsilon)
         self._counters: List[CounterAlgorithm] = [
-            make_counter(counter, epsilon) for _ in range(hierarchy.size)
+            counter_factory() for _ in range(hierarchy.size)
         ]
         self._generalizers = hierarchy.compile_generalizers()
         self._sampled = 0
@@ -89,8 +90,7 @@ class SampledMST(HHHAlgorithm):
             counters[node].update(generalize(key), weight)
 
     def output(self, theta: float) -> HHHOutput:
-        if not 0.0 < theta <= 1.0:
-            raise ConfigurationError(f"theta must be in (0, 1], got {theta}")
+        theta = validate_theta(theta)
         scale = 1.0 / self._p
         correction = coverage_correction(self._total, scale, self._delta) if self._total else 0.0
         return lattice_output(

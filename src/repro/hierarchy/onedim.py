@@ -12,7 +12,7 @@ node 0 is the fully specified address and node ``L`` is ``*``.
 
 from __future__ import annotations
 
-from typing import Hashable, List, Optional, Sequence, Tuple
+from typing import Hashable, List, Optional, Sequence
 
 import numpy as np
 

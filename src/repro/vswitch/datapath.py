@@ -123,6 +123,31 @@ class Datapath:
                 forwarded += 1
         return forwarded
 
+    def process_stream(
+        self,
+        packets: Iterable[Packet],
+        ingress_port: int,
+        *,
+        batch_size: Optional[int] = None,
+    ) -> int:
+        """Unified stream entry point: per-packet or RX-burst processing.
+
+        This is the datapath counterpart of the :class:`repro.api.session.Session`
+        feed protocol: ``batch_size=None`` drives :meth:`process` per packet,
+        a batch size cuts the stream into bursts for :meth:`process_batch`
+        (batch-amortized measurement).  Returns how many packets were
+        forwarded (not dropped).
+        """
+        if batch_size is None:
+            return self.process_many(packets, ingress_port)
+        if batch_size < 1:
+            raise SwitchError(f"batch_size must be >= 1, got {batch_size}")
+        packets = list(packets) if not isinstance(packets, (list, tuple)) else packets
+        forwarded = 0
+        for start in range(0, len(packets), batch_size):
+            forwarded += self.process_batch(packets[start : start + batch_size], ingress_port)
+        return forwarded
+
     def process_batch(self, packets: Sequence[Packet], ingress_port: int) -> int:
         """Process a batch through the fast path with batch-amortized measurement.
 

@@ -13,9 +13,9 @@ counter update on each.
 from __future__ import annotations
 
 import random
-from typing import Hashable, Iterable, List, Optional
+from typing import Hashable, Iterable, Optional
 
-from repro.core.base import HHHAlgorithm, HHHOutput
+from repro.core.base import HHHOutput
 from repro.core.rhhh import RHHH
 from repro.exceptions import SwitchError
 from repro.traffic.packet import Packet

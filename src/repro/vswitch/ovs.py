@@ -131,9 +131,14 @@ class OVSSwitch:
     # experiments
     # ------------------------------------------------------------------ #
 
-    def forward(self, packets: Iterable[Packet]) -> int:
-        """Functionally forward a batch of packets (updates the measurement if attached)."""
-        return self._datapath.process_many(packets, ingress_port=0)
+    def forward(self, packets: Iterable[Packet], *, batch_size: Optional[int] = None) -> int:
+        """Functionally forward packets (updates the measurement if attached).
+
+        ``batch_size`` selects the feed path exactly like an
+        :class:`~repro.api.specs.ExperimentSpec` does: ``None`` processes per
+        packet, a size cuts the stream into RX bursts for the batch fast path.
+        """
+        return self._datapath.process_stream(packets, ingress_port=0, batch_size=batch_size)
 
     def forward_batch(self, packets: Sequence[Packet]) -> int:
         """Forward a packet burst through the batch fast path.

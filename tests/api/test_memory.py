@@ -1,0 +1,80 @@
+"""Unit tests for the memory-budget counter chooser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.memory import (
+    SPACE_SAVING_BYTES_PER_COUNTER,
+    choose_counter_backend,
+    estimate_counter_memory,
+)
+from repro.api.registry import build_counter
+from repro.api.specs import CounterSpec
+from repro.exceptions import ConfigurationError
+
+
+class TestEstimates:
+    def test_space_saving_scales_with_one_over_epsilon(self):
+        small = estimate_counter_memory("space_saving", epsilon=0.01)
+        large = estimate_counter_memory("space_saving", epsilon=0.001)
+        assert small == 100 * SPACE_SAVING_BYTES_PER_COUNTER
+        assert large == 10 * small
+
+    def test_capacity_override(self):
+        assert estimate_counter_memory("space_saving", epsilon=0.01, capacity=7) == (
+            7 * SPACE_SAVING_BYTES_PER_COUNTER
+        )
+
+    def test_bounded_track_shrinks_sketches(self):
+        default = estimate_counter_memory("count_min", epsilon=0.01)
+        bounded = estimate_counter_memory("count_min", epsilon=0.01, track=50)
+        assert bounded < default
+
+    def test_exact_has_no_model(self):
+        with pytest.raises(ConfigurationError, match="bounded"):
+            estimate_counter_memory("exact", epsilon=0.01)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="memory model"):
+            estimate_counter_memory("nope", epsilon=0.01)
+
+
+class TestChooser:
+    def test_space_saving_preferred_when_it_fits(self):
+        budget = estimate_counter_memory("space_saving", epsilon=0.01) + 1
+        assert choose_counter_backend(budget, epsilon=0.01) == "space_saving"
+
+    def test_sketch_chosen_when_space_saving_does_not_fit(self):
+        # With a bounded tracked set the count-min table undercuts Space
+        # Saving's dict-priced entries; pick a budget between the two.
+        epsilon = 0.01
+        sketch = estimate_counter_memory("count_min", epsilon=epsilon, track=50)
+        space_saving = estimate_counter_memory("space_saving", epsilon=epsilon)
+        assert sketch < space_saving
+        budget = (sketch + space_saving) // 2
+        assert choose_counter_backend(budget, epsilon=epsilon, track=50) == "count_min"
+
+    def test_impossible_budget_names_the_cheapest_backend(self):
+        with pytest.raises(ConfigurationError, match="raise the budget"):
+            choose_counter_backend(16, epsilon=0.001)
+
+    def test_auto_spec_builds_space_saving_on_a_big_budget(self):
+        counter = build_counter(
+            CounterSpec(auto=True, memory_bytes=10_000_000), epsilon=0.01
+        )
+        assert type(counter).__name__ == "SpaceSaving"
+
+    def test_auto_spec_builds_sketch_on_a_tight_budget(self):
+        epsilon = 0.01
+        sketch = estimate_counter_memory("count_min", epsilon=epsilon, track=50)
+        space_saving = estimate_counter_memory("space_saving", epsilon=epsilon)
+        budget = (sketch + space_saving) // 2
+        counter = build_counter(
+            CounterSpec(auto=True, memory_bytes=budget, track=50), epsilon=epsilon
+        )
+        assert type(counter).__name__ == "CountMinSketch"
+
+    def test_auto_spec_resolution_is_recorded(self):
+        resolved = CounterSpec(auto=True, memory_bytes=10_000_000).resolve(0.01)
+        assert resolved.name == "space_saving" and resolved.auto is False

@@ -1,0 +1,123 @@
+"""Unit tests for the declarative spec layer (round-tripping, validation, clamp)."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.api.specs import AlgorithmSpec, CounterSpec, ExperimentSpec
+from repro.exceptions import ConfigurationError, ConfigurationWarning
+
+
+class TestRoundTrip:
+    def test_counter_spec_round_trip(self):
+        spec = CounterSpec(
+            name="count_min", epsilon=0.01, delta=0.05, width=64, depth=3,
+            track=50, seed=9, options={"extra": 1},
+        )
+        assert CounterSpec.from_dict(spec.to_dict()) == spec
+
+    def test_algorithm_spec_round_trip_with_nested_counter(self):
+        spec = AlgorithmSpec(
+            name="rhhh", epsilon=0.05, delta=0.1, seed=7, v_multiplier=10,
+            updates_per_packet=2, counter=CounterSpec(name="count_sketch", min_epsilon=0.0),
+        )
+        assert AlgorithmSpec.from_dict(spec.to_dict()) == spec
+
+    def test_experiment_spec_round_trip(self):
+        spec = ExperimentSpec(
+            algorithm=AlgorithmSpec(name="mst", epsilon=0.02),
+            hierarchy="1d-bytes", workload="sanjose14", num_flows=5_000,
+            packets=50_000, theta=0.1, batch_size=4096, label="unit",
+        )
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_experiment_spec_json_round_trip(self):
+        spec = ExperimentSpec(algorithm=AlgorithmSpec(counter=CounterSpec()), theta=0.2)
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+    def test_to_dict_is_plain_data(self):
+        data = ExperimentSpec(algorithm=AlgorithmSpec(counter=CounterSpec())).to_dict()
+        assert isinstance(data["algorithm"], dict)
+        assert isinstance(data["algorithm"]["counter"], dict)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            CounterSpec.from_dict({"name": "space_saving", "bogus": 1})
+
+    def test_from_json_rejects_malformed_text(self):
+        with pytest.raises(ConfigurationError, match="JSON"):
+            ExperimentSpec.from_json("{not json")
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.5, 2.0])
+    def test_algorithm_epsilon_range(self, bad):
+        with pytest.raises(ConfigurationError):
+            AlgorithmSpec(epsilon=bad)
+
+    def test_v_and_v_multiplier_exclusive(self):
+        with pytest.raises(ConfigurationError, match="mutually exclusive"):
+            AlgorithmSpec(v=100, v_multiplier=10)
+
+    def test_counter_must_be_spec(self):
+        with pytest.raises(ConfigurationError, match="CounterSpec"):
+            AlgorithmSpec(counter="space_saving")
+
+    @pytest.mark.parametrize("bad", [0.0, 1.5, -1])
+    def test_theta_range(self, bad):
+        with pytest.raises(ConfigurationError):
+            ExperimentSpec(theta=bad)
+
+    def test_theta_one_is_valid(self):
+        assert ExperimentSpec(theta=1.0).theta == 1.0
+
+    def test_batch_size_positive(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentSpec(batch_size=0)
+
+    def test_auto_requires_memory_bytes(self):
+        with pytest.raises(ConfigurationError, match="memory_bytes"):
+            CounterSpec(auto=True)
+
+    def test_resolved_v_from_multiplier(self):
+        assert AlgorithmSpec(v_multiplier=10).resolved_v(25) == 250
+        assert AlgorithmSpec(v=77).resolved_v(25) == 77
+        assert AlgorithmSpec().resolved_v(25) is None
+
+
+class TestEpsilonClamp:
+    def test_count_sketch_clamp_fires_with_warning(self):
+        with pytest.warns(ConfigurationWarning, match="clamped"):
+            resolved = CounterSpec(name="count_sketch").resolve(default_epsilon=0.001)
+        assert resolved.epsilon == 0.005
+
+    def test_clamp_overridable_to_zero(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            resolved = CounterSpec(name="count_sketch", min_epsilon=0.0).resolve(0.001)
+        assert resolved.epsilon == 0.001
+
+    def test_no_clamp_above_floor(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            resolved = CounterSpec(name="count_sketch").resolve(0.01)
+        assert resolved.epsilon == 0.01
+
+    def test_custom_floor_on_any_backend(self):
+        with pytest.warns(ConfigurationWarning):
+            resolved = CounterSpec(name="space_saving", min_epsilon=0.05).resolve(0.01)
+        assert resolved.epsilon == 0.05
+
+    def test_spec_epsilon_wins_over_default(self):
+        resolved = CounterSpec(name="space_saving", epsilon=0.2).resolve(0.01)
+        assert resolved.epsilon == 0.2
+
+    def test_unresolvable_epsilon_rejected(self):
+        with pytest.raises(ConfigurationError, match="epsilon"):
+            CounterSpec(name="space_saving").resolve(None)
+
+    def test_capacity_only_spec_resolves_without_epsilon(self):
+        resolved = CounterSpec(name="space_saving", capacity=64).resolve(None)
+        assert resolved.capacity == 64 and resolved.epsilon is None

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.eval.figures import (
     FigureResult,
     figure2_accuracy_error,

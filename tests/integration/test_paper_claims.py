@@ -7,7 +7,6 @@ trends, not the absolute numbers.
 
 from __future__ import annotations
 
-import time
 
 import pytest
 

@@ -9,7 +9,7 @@ from repro.exceptions import ConfigurationError
 from repro.hhh.ancestry import FullAncestry, PartialAncestry
 from repro.hhh.mst import MST
 from repro.hhh.sampled_mst import SampledMST
-from repro.vswitch.cost_model import CostModel, ThroughputResult
+from repro.vswitch.cost_model import CostModel
 
 
 class TestThroughputConversion:
