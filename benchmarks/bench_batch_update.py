@@ -1,26 +1,37 @@
-"""Scalar-vs-batch update throughput microbenchmark for the RHHH batch engine.
+"""Scalar-vs-batch update throughput microbenchmark for the batch engine.
 
-Compares three ways of feeding the same stream into RHHH at the Figure 5
+Compares the ways of feeding the same stream into RHHH at the Figure 5
 settings (sanjose14 backbone workload, 2D-bytes lattice by default):
 
-* ``update``       - the per-packet general entry point (the scalar baseline);
-* ``update_fast``  - the per-packet unit-weight fast path;
-* ``update_batch`` - the vectorized batch engine, fed ``--batch-size`` chunks.
+* ``update``              - the per-packet general entry point (the scalar baseline);
+* ``update_fast``         - the per-packet unit-weight fast path;
+* ``update_batch``        - the vectorized batch engine over the linked-bucket
+                            Space Saving counter, fed ``--batch-size`` chunks;
+* ``update_batch[array]`` - the same batch engine over the struct-of-arrays
+                            ``array_space_saving`` counter backend.
 
-Before timing anything the script verifies the batch engine end to end: a
-seeded instance fed through the vectorized ``update_batch`` must be
-bit-identical (same ``output(theta)`` candidates and same per-node counter
-state) to a same-seed instance fed through the scalar reference
-``update_batch_reference``.  The benchmark refuses to report numbers for a
-batch path that does not match its sequential specification.
+It also measures the batch-aware MST baseline (``--mst-packets`` stream
+prefix): the scalar every-node-every-packet ``update`` loop against the
+vectorized aggregated ``update_batch`` - the number that makes the Figure 5
+speedup-vs-MST comparison honest in batch mode.
+
+Before timing anything the script verifies the batch engine end to end: for
+each counter backend a seeded RHHH instance fed through the vectorized
+``update_batch`` must be bit-identical (same ``output(theta)`` candidates and
+same per-node counter state) to a same-seed instance fed through the scalar
+reference ``update_batch_reference``, and the MST instance likewise against
+its scalar reference.  The benchmark refuses to report numbers for a batch
+path that does not match its sequential specification.
 
 Runs standalone (no pytest-benchmark dependency)::
 
     PYTHONPATH=src python benchmarks/bench_batch_update.py
     PYTHONPATH=src python benchmarks/bench_batch_update.py --packets 100000 --json out.json
 
-Exit status is non-zero if verification fails, or if ``--min-speedup`` is
-given and the measured batch speedup over the ``update`` loop falls short.
+Exit status is non-zero if verification fails, if ``--min-speedup`` is given
+and the measured linked-counter batch speedup over the ``update`` loop falls
+short, or if ``--min-array-speedup`` is given and the array-backend batch
+speedup over the ``update`` loop falls short.
 """
 
 from __future__ import annotations
@@ -36,6 +47,8 @@ import numpy as np
 
 from repro.core.rhhh import RHHH
 from repro.eval.reporting import format_table
+from repro.hh.array_space_saving import ArraySpaceSaving
+from repro.hhh.mst import MST
 from repro.hierarchy.onedim import ipv4_bit_hierarchy, ipv4_byte_hierarchy
 from repro.hierarchy.twodim import ipv4_two_dim_byte_hierarchy
 from repro.traffic.caida_like import named_workload
@@ -44,6 +57,11 @@ HIERARCHIES = {
     "1d-bytes": ipv4_byte_hierarchy,
     "1d-bits": ipv4_bit_hierarchy,
     "2d-bytes": ipv4_two_dim_byte_hierarchy,
+}
+
+COUNTERS = {
+    "space_saving": "space_saving",
+    "array_space_saving": lambda epsilon: ArraySpaceSaving(epsilon=epsilon),
 }
 
 
@@ -60,40 +78,51 @@ def _parse_args(argv=None) -> argparse.Namespace:
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--repeats", type=int, default=3, help="median-of-N timing repeats")
     parser.add_argument("--verify-packets", type=int, default=100_000,
-                        help="prefix length used for the batch-vs-reference equivalence check")
+                        help="prefix length used for the batch-vs-reference equivalence checks")
     parser.add_argument("--theta", type=float, default=0.1, help="threshold for the verification output")
+    parser.add_argument("--mst-packets", type=int, default=100_000,
+                        help="stream prefix used for the MST scalar-vs-batch comparison "
+                        "(the scalar loop costs O(H) per packet)")
     parser.add_argument("--min-speedup", type=float, default=None,
-                        help="fail (exit 1) if batch speedup over the update loop is below this")
+                        help="fail (exit 1) if the linked-counter batch speedup over the "
+                        "update loop is below this")
+    parser.add_argument("--min-array-speedup", type=float, default=None,
+                        help="fail (exit 1) if the array-backend batch speedup over the "
+                        "update loop is below this")
     parser.add_argument("--json", default=None, help="write results to this JSON file")
     parser.add_argument("--smoke", action="store_true",
                         help="CI smoke preset: a small stream, one timing repeat, no "
-                        "speedup gate - exercises the full verify+measure pipeline fast")
+                        "speedup gates - exercises the full verify+measure pipeline fast")
     args = parser.parse_args(argv)
     if args.smoke:
         args.packets = min(args.packets, 100_000)
         args.verify_packets = min(args.verify_packets, args.packets)
+        args.mst_packets = min(args.mst_packets, 20_000)
         args.repeats = 1
         args.min_speedup = None
+        args.min_array_speedup = None
         # Keep the verification output() tractable: at Figure-5 epsilon the
         # candidate set explodes on short streams (the RHHH correction term
         # shrinks only as sqrt(N) relative to theta*N) and the quadratic
         # closest_descendants scan dominates the whole run.
         args.epsilon = max(args.epsilon, 0.01)
         args.theta = max(args.theta, 0.2)
+    args.mst_packets = min(args.mst_packets, args.packets)
     return args
 
 
-def _make(args, hierarchy) -> RHHH:
+def _make(args, hierarchy, counter="space_saving") -> RHHH:
     return RHHH(
         hierarchy,
         epsilon=args.epsilon,
         delta=args.delta,
         v=args.v_multiplier * hierarchy.size,
         seed=args.seed,
+        counter=counter,
     )
 
 
-def _counter_state(algorithm: RHHH):
+def _counter_state(algorithm):
     state = []
     for node in range(algorithm.hierarchy.size):
         counter = algorithm.node_counter(node)
@@ -103,13 +132,20 @@ def _counter_state(algorithm: RHHH):
     return state
 
 
-def verify_equivalence(args, hierarchy, keys) -> bool:
-    """Vectorized update_batch must be bit-identical to the scalar reference."""
+def _output_state(algorithm, theta):
+    return [
+        (c.prefix.node, c.prefix.value, c.lower_bound, c.upper_bound, c.conditioned_estimate)
+        for c in algorithm.output(theta)
+    ]
+
+
+def verify_equivalence(args, hierarchy, keys, counter="space_saving") -> bool:
+    """Vectorized RHHH update_batch must be bit-identical to the scalar reference."""
     count = min(args.verify_packets, len(keys))
-    vectorized = _make(args, hierarchy)
-    reference = _make(args, hierarchy)
+    vectorized = _make(args, hierarchy, counter)
+    reference = _make(args, hierarchy, counter)
     for start in range(0, count, args.batch_size):
-        chunk = keys[start : start + args.batch_size]
+        chunk = keys[start : min(start + args.batch_size, count)]
         vectorized.update_batch(chunk)
         reference.update_batch_reference(chunk)
     tallies_match = (
@@ -118,28 +154,32 @@ def verify_equivalence(args, hierarchy, keys) -> bool:
         and vectorized.counter_updates == reference.counter_updates
     )
     counters_match = _counter_state(vectorized) == _counter_state(reference)
-    out_v = vectorized.output(args.theta)
-    out_r = reference.output(args.theta)
-    outputs_match = [
-        (c.prefix.node, c.prefix.value, c.lower_bound, c.upper_bound, c.conditioned_estimate)
-        for c in out_v
-    ] == [
-        (c.prefix.node, c.prefix.value, c.lower_bound, c.upper_bound, c.conditioned_estimate)
-        for c in out_r
-    ]
+    outputs_match = _output_state(vectorized, args.theta) == _output_state(reference, args.theta)
     return tallies_match and counters_match and outputs_match
 
 
-def _median_time(run, repeats: int) -> float:
-    return statistics.median(run() for _ in range(repeats))
+def verify_mst_equivalence(args, hierarchy, keys) -> bool:
+    """Vectorized MST update_batch must be bit-identical to its scalar reference."""
+    count = min(args.verify_packets, args.mst_packets, len(keys))
+    vectorized = MST(hierarchy, epsilon=args.epsilon)
+    reference = MST(hierarchy, epsilon=args.epsilon)
+    for start in range(0, count, args.batch_size):
+        chunk = keys[start : min(start + args.batch_size, count)]
+        vectorized.update_batch(chunk)
+        reference.update_batch_reference(chunk)
+    return (
+        vectorized.total == reference.total
+        and _counter_state(vectorized) == _counter_state(reference)
+        and _output_state(vectorized, args.theta) == _output_state(reference, args.theta)
+    )
 
 
 def main(argv=None) -> int:
     args = _parse_args(argv)
     hierarchy = HIERARCHIES[args.hierarchy]()
     generator = named_workload(args.workload, num_flows=args.num_flows)
-    key_array = generator.key_array(args.packets) if hierarchy.dimensions == 2 else None
     if hierarchy.dimensions == 2:
+        key_array = generator.key_array(args.packets)
         scalar_keys = [(int(s), int(d)) for s, d in key_array]
         batch_keys = key_array
     else:
@@ -152,10 +192,18 @@ def main(argv=None) -> int:
         f"V={args.v_multiplier}*H batch_size={args.batch_size}"
     )
 
-    bit_identical = verify_equivalence(args, hierarchy, batch_keys)
-    print(f"batch output bit-identical to sequential reference: {bit_identical}")
-    if not bit_identical:
-        print("FAIL: vectorized batch path diverges from its scalar specification", file=sys.stderr)
+    verified: Dict[str, bool] = {}
+    for counter_name, counter in COUNTERS.items():
+        verified[counter_name] = verify_equivalence(args, hierarchy, batch_keys, counter)
+        print(
+            f"rhhh[{counter_name}] batch output bit-identical to sequential reference: "
+            f"{verified[counter_name]}"
+        )
+    verified["mst"] = verify_mst_equivalence(args, hierarchy, batch_keys)
+    print(f"mst batch output bit-identical to sequential reference: {verified['mst']}")
+    if not all(verified.values()):
+        print("FAIL: a vectorized batch path diverges from its scalar specification",
+              file=sys.stderr)
         return 1
 
     def run_update() -> float:
@@ -174,57 +222,98 @@ def main(argv=None) -> int:
             update(key)
         return time.perf_counter() - start
 
-    def run_batch() -> float:
-        algorithm = _make(args, hierarchy)
+    def run_batch(counter) -> float:
+        algorithm = _make(args, hierarchy, counter)
         update_batch = algorithm.update_batch
         start = time.perf_counter()
         for lo in range(0, len(batch_keys), args.batch_size):
             update_batch(batch_keys[lo : lo + args.batch_size])
         return time.perf_counter() - start
 
+    def run_mst_update() -> float:
+        algorithm = MST(hierarchy, epsilon=args.epsilon)
+        update = algorithm.update
+        start = time.perf_counter()
+        for key in scalar_keys[: args.mst_packets]:
+            update(key)
+        return time.perf_counter() - start
+
+    def run_mst_batch() -> float:
+        algorithm = MST(hierarchy, epsilon=args.epsilon)
+        update_batch = algorithm.update_batch
+        start = time.perf_counter()
+        for lo in range(0, args.mst_packets, args.batch_size):
+            update_batch(batch_keys[lo : min(lo + args.batch_size, args.mst_packets)])
+        return time.perf_counter() - start
+
+    variants = {
+        "update": run_update,
+        "update_fast": run_update_fast,
+        "update_batch": lambda: run_batch("space_saving"),
+        "update_batch[array]": lambda: run_batch(COUNTERS["array_space_saving"]),
+        "mst_update": run_mst_update,
+        "mst_update_batch": run_mst_batch,
+    }
     # Interleave the variants so machine noise hits them evenly.
-    times: Dict[str, List[float]] = {"update": [], "update_fast": [], "update_batch": []}
+    times: Dict[str, List[float]] = {name: [] for name in variants}
     for _ in range(max(1, args.repeats)):
-        times["update"].append(run_update())
-        times["update_fast"].append(run_update_fast())
-        times["update_batch"].append(run_batch())
+        for name, run in variants.items():
+            times[name].append(run())
     medians = {name: statistics.median(values) for name, values in times.items()}
 
     baseline = medians["update"]
     rows = [
         {
             "path": name,
+            "packets": args.mst_packets if name.startswith("mst") else args.packets,
             "seconds": seconds,
-            "kpps": args.packets / seconds / 1e3,
-            "speedup_vs_update": baseline / seconds,
+            "kpps": (args.mst_packets if name.startswith("mst") else args.packets) / seconds / 1e3,
+            "speedup_vs_update": baseline / seconds if not name.startswith("mst") else float("nan"),
         }
         for name, seconds in medians.items()
     ]
     print(format_table(rows, title="scalar vs batch update throughput (medians)"))
 
     speedup = baseline / medians["update_batch"]
-    print(f"\nbatch speedup over per-packet update loop: {speedup:.2f}x")
+    array_speedup = baseline / medians["update_batch[array]"]
+    array_vs_linked = medians["update_batch"] / medians["update_batch[array]"]
+    mst_speedup = medians["mst_update"] / medians["mst_update_batch"]
+    print(f"\nbatch speedup over per-packet update loop:        {speedup:.2f}x")
+    print(f"array-backend batch speedup over update loop:     {array_speedup:.2f}x")
+    print(f"array backend vs linked counter (batch path):     {array_vs_linked:.2f}x")
+    print(f"MST batch speedup over its scalar O(H) loop:      {mst_speedup:.2f}x")
 
     if args.json:
         payload = {
             "settings": vars(args),
             "hierarchy_size": hierarchy.size,
-            "bit_identical": bit_identical,
+            "verified": verified,
             "median_seconds": medians,
             "raw_seconds": times,
             "batch_speedup_vs_update": speedup,
+            "array_batch_speedup_vs_update": array_speedup,
+            "array_vs_scalar_counter_batch_ratio": array_vs_linked,
+            "mst_batch_speedup": mst_speedup,
         }
         with open(args.json, "w") as handle:
             json.dump(payload, handle, indent=2)
         print(f"wrote {args.json}")
 
+    failed = False
     if args.min_speedup is not None and speedup < args.min_speedup:
         print(
             f"FAIL: batch speedup {speedup:.2f}x below required {args.min_speedup:.2f}x",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        failed = True
+    if args.min_array_speedup is not None and array_speedup < args.min_array_speedup:
+        print(
+            f"FAIL: array-backend batch speedup {array_speedup:.2f}x below required "
+            f"{args.min_array_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

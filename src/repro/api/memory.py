@@ -30,6 +30,12 @@ from repro.exceptions import ConfigurationError
 #: objects themselves.
 SPACE_SAVING_BYTES_PER_COUNTER = 220
 
+#: Estimated bytes per array-backed Space Saving counter: three int64 array
+#: cells (count, error, stamp), one key-list slot, and one ``key -> slot``
+#: dict entry - no linked-bucket objects, hence cheaper than the classic
+#: structure.
+ARRAY_SPACE_SAVING_BYTES_PER_COUNTER = 150
+
 #: Estimated bytes per entry of a plain ``{key: value}`` counter table
 #: (Misra-Gries, Lossy Counting, and the sketches' tracked-keys dict).
 DICT_ENTRY_BYTES = 140
@@ -41,7 +47,12 @@ SKETCH_CELL_BYTES = 8
 _COUNT_SKETCH_MAX_WIDTH = 1 << 18
 
 #: Backends the automatic chooser considers, in preference order.
-AUTO_CANDIDATES: Tuple[str, ...] = ("space_saving", "count_min", "count_sketch")
+AUTO_CANDIDATES: Tuple[str, ...] = (
+    "space_saving",
+    "array_space_saving",
+    "count_min",
+    "count_sketch",
+)
 
 
 def _sketch_depth(delta: float) -> int:
@@ -81,6 +92,8 @@ def estimate_counter_memory(
     entries = capacity if capacity is not None else int(math.ceil(1.0 / epsilon))
     if name == "space_saving":
         return entries * SPACE_SAVING_BYTES_PER_COUNTER
+    if name == "array_space_saving":
+        return entries * ARRAY_SPACE_SAVING_BYTES_PER_COUNTER
     if name in ("misra_gries", "lossy_counting"):
         return entries * DICT_ENTRY_BYTES
     if name in ("count_min", "conservative_count_min"):
@@ -110,8 +123,9 @@ def choose_counter_backend(
     """Pick the counter backend that meets ``epsilon`` within ``memory_bytes``.
 
     Space Saving is preferred whenever it fits (it is the paper's counter and
-    its guarantees are deterministic); otherwise the fitting candidate with
-    the smallest estimated footprint wins.
+    its guarantees are deterministic); the array-backed variant - same
+    guarantees, compacter storage - is next when only it fits; otherwise the
+    fitting candidate with the smallest estimated footprint wins.
 
     Raises:
         ConfigurationError: when no candidate fits - the message names the
@@ -132,6 +146,7 @@ def choose_counter_backend(
             f"the cheapest ({cheapest_name}) needs {cheapest_size} bytes - raise the "
             f"budget or relax epsilon"
         )
-    if "space_saving" in fitting:
-        return "space_saving"
+    for preferred in ("space_saving", "array_space_saving"):
+        if preferred in fitting:
+            return preferred
     return min(fitting.items(), key=lambda item: item[1])[0]

@@ -33,6 +33,7 @@ from repro.api.specs import AlgorithmSpec, CounterSpec
 from repro.core.base import HHHAlgorithm
 from repro.core.rhhh import RHHH
 from repro.exceptions import ConfigurationError
+from repro.hh.array_space_saving import ArraySpaceSaving
 from repro.hh.base import CounterAlgorithm
 from repro.hh.conservative_update import ConservativeCountMin
 from repro.hh.count_min import CountMinSketch
@@ -216,6 +217,13 @@ def _pruned(**kwargs: Any) -> Dict[str, Any]:
 @register_counter("space_saving")
 def _build_space_saving(*, epsilon: Optional[float] = None, capacity: Optional[int] = None) -> CounterAlgorithm:
     return SpaceSaving(capacity=capacity, epsilon=epsilon)
+
+
+@register_counter("array_space_saving")
+def _build_array_space_saving(
+    *, epsilon: Optional[float] = None, capacity: Optional[int] = None
+) -> CounterAlgorithm:
+    return ArraySpaceSaving(capacity=capacity, epsilon=epsilon)
 
 
 @register_counter("misra_gries")

@@ -58,6 +58,11 @@ MeasurementHook = Callable[["Session", int], Any]
 
 Keys = Union[Sequence, np.ndarray]
 
+#: Chunk size at which the per-packet feed path fires its progress hooks;
+#: the batch path fires at ``batch_size`` granularity instead.  Overridable
+#: per session via ``Session(..., progress_chunk=...)``.
+PER_PACKET_PROGRESS_CHUNK = 65_536
+
 
 @dataclass
 class SessionResult:
@@ -97,6 +102,9 @@ class Session:
         keys: explicit key stream; when given, the named workload of the spec
             is never materialised and the stream is used verbatim (this is how
             the evaluation harness feeds every algorithm the same packets).
+        progress_chunk: progress-hook granularity of the per-packet feed path
+            (default :data:`PER_PACKET_PROGRESS_CHUNK`); batch runs fire at
+            ``batch_size`` granularity regardless.
     """
 
     def __init__(
@@ -106,15 +114,21 @@ class Session:
         hierarchy: Optional[Hierarchy] = None,
         algorithm: Optional[HHHAlgorithm] = None,
         keys: Optional[Keys] = None,
+        progress_chunk: Optional[int] = None,
     ) -> None:
         if not isinstance(spec, ExperimentSpec):
             raise ConfigurationError(f"spec must be an ExperimentSpec, got {type(spec).__name__}")
+        if progress_chunk is not None and progress_chunk < 1:
+            raise ConfigurationError(f"progress_chunk must be >= 1, got {progress_chunk}")
         self._spec = spec
         self._hierarchy = hierarchy if hierarchy is not None else make_hierarchy(spec.hierarchy)
         self._algorithm = (
             algorithm if algorithm is not None else build_algorithm(spec.algorithm, self._hierarchy)
         )
         self._keys = keys
+        self._progress_chunk = (
+            progress_chunk if progress_chunk is not None else PER_PACKET_PROGRESS_CHUNK
+        )
         self._progress_hooks: List[ProgressHook] = []
         self._measurement_hooks: List[MeasurementHook] = []
 
@@ -175,7 +189,10 @@ class Session:
                 if self._hierarchy.dimensions == 2:
                     self._keys = generator.key_array(count)
                 else:
-                    self._keys = np.asarray(generator.keys_1d(count), dtype=np.int64)
+                    # Source column of the generator's array emitter: the
+                    # same stream (and RNG consumption) as keys_1d, without
+                    # materialising a Python list first.
+                    self._keys = np.ascontiguousarray(generator.key_array(count)[:, 0])
             else:
                 self._keys = (
                     generator.keys_2d(count)
@@ -227,13 +244,23 @@ class Session:
         return measurements
 
     def _feed_segment(self, keys: Keys, start: int, stop: int, total: int) -> None:
-        """Feed ``keys[start:stop]``, per-packet or in batch chunks."""
+        """Feed ``keys[start:stop]``, per-packet or in batch chunks.
+
+        Both paths honor the documented progress contract - hooks fire after
+        every fed chunk: at ``batch_size`` granularity on the batch path, and
+        at ``progress_chunk`` granularity on the per-packet path (which used
+        to fire only once per segment, starving progress consumers on long
+        per-packet runs).
+        """
         batch_size = self._spec.batch_size
         if batch_size is None:
             update = self._algorithm.update
-            for key in HHHAlgorithm._iter_batch_keys(keys[start:stop]):
-                update(key)
-            self._fire_progress(stop, total)
+            step = self._progress_chunk
+            for chunk_start in range(start, stop, step):
+                chunk_stop = min(chunk_start + step, stop)
+                for key in HHHAlgorithm._iter_batch_keys(keys[chunk_start:chunk_stop]):
+                    update(key)
+                self._fire_progress(chunk_stop, total)
             return
         update_batch = self._algorithm.update_batch
         for chunk_start in range(start, stop, batch_size):

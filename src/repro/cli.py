@@ -37,9 +37,9 @@ import functools
 import sys
 from typing import List, Optional, Sequence
 
-from repro.api.registry import algorithm_names, hierarchy_names, make_hierarchy
+from repro.api.registry import algorithm_names, counter_names, hierarchy_names, make_hierarchy
 from repro.api.session import Session, SessionResult
-from repro.api.specs import AlgorithmSpec, ExperimentSpec
+from repro.api.specs import AlgorithmSpec, CounterSpec, ExperimentSpec
 from repro.core.base import HHHAlgorithm
 from repro.eval import figures as figure_module
 from repro.eval.ground_truth import GroundTruth
@@ -114,15 +114,28 @@ def _add_stream_arguments(parser: argparse.ArgumentParser) -> None:
         help="feed the stream through update_batch in chunks of this size "
         "(default: per-packet updates)",
     )
+    parser.add_argument(
+        "--counter",
+        default=None,
+        choices=counter_names(),
+        help="per-node counter backend (default: the algorithm's own, "
+        "Space Saving; use array_space_saving for the vectorized batch "
+        "backend)",
+    )
 
 
 def _spec_from_args(args: argparse.Namespace, algorithm: str, theta: float) -> ExperimentSpec:
     """Translate stream arguments into a declarative ExperimentSpec."""
     _check_batch_size(args.batch_size)
+    counter = CounterSpec(name=args.counter) if getattr(args, "counter", None) else None
     try:
         return ExperimentSpec(
             algorithm=AlgorithmSpec(
-                name=algorithm, epsilon=args.epsilon, delta=args.delta, seed=args.seed
+                name=algorithm,
+                epsilon=args.epsilon,
+                delta=args.delta,
+                seed=args.seed,
+                counter=counter,
             ),
             hierarchy=args.hierarchy,
             workload=args.workload,

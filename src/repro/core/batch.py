@@ -1,0 +1,219 @@
+"""Shared machinery of the vectorized batch-update engines.
+
+Three lattice algorithms feed whole packet batches into their per-node
+counters:
+
+* :class:`~repro.core.rhhh.RHHH` routes each update to **one random node**
+  (the paper's Algorithm 1, amortized);
+* :class:`~repro.hhh.mst.MST` updates **every node with every packet**;
+* :class:`~repro.hhh.sampled_mst.SampledMST` updates every node with a
+  **sampled subset** of the packets.
+
+All three share the same pipeline: coerce the batch into numpy form, mask
+the keys with the hierarchy's vectorized batch generalizers, pre-aggregate
+duplicate masked keys so every counter sees one weighted update per distinct
+key (applied in ascending key order), and hand the aggregated pairs to the
+counter backend's ``update_batch``.  This module holds that pipeline; the
+algorithms contribute only their routing policy (which packets reach which
+node).
+
+The aggregation order contract matters: both the vectorized paths and the
+scalar reference paths (``update_batch_reference``) emit pairs in ascending
+key order (lexicographic for 2-D keys), which is what makes a vectorized
+feed bit-identical to its scalar specification.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+def unique_totals(values: np.ndarray, weights: Optional[np.ndarray], *, axis=None):
+    """Unique values (ascending) and their int64 total weights (counts if unweighted)."""
+    if weights is None:
+        unique, counts = np.unique(values, axis=axis, return_counts=True)
+        return unique, counts.astype(np.int64)
+    unique, inverse = np.unique(values, axis=axis, return_inverse=True)
+    return unique, np.bincount(inverse.ravel(), weights=weights).astype(np.int64)
+
+
+def aggregated_arrays(masked, weights: Optional[np.ndarray]) -> Tuple[list, np.ndarray]:
+    """Aggregate duplicate masked keys into ``(key_list, total_weights)``.
+
+    Keys come back as a plain Python list in ascending order (lexicographic
+    for 2-D keys) - they are about to become dict keys inside a counter -
+    and the per-key totals as an int64 array.  Both the vectorized and the
+    scalar reference paths follow the same order so their counter states
+    match exactly.  ``masked`` is a numpy array from a vectorized batch
+    generalizer (1-D for scalar keys, ``(n, 2)`` for pairs) or a plain list
+    from the scalar-loop fallback.
+    """
+    if isinstance(masked, np.ndarray):
+        if masked.ndim == 2 and masked.dtype.kind in "iu" and masked.shape[1] == 2:
+            # Pack (src, dst) pairs that fit 32 bits each into one uint64 so
+            # np.unique runs a flat integer sort instead of the much slower
+            # structured-row sort; uint64 order == lexicographic pair order.
+            # OR-ing every element into one scalar checks both bounds in a
+            # single reduction pass: any negative value drives the OR
+            # negative, any value >= 2**32 sets a high bit.
+            if masked.size == 0 or 0 <= int(np.bitwise_or.reduce(masked, axis=None)) < 1 << 32:
+                packed = (masked[:, 0].astype(np.uint64) << np.uint64(32)) | masked[
+                    :, 1
+                ].astype(np.uint64)
+                unique, totals = unique_totals(packed, weights)
+                sources = (unique >> np.uint64(32)).astype(np.int64).tolist()
+                destinations = (unique & np.uint64(0xFFFFFFFF)).astype(np.int64).tolist()
+                return list(zip(sources, destinations)), totals
+        axis = 0 if masked.ndim == 2 else None
+        unique, totals = unique_totals(masked, weights, axis=axis)
+        if masked.ndim == 2:
+            return [tuple(row) for row in unique.tolist()], totals
+        return unique.tolist(), totals
+    aggregate: dict = {}
+    if weights is None:
+        for key in masked:
+            aggregate[key] = aggregate.get(key, 0) + 1
+    else:
+        for key, weight in zip(masked, weights.tolist()):
+            aggregate[key] = aggregate.get(key, 0) + weight
+    pairs = sorted_pairs(aggregate)
+    return [pair[0] for pair in pairs], np.asarray([pair[1] for pair in pairs], dtype=np.int64)
+
+
+def aggregate_masked(masked, weights: Optional[np.ndarray]):
+    """Aggregate duplicate masked keys into ``(key, total_weight)`` pairs.
+
+    Pair-iterable view of :func:`aggregated_arrays`, in the same ascending
+    key order; this is what a counter's generic ``update_batch`` consumes.
+    """
+    keys, totals = aggregated_arrays(masked, weights)
+    return zip(keys, totals.tolist())
+
+
+def feed_counter(counter, masked, weights: Optional[np.ndarray]) -> None:
+    """Apply an aggregated masked batch through the counter's fastest interface.
+
+    Counters that expose ``update_aggregated(keys, weights)`` (the
+    struct-of-arrays backends) receive the aggregation output verbatim - a
+    key list plus an int64 weight array, distinct keys guaranteed; everything
+    else gets the equivalent ``(key, weight)`` pair stream via
+    ``update_batch``.
+    """
+    keys, totals = aggregated_arrays(masked, weights)
+    fast = getattr(counter, "update_aggregated", None)
+    if fast is not None:
+        fast(keys, totals)
+    else:
+        counter.update_batch(zip(keys, totals.tolist()))
+
+
+def sorted_pairs(aggregate: dict) -> List[Tuple]:
+    """Dict items in ascending key order (insertion order for unorderable keys)."""
+    try:
+        return sorted(aggregate.items())
+    except TypeError:  # unorderable custom keys: keep insertion order
+        return list(aggregate.items())
+
+
+def coerce_key_array(keys: Sequence, n: int) -> Optional[np.ndarray]:
+    """Return the batch as a numeric numpy key array, or ``None``.
+
+    ``None`` means the keys cannot be masked vectorially (object dtype,
+    ragged shape, or integers beyond 64 bits) and the caller must take its
+    scalar fallback - which is required to preserve the exact batch
+    semantics, only the implementation differs.
+    """
+    if isinstance(keys, np.ndarray):
+        arr = keys
+    else:
+        try:
+            arr = np.asarray(keys)
+        except (OverflowError, ValueError):  # e.g. >64-bit IPv6 integers
+            return None
+    if arr.dtype == object or len(arr) != n:
+        return None
+    return arr
+
+
+def coerce_weights(
+    weights: Optional[Sequence[int]], n: int
+) -> Tuple[Optional[np.ndarray], int]:
+    """Validate per-packet weights and return ``(weights_array, total_weight)``.
+
+    ``weights=None`` stands for unit weights: the array stays ``None`` (the
+    aggregation paths special-case it into plain counting) and the total is
+    the batch length.
+    """
+    if weights is None:
+        return None, n
+    weights_arr = np.asarray(weights, dtype=np.int64)
+    if len(weights_arr) != n:
+        raise ConfigurationError(
+            f"weights length ({len(weights_arr)}) does not match keys length ({n})"
+        )
+    return weights_arr, int(weights_arr.sum())
+
+
+def group_by_node(nodes: np.ndarray, packets: np.ndarray) -> Iterator[Tuple[int, np.ndarray]]:
+    """Group per-update node choices, yielding ``(node, packet_indices)`` pairs.
+
+    ``nodes[i]`` is the lattice node of the ``i``-th surviving update and
+    ``packets[i]`` the packet index it applies to.  Groups come out in
+    ascending node order; within a group the packet indices keep their
+    stream order (stable sort), which the aggregation step then normalizes
+    into ascending key order.
+    """
+    order = np.argsort(nodes, kind="stable")
+    sorted_nodes = nodes[order]
+    sorted_packets = packets[order]
+    unique_nodes, first = np.unique(sorted_nodes, return_index=True)
+    groups = np.split(sorted_packets, first[1:])
+    return zip(unique_nodes.tolist(), groups)
+
+
+def apply_lattice_batch(
+    counters: Sequence,
+    batch_generalizers: Sequence,
+    keys_arr: np.ndarray,
+    weights_arr: Optional[np.ndarray],
+) -> None:
+    """Feed one key batch to **every** lattice node's counter (the MST policy).
+
+    Each node's batch generalizer masks the whole key array at once;
+    duplicates are pre-aggregated so the counter sees one weighted update per
+    distinct masked key, in ascending key order.
+    """
+    for node, generalize in enumerate(batch_generalizers):
+        feed_counter(counters[node], generalize(keys_arr), weights_arr)
+
+
+def apply_lattice_batch_scalar(
+    counters: Sequence,
+    generalizers: Sequence,
+    keys: Sequence,
+    weights_arr: Optional[np.ndarray],
+) -> None:
+    """Scalar specification of :func:`apply_lattice_batch` (pure-Python loops).
+
+    Aggregates with per-node dictionaries and applies plain ``update`` calls
+    in ascending key order - bit-identical to the vectorized path for the
+    same batch, and the fallback for keys numpy cannot represent.
+    """
+    weight_list = weights_arr.tolist() if weights_arr is not None else None
+    for node, generalize in enumerate(generalizers):
+        aggregate: dict = {}
+        if weight_list is None:
+            for key in keys:
+                masked = generalize(key)
+                aggregate[masked] = aggregate.get(masked, 0) + 1
+        else:
+            for key, weight in zip(keys, weight_list):
+                masked = generalize(key)
+                aggregate[masked] = aggregate.get(masked, 0) + weight
+        counter = counters[node]
+        for masked, weight in sorted_pairs(aggregate):
+            counter.update(masked, weight)

@@ -27,61 +27,19 @@ import numpy as np
 
 from repro.analysis.bounds import coverage_correction
 from repro.core.base import HHHAlgorithm, HHHOutput
+from repro.core.batch import (
+    coerce_key_array,
+    coerce_weights,
+    feed_counter,
+    group_by_node,
+    sorted_pairs,
+)
 from repro.core.config import RHHHConfig
 from repro.core.output import lattice_output, validate_theta
 from repro.exceptions import ConfigurationError
 from repro.hh.base import CounterAlgorithm
 from repro.hh.factory import CounterLike, prepare_counter_factory
 from repro.hierarchy.base import Hierarchy
-
-
-def _unique_totals(values: np.ndarray, weights: Optional[np.ndarray], *, axis=None):
-    """Unique values (ascending) and their total weights (counts if unweighted)."""
-    if weights is None:
-        unique, counts = np.unique(values, axis=axis, return_counts=True)
-        return unique, counts.tolist()
-    unique, inverse = np.unique(values, axis=axis, return_inverse=True)
-    return unique, np.bincount(inverse.ravel(), weights=weights).astype(np.int64).tolist()
-
-
-def _aggregate_masked(masked, weights: Optional[np.ndarray]):
-    """Aggregate duplicate masked keys into ``(key, total_weight)`` pairs.
-
-    Pairs are returned in ascending key order (lexicographic for 2-D keys),
-    which both the vectorized and the scalar reference path follow so their
-    counter states match exactly.  ``masked`` is a numpy array from a
-    vectorized batch generalizer (1-D for scalar keys, ``(n, 2)`` for pairs)
-    or a plain list from the scalar-loop fallback.
-    """
-    if isinstance(masked, np.ndarray):
-        if masked.ndim == 2 and masked.dtype.kind in "iu" and masked.shape[1] == 2:
-            # Pack (src, dst) pairs that fit 32 bits each into one uint64 so
-            # np.unique runs a flat integer sort instead of the much slower
-            # structured-row sort; uint64 order == lexicographic pair order.
-            if masked.size == 0 or (masked.min() >= 0 and masked.max() < 1 << 32):
-                packed = (masked[:, 0].astype(np.uint64) << np.uint64(32)) | masked[
-                    :, 1
-                ].astype(np.uint64)
-                unique, totals = _unique_totals(packed, weights)
-                sources = (unique >> np.uint64(32)).astype(np.int64).tolist()
-                destinations = (unique & np.uint64(0xFFFFFFFF)).astype(np.int64).tolist()
-                return zip(zip(sources, destinations), totals)
-        axis = 0 if masked.ndim == 2 else None
-        unique, totals = _unique_totals(masked, weights, axis=axis)
-        if masked.ndim == 2:
-            return zip(map(tuple, unique.tolist()), totals)
-        return zip(unique.tolist(), totals)
-    aggregate: dict = {}
-    if weights is None:
-        for key in masked:
-            aggregate[key] = aggregate.get(key, 0) + 1
-    else:
-        for key, weight in zip(masked, weights.tolist()):
-            aggregate[key] = aggregate.get(key, 0) + weight
-    try:
-        return sorted(aggregate.items())
-    except TypeError:  # unorderable custom keys: keep insertion order
-        return list(aggregate.items())
 
 
 class RHHH(HHHAlgorithm):
@@ -210,24 +168,9 @@ class RHHH(HHHAlgorithm):
         n = len(keys)
         if n == 0:
             return
-        if weights is not None:
-            weights_arr = np.asarray(weights, dtype=np.int64)
-            if len(weights_arr) != n:
-                raise ConfigurationError(
-                    f"weights length ({len(weights_arr)}) does not match keys length ({n})"
-                )
-            total_weight = int(weights_arr.sum())
-        else:
-            weights_arr = None
-            total_weight = n
-        if isinstance(keys, np.ndarray):
-            keys_arr = keys
-        else:
-            try:
-                keys_arr = np.asarray(keys)
-            except (OverflowError, ValueError):  # e.g. >64-bit IPv6 integers
-                keys_arr = np.empty(0, dtype=object)
-        if keys_arr.dtype == object or len(keys_arr) != n:
+        weights_arr, total_weight = coerce_weights(weights, n)
+        keys_arr = coerce_key_array(keys, n)
+        if keys_arr is None:
             # Non-numeric keys: vectorized masking does not apply, but the
             # batch semantics (and RNG consumption) must stay identical.
             self._apply_batch_scalar(list(keys), weights_arr, self._draw_nodes(n))
@@ -246,15 +189,10 @@ class RHHH(HHHAlgorithm):
             chosen = np.repeat(np.arange(n), self._r)[survive]
         else:
             chosen = np.flatnonzero(survive)
-        order = np.argsort(nodes, kind="stable")
-        sorted_nodes = nodes[order]
-        sorted_packets = chosen[order]
-        unique_nodes, first = np.unique(sorted_nodes, return_index=True)
-        groups = np.split(sorted_packets, first[1:])
-        for node, packet_ids in zip(unique_nodes.tolist(), groups):
+        for node, packet_ids in group_by_node(nodes, chosen):
             masked = self._batch_generalizers[node](keys_arr[packet_ids])
             group_weights = weights_arr[packet_ids] if weights_arr is not None else None
-            self._counters[node].update_batch(_aggregate_masked(masked, group_weights))
+            feed_counter(self._counters[node], masked, group_weights)
 
     def update_batch_reference(
         self, keys: Sequence[Hashable], weights: Optional[Sequence[int]] = None
@@ -305,11 +243,7 @@ class RHHH(HHHAlgorithm):
         self._update_calls += survived
         for node in sorted(per_node):
             counter = self._counters[node]
-            try:
-                pairs = sorted(per_node[node].items())
-            except TypeError:  # unorderable custom keys: keep insertion order
-                pairs = list(per_node[node].items())
-            for masked, weight in pairs:
+            for masked, weight in sorted_pairs(per_node[node]):
                 counter.update(masked, weight)
 
     # ------------------------------------------------------------------ #

@@ -55,15 +55,22 @@ def measure_update_speed(algorithm: HHHAlgorithm, keys: Sequence[Hashable]) -> S
     counter update per packet, so it only stands in for ``update`` when the
     algorithm is not running a multi-update variant (``updates_per_packet > 1``
     must keep its r-fold update semantics or the measured stream is wrong).
+
+    ``keys`` may be a plain sequence or a numpy key array: arrays are walked
+    through ``HHHAlgorithm._iter_batch_keys`` so an ``(n, 2)`` array feeds
+    hashable ``(src, dst)`` tuples into the counters instead of unhashable
+    array rows.  The conversion happens before the clock starts, so array
+    and list inputs measure the same per-packet work.
     """
     update = algorithm.update
     if getattr(algorithm, "updates_per_packet", 1) == 1:
         update = getattr(algorithm, "update_fast", None) or update
+    plain_keys = list(HHHAlgorithm._iter_batch_keys(keys))
     start = time.perf_counter()
-    for key in keys:
+    for key in plain_keys:
         update(key)
     elapsed = time.perf_counter() - start
-    return SpeedResult(algorithm=algorithm.name, packets=len(keys), seconds=elapsed)
+    return SpeedResult(algorithm=algorithm.name, packets=len(plain_keys), seconds=elapsed)
 
 
 def measure_batch_update_speed(

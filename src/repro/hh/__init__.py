@@ -20,6 +20,7 @@ All algorithms share the :class:`~repro.hh.base.FrequencyEstimator` interface:
     every key whose estimated count is at least ``threshold``.
 """
 
+from repro.hh.array_space_saving import ArraySpaceSaving
 from repro.hh.base import FrequencyEstimator, HeavyHitter, CounterAlgorithm
 from repro.hh.exact_counter import ExactCounter
 from repro.hh.space_saving import SpaceSaving
@@ -35,6 +36,7 @@ __all__ = [
     "HeavyHitter",
     "CounterAlgorithm",
     "ExactCounter",
+    "ArraySpaceSaving",
     "SpaceSaving",
     "MisraGries",
     "LossyCounting",

@@ -227,6 +227,7 @@ class SpaceSaving(CounterAlgorithm):
                     continue
                 # Table full: evict a key from the minimum bucket.
                 min_bucket = self._head
+                assert min_bucket is not None
                 min_keys = min_bucket.keys
                 victim = next(iter(min_keys))
                 min_count = min_bucket.count
@@ -234,32 +235,16 @@ class SpaceSaving(CounterAlgorithm):
                 del where[victim]
                 if not min_keys:
                     remove_bucket(min_bucket)
-                # The newcomer inherits the victim's count as its error;
-                # _locate is inlined here because this branch carries most of
-                # the load.
+                # The newcomer inherits the victim's count as its error.
                 new_count = min_count + weight
                 head = self._head
                 if head is not None and head.count == new_count:
                     dest = head
                 else:
-                    tail = self._tail
-                    if tail is not None and new_count >= tail.count:
-                        if new_count == tail.count:
-                            dest = tail
-                        else:
-                            dest = _Bucket(new_count)
-                            insert_after(dest, tail)
-                    else:
-                        prev = None
-                        cursor = head
-                        while cursor is not None and cursor.count < new_count:
-                            prev = cursor
-                            cursor = cursor.next
-                        if cursor is not None and cursor.count == new_count:
-                            dest = cursor
-                        else:
-                            dest = _Bucket(new_count)
-                            insert_after(dest, prev)
+                    dest, prev = locate(None, new_count)
+                    if dest is None:
+                        dest = _Bucket(new_count)
+                        insert_after(dest, prev)
                 dest.keys[key] = min_count
                 where[key] = dest
         finally:

@@ -9,9 +9,15 @@ correction.
 
 from __future__ import annotations
 
-from typing import Hashable, List
+from typing import Hashable, List, Optional, Sequence
 
 from repro.core.base import HHHAlgorithm, HHHOutput
+from repro.core.batch import (
+    apply_lattice_batch,
+    apply_lattice_batch_scalar,
+    coerce_key_array,
+    coerce_weights,
+)
 from repro.core.output import lattice_output, validate_theta
 from repro.exceptions import ConfigurationError
 from repro.hh.base import CounterAlgorithm
@@ -42,6 +48,7 @@ class MST(HHHAlgorithm):
             counter_factory() for _ in range(hierarchy.size)
         ]
         self._generalizers = hierarchy.compile_generalizers()
+        self._batch_generalizers = hierarchy.compile_batch_generalizers()
 
     @property
     def epsilon(self) -> float:
@@ -54,6 +61,56 @@ class MST(HHHAlgorithm):
         counters = self._counters
         for node, generalize in enumerate(self._generalizers):
             counters[node].update(generalize(key), weight)
+
+    def update_batch(
+        self, keys: Sequence[Hashable], weights: Optional[Sequence[int]] = None
+    ) -> None:
+        """Vectorized batch update: every node sees every packet, pre-aggregated.
+
+        Each node's batch generalizer masks the whole key array at once and
+        duplicate masked keys collapse into one weighted update per distinct
+        key, applied in ascending key order.  The per-node counter totals
+        match a per-packet :meth:`update` loop exactly; the counter summaries
+        themselves can differ in eviction choices because aggregation
+        reorders same-node updates - :meth:`update_batch_reference` replays
+        the exact batch semantics with scalar loops and is bit-identical to
+        this method.
+        """
+        n = len(keys)
+        if n == 0:
+            return
+        weights_arr, total_weight = coerce_weights(weights, n)
+        keys_arr = coerce_key_array(keys, n)
+        self._total += total_weight
+        if keys_arr is None:
+            # Keys numpy cannot mask vectorially: same batch semantics
+            # (aggregate per node, ascending key order), scalar machinery.
+            apply_lattice_batch_scalar(
+                self._counters,
+                self._generalizers,
+                list(self._iter_batch_keys(keys)),
+                weights_arr,
+            )
+            return
+        apply_lattice_batch(self._counters, self._batch_generalizers, keys_arr, weights_arr)
+
+    def update_batch_reference(
+        self, keys: Sequence[Hashable], weights: Optional[Sequence[int]] = None
+    ) -> None:
+        """Scalar specification of :meth:`update_batch` (pure-Python loops).
+
+        Aggregates with per-node dictionaries and applies plain ``update``
+        calls in ascending key order; a same-stream instance fed through
+        either method reaches a bit-identical state.
+        """
+        n = len(keys)
+        if n == 0:
+            return
+        weights_arr, total_weight = coerce_weights(weights, n)
+        self._total += total_weight
+        apply_lattice_batch_scalar(
+            self._counters, self._generalizers, list(self._iter_batch_keys(keys)), weights_arr
+        )
 
     def output(self, theta: float) -> HHHOutput:
         theta = validate_theta(theta)

@@ -45,15 +45,26 @@ class TestChooser:
         budget = estimate_counter_memory("space_saving", epsilon=0.01) + 1
         assert choose_counter_backend(budget, epsilon=0.01) == "space_saving"
 
-    def test_sketch_chosen_when_space_saving_does_not_fit(self):
-        # With a bounded tracked set the count-min table undercuts Space
-        # Saving's dict-priced entries; pick a budget between the two.
+    def test_array_backend_chosen_when_linked_does_not_fit(self):
+        # The array-backed Space Saving is the compacter twin of the linked
+        # structure: budgets between the two estimates select it.
         epsilon = 0.01
-        sketch = estimate_counter_memory("count_min", epsilon=epsilon, track=50)
+        array = estimate_counter_memory("array_space_saving", epsilon=epsilon)
         space_saving = estimate_counter_memory("space_saving", epsilon=epsilon)
-        assert sketch < space_saving
-        budget = (sketch + space_saving) // 2
-        assert choose_counter_backend(budget, epsilon=epsilon, track=50) == "count_min"
+        assert array < space_saving
+        budget = (array + space_saving) // 2
+        assert choose_counter_backend(budget, epsilon=epsilon) == "array_space_saving"
+
+    def test_sketch_chosen_when_no_space_saving_variant_fits(self):
+        # With a tightly bounded tracked set the count-min table undercuts
+        # even the array-backed Space Saving entries; pick a budget between
+        # the two.
+        epsilon = 0.01
+        sketch = estimate_counter_memory("count_min", epsilon=epsilon, track=10)
+        array = estimate_counter_memory("array_space_saving", epsilon=epsilon)
+        assert sketch < array
+        budget = (sketch + array) // 2
+        assert choose_counter_backend(budget, epsilon=epsilon, track=10) == "count_min"
 
     def test_impossible_budget_names_the_cheapest_backend(self):
         with pytest.raises(ConfigurationError, match="raise the budget"):
@@ -65,13 +76,21 @@ class TestChooser:
         )
         assert type(counter).__name__ == "SpaceSaving"
 
+    def test_auto_spec_builds_array_space_saving_on_a_mid_budget(self):
+        epsilon = 0.01
+        array = estimate_counter_memory("array_space_saving", epsilon=epsilon)
+        space_saving = estimate_counter_memory("space_saving", epsilon=epsilon)
+        budget = (array + space_saving) // 2
+        counter = build_counter(CounterSpec(auto=True, memory_bytes=budget), epsilon=epsilon)
+        assert type(counter).__name__ == "ArraySpaceSaving"
+
     def test_auto_spec_builds_sketch_on_a_tight_budget(self):
         epsilon = 0.01
-        sketch = estimate_counter_memory("count_min", epsilon=epsilon, track=50)
-        space_saving = estimate_counter_memory("space_saving", epsilon=epsilon)
-        budget = (sketch + space_saving) // 2
+        sketch = estimate_counter_memory("count_min", epsilon=epsilon, track=10)
+        array = estimate_counter_memory("array_space_saving", epsilon=epsilon)
+        budget = (sketch + array) // 2
         counter = build_counter(
-            CounterSpec(auto=True, memory_bytes=budget, track=50), epsilon=epsilon
+            CounterSpec(auto=True, memory_bytes=budget, track=10), epsilon=epsilon
         )
         assert type(counter).__name__ == "CountMinSketch"
 

@@ -157,7 +157,9 @@ class TestLegacyShims:
         with pytest.warns(DeprecationWarning):
             counter = make_counter("space_saving", 0.01)
         assert isinstance(counter, SpaceSaving)
-        assert set(COUNTER_REGISTRY) == set(counter_names())
+        # The legacy dict is a frozen view: decorator-registered backends
+        # (e.g. array_space_saving) appear only in the live registry.
+        assert set(COUNTER_REGISTRY) <= set(counter_names())
 
     def test_make_algorithm_warns_but_works(self, byte_hierarchy):
         from repro.hhh.registry import ALGORITHM_REGISTRY, make_algorithm

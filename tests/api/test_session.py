@@ -143,6 +143,40 @@ class TestHooksAndValidation:
         assert seen[-1] == (4_000, 4_000)
         assert [p for p, _ in seen] == [1_000, 2_000, 3_000, 4_000]
 
+    def test_per_packet_progress_fires_at_chunk_granularity(self):
+        # Regression: the per-packet path used to fire hooks only once per
+        # segment, starving progress consumers on long per-packet runs; the
+        # documented contract is "after every fed chunk".
+        keys = _keys_1d(4_000)
+        session = Session(_spec("mst", packets=4_000), keys=keys, progress_chunk=1_000)
+        seen = []
+        session.add_progress_hook(lambda sess, processed, total: seen.append(processed))
+        session.run()
+        assert seen == [1_000, 2_000, 3_000, 4_000]
+
+    def test_per_packet_progress_respects_checkpoint_cuts(self):
+        keys = _keys_1d(2_500)
+        session = Session(_spec("mst", packets=2_500), keys=keys, progress_chunk=1_000)
+        session.add_measurement_hook(lambda sess, processed: processed)
+        seen = []
+        session.add_progress_hook(lambda sess, processed, total: seen.append(processed))
+        measurements = session.feed(checkpoints=[1_500])
+        assert measurements == [1_500]
+        # Chunking restarts after the checkpoint cut, exactly like the batch path.
+        assert seen == [1_000, 1_500, 2_500]
+
+    def test_per_packet_progress_default_chunk_covers_short_streams(self):
+        keys = _keys_1d(100)
+        session = Session(_spec("mst", packets=100), keys=keys)
+        seen = []
+        session.add_progress_hook(lambda sess, processed, total: seen.append(processed))
+        session.feed()
+        assert seen == [100]
+
+    def test_invalid_progress_chunk_rejected(self):
+        with pytest.raises(ConfigurationError, match="progress_chunk"):
+            Session(_spec("mst", packets=10), keys=_keys_1d(10), progress_chunk=0)
+
     def test_measurement_hooks_fire_at_checkpoints(self):
         keys = _keys_1d(4_000)
         session = Session(_spec("mst", packets=4_000), keys=keys)
@@ -175,3 +209,26 @@ class TestHooksAndValidation:
         session = Session(_spec("rhhh", batch_size=512, packets=2_000))
         keys = session.keys()
         assert isinstance(keys, np.ndarray) and len(keys) == 2_000
+
+    def test_1d_batch_keys_come_from_the_array_emitter(self):
+        # The 1-D batch path reads the source column of key_array directly;
+        # it must produce exactly the stream the keys_1d materialisation
+        # produced (same generator RNG consumption, same values).
+        from repro.traffic.caida_like import named_workload
+
+        session = Session(_spec("rhhh", batch_size=512, packets=2_000))
+        keys = session.keys()
+        expected = np.asarray(
+            named_workload("chicago16", num_flows=2_000).keys_1d(2_000), dtype=np.int64
+        )
+        assert keys.dtype == np.int64 and keys.flags["C_CONTIGUOUS"]
+        assert np.array_equal(keys, expected)
+
+    def test_measure_speed_per_packet_accepts_numpy_keys(self):
+        # Regression: a per-packet spec with an explicit numpy key stream
+        # used to feed unhashable array rows into the counters.
+        keys = np.asarray(_keys_1d(1_000), dtype=np.int64)
+        session = Session(_spec("rhhh", packets=1_000), keys=keys)
+        result = session.measure_speed()
+        assert result.packets == 1_000
+        assert session.algorithm.total == 1_000

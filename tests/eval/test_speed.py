@@ -50,6 +50,27 @@ class TestMeasureUpdateSpeed:
         assert result.packets == 500
         assert algorithm.total == 500
 
+    def test_accepts_2d_numpy_key_arrays(self):
+        # Regression: iterating an (n, 2) array directly fed unhashable
+        # numpy rows into the counters; keys must arrive as (src, dst)
+        # tuples via HHHAlgorithm._iter_batch_keys.
+        from repro.hierarchy.twodim import ipv4_two_dim_byte_hierarchy
+
+        key_array = ZipfFlowGenerator(num_flows=100, skew=1.1, seed=3).key_array(1_000)
+        algorithm = RHHH(ipv4_two_dim_byte_hierarchy(), epsilon=0.05, delta=0.1, seed=1)
+        result = measure_update_speed(algorithm, key_array)
+        assert result.packets == 1_000
+        assert algorithm.total == 1_000
+
+    def test_accepts_1d_numpy_key_arrays(self):
+        key_array = np.asarray(
+            ZipfFlowGenerator(num_flows=100, skew=1.1, seed=3).keys_1d(800), dtype=np.int64
+        )
+        algorithm = RHHH(ipv4_byte_hierarchy(), epsilon=0.05, delta=0.1, seed=1)
+        result = measure_update_speed(algorithm, key_array)
+        assert result.packets == 800
+        assert algorithm.total == 800
+
 
 class TestMeasureBatchUpdateSpeed:
     def test_processes_every_packet(self, keys):

@@ -112,6 +112,48 @@ class TestEvictionSemantics:
             ss.update(rng.randrange(100))
         assert sum(ss.estimate(k) for k in ss) == 2_000
 
+    def test_batch_weighted_eviction_past_the_tail_bucket(self):
+        """Regression for the update_batch eviction branch (deduplicated _locate).
+
+        A weighted batch eviction whose inherited count lands beyond the tail
+        bucket must create the new bucket at the tail and keep the bucket
+        list strictly sorted - and end bit-identical to the scalar update()
+        path on the same pairs.
+        """
+        batched = SpaceSaving(capacity=2)
+        scalar = SpaceSaving(capacity=2)
+        pairs = [("a", 3), ("b", 50)]  # fill the table: buckets 3 and 50
+        eviction = [("c", 100)]  # evicts "a" (count 3) -> count 103, past tail 50
+        for counter in (batched, scalar):
+            for key, weight in pairs:
+                counter.update(key, weight)
+        batched.update_batch(list(eviction))
+        for key, weight in eviction:
+            scalar.update(key, weight)
+        for counter in (batched, scalar):
+            assert "a" not in counter
+            assert counter.estimate("c") == 103
+            assert counter.error_of("c") == 3
+        state = lambda c: sorted((k, c.estimate(k), c.lower_bound(k)) for k in c)
+        assert state(batched) == state(scalar)
+        counts = []
+        bucket = batched._head
+        while bucket is not None:
+            counts.append(bucket.count)
+            assert bucket.keys, "empty bucket left in the list"
+            bucket = bucket.next
+        assert counts == sorted(set(counts))
+
+    def test_batch_eviction_from_a_single_bucket_table(self):
+        """The minimum bucket may also be the only (hence tail) bucket."""
+        counter = SpaceSaving(capacity=1)
+        counter.update("x", 5)
+        counter.update_batch([("y", 1_000)])
+        assert "x" not in counter and "y" in counter
+        assert counter.estimate("y") == 1_005
+        assert counter.error_of("y") == 5
+        assert counter._head is counter._tail and counter._head.count == 1_005
+
 
 class TestErrorGuarantees:
     @pytest.mark.parametrize("capacity,universe,n", [(10, 50, 5_000), (50, 500, 20_000), (100, 80, 10_000)])
