@@ -8,7 +8,13 @@ settings (sanjose14 backbone workload, 2D-bytes lattice by default):
 * ``update_batch``        - the vectorized batch engine over the linked-bucket
                             Space Saving counter, fed ``--batch-size`` chunks;
 * ``update_batch[array]`` - the same batch engine over the struct-of-arrays
-                            ``array_space_saving`` counter backend.
+                            ``array_space_saving`` counter backend;
+* ``update_batch[sharded]`` (with ``--shards N``) - the hash-partitioned
+                            process-pool engine: N worker shards each running
+                            the vectorized batch path on their own sub-stream,
+                            merged at output time (worker spawn excluded from
+                            the timing; the feed loop includes the per-chunk
+                            dispatch, partitioning and acknowledgement).
 
 It also measures the batch-aware MST baseline (``--mst-packets`` stream
 prefix): the scalar every-node-every-packet ``update`` loop against the
@@ -45,7 +51,9 @@ from typing import Dict, List
 
 import numpy as np
 
+from repro.api.specs import AlgorithmSpec
 from repro.core.rhhh import RHHH
+from repro.core.shard import ShardedHHH
 from repro.eval.reporting import format_table
 from repro.hh.array_space_saving import ArraySpaceSaving
 from repro.hhh.mst import MST
@@ -89,6 +97,13 @@ def _parse_args(argv=None) -> argparse.Namespace:
     parser.add_argument("--min-array-speedup", type=float, default=None,
                         help="fail (exit 1) if the array-backend batch speedup over the "
                         "update loop is below this")
+    parser.add_argument("--shards", type=int, default=0,
+                        help="also measure the hash-partitioned process-pool engine with "
+                        "this many worker shards (0 = skip)")
+    parser.add_argument("--min-shard-speedup", type=float, default=None,
+                        help="fail (exit 1) if the sharded-engine throughput over the "
+                        "single-process batch path is below this (needs as many free "
+                        "cores as shards to mean anything)")
     parser.add_argument("--json", default=None, help="write results to this JSON file")
     parser.add_argument("--smoke", action="store_true",
                         help="CI smoke preset: a small stream, one timing repeat, no "
@@ -101,6 +116,7 @@ def _parse_args(argv=None) -> argparse.Namespace:
         args.repeats = 1
         args.min_speedup = None
         args.min_array_speedup = None
+        args.min_shard_speedup = None
         # Keep the verification output() tractable: at Figure-5 epsilon the
         # candidate set explodes on short streams (the RHHH correction term
         # shrinks only as sqrt(N) relative to theta*N) and the quadratic
@@ -158,6 +174,51 @@ def verify_equivalence(args, hierarchy, keys, counter="space_saving") -> bool:
     return tallies_match and counters_match and outputs_match
 
 
+def _shard_spec(args, hierarchy) -> AlgorithmSpec:
+    """The per-shard RHHH spec at the benchmark's Figure-5 settings."""
+    return AlgorithmSpec(
+        name="rhhh",
+        epsilon=args.epsilon,
+        delta=args.delta,
+        seed=args.seed,
+        v=args.v_multiplier * hierarchy.size,
+    )
+
+
+def _merged_shard_state(engine):
+    counters, total = engine.merged_counters()
+    state = [
+        sorted((key, counter.estimate(key), counter.lower_bound(key)) for key in counter)
+        for counter in counters
+    ]
+    return total, state
+
+
+def verify_shard_equivalence(args, hierarchy, keys) -> bool:
+    """The process-pool sharded run must match the in-process shard reference.
+
+    Sharded output is deliberately not bit-identical to the unsharded engine
+    (independent per-shard RNG streams, merged summaries); what must hold is
+    that the worker-pool execution is exactly the serial shard semantics -
+    same merged counters, same output - for the same ``(seed, shards)``.
+    """
+    count = min(args.verify_packets, len(keys))
+    spec = _shard_spec(args, hierarchy)
+    serial = ShardedHHH(spec, args.hierarchy, args.shards, parallel=False)
+    with ShardedHHH(spec, args.hierarchy, args.shards, parallel=True) as pooled:
+        for start in range(0, count, args.batch_size):
+            chunk = keys[start : min(start + args.batch_size, count)]
+            serial.update_batch(chunk)
+            pooled.update_batch(chunk)
+        pooled_state = _merged_shard_state(pooled)
+        pooled_output = _output_state(pooled, args.theta)
+    return (
+        serial.total == pooled.total
+        and _merged_shard_state(serial) == pooled_state
+        and _output_state(serial, args.theta) == pooled_output
+    )
+
+
 def verify_mst_equivalence(args, hierarchy, keys) -> bool:
     """Vectorized MST update_batch must be bit-identical to its scalar reference."""
     count = min(args.verify_packets, args.mst_packets, len(keys))
@@ -201,6 +262,12 @@ def main(argv=None) -> int:
         )
     verified["mst"] = verify_mst_equivalence(args, hierarchy, batch_keys)
     print(f"mst batch output bit-identical to sequential reference: {verified['mst']}")
+    if args.shards >= 2:
+        verified["sharded"] = verify_shard_equivalence(args, hierarchy, batch_keys)
+        print(
+            f"sharded[{args.shards}] pool output identical to serial shard reference: "
+            f"{verified['sharded']}"
+        )
     if not all(verified.values()):
         print("FAIL: a vectorized batch path diverges from its scalar specification",
               file=sys.stderr)
@@ -246,6 +313,20 @@ def main(argv=None) -> int:
             update_batch(batch_keys[lo : min(lo + args.batch_size, args.mst_packets)])
         return time.perf_counter() - start
 
+    def run_shard_batch() -> float:
+        # Worker spawn/teardown excluded: a deployment pays it once per
+        # engine, not per batch.  The timed loop includes the partitioning,
+        # dispatch and per-chunk acknowledgements - the real pipeline cost.
+        with ShardedHHH(
+            _shard_spec(args, hierarchy), args.hierarchy, args.shards, parallel=True
+        ) as engine:
+            update_batch = engine.update_batch
+            start = time.perf_counter()
+            for lo in range(0, len(batch_keys), args.batch_size):
+                update_batch(batch_keys[lo : lo + args.batch_size])
+            elapsed = time.perf_counter() - start
+        return elapsed
+
     variants = {
         "update": run_update,
         "update_fast": run_update_fast,
@@ -254,6 +335,8 @@ def main(argv=None) -> int:
         "mst_update": run_mst_update,
         "mst_update_batch": run_mst_batch,
     }
+    if args.shards >= 2:
+        variants[f"update_batch[sharded x{args.shards}]"] = run_shard_batch
     # Interleave the variants so machine noise hits them evenly.
     times: Dict[str, List[float]] = {name: [] for name in variants}
     for _ in range(max(1, args.repeats)):
@@ -282,6 +365,17 @@ def main(argv=None) -> int:
     print(f"array-backend batch speedup over update loop:     {array_speedup:.2f}x")
     print(f"array backend vs linked counter (batch path):     {array_vs_linked:.2f}x")
     print(f"MST batch speedup over its scalar O(H) loop:      {mst_speedup:.2f}x")
+    shard_speedup = None
+    if args.shards >= 2:
+        import os
+
+        shard_speedup = medians["update_batch"] / medians[f"update_batch[sharded x{args.shards}]"]
+        cores = os.cpu_count() or 1
+        print(
+            f"sharded x{args.shards} speedup over single-process batch path: "
+            f"{shard_speedup:.2f}x ({cores} cores visible"
+            + (", fewer cores than shards - expect no gain)" if cores < args.shards else ")")
+        )
 
     if args.json:
         payload = {
@@ -294,6 +388,7 @@ def main(argv=None) -> int:
             "array_batch_speedup_vs_update": array_speedup,
             "array_vs_scalar_counter_batch_ratio": array_vs_linked,
             "mst_batch_speedup": mst_speedup,
+            "shard_batch_speedup": shard_speedup,
         }
         with open(args.json, "w") as handle:
             json.dump(payload, handle, indent=2)
@@ -310,6 +405,16 @@ def main(argv=None) -> int:
         print(
             f"FAIL: array-backend batch speedup {array_speedup:.2f}x below required "
             f"{args.min_array_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        failed = True
+    if args.min_shard_speedup is not None and (
+        shard_speedup is None or shard_speedup < args.min_shard_speedup
+    ):
+        print(
+            f"FAIL: sharded speedup "
+            f"{'not measured (pass --shards N)' if shard_speedup is None else f'{shard_speedup:.2f}x'} "
+            f"below required {args.min_shard_speedup:.2f}x",
             file=sys.stderr,
         )
         failed = True

@@ -36,6 +36,7 @@ Example::
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence, Union
 
@@ -45,7 +46,7 @@ from repro.api.registry import build_algorithm, make_hierarchy
 from repro.api.specs import ExperimentSpec
 from repro.core.base import HHHAlgorithm, HHHOutput
 from repro.core.output import validate_theta
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, ConfigurationWarning
 from repro.hierarchy.base import Hierarchy
 from repro.traffic.caida_like import named_workload
 
@@ -122,9 +123,35 @@ class Session:
             raise ConfigurationError(f"progress_chunk must be >= 1, got {progress_chunk}")
         self._spec = spec
         self._hierarchy = hierarchy if hierarchy is not None else make_hierarchy(spec.hierarchy)
-        self._algorithm = (
-            algorithm if algorithm is not None else build_algorithm(spec.algorithm, self._hierarchy)
-        )
+        if algorithm is not None:
+            self._algorithm = algorithm
+        elif spec.shards is not None and spec.shards > 1:
+            # Late import: repro.core.shard builds algorithms through this
+            # package's registry.
+            from repro.core.shard import ShardedHHH
+
+            if spec.batch_size is None and spec.shard_parallel:
+                warnings.warn(
+                    "shards > 1 without batch_size feeds the worker pool one "
+                    "packet (one pipe round-trip) at a time - far slower than "
+                    "an unsharded run; set batch_size to use the parallel "
+                    "batch engine, or shard_parallel=False for in-process "
+                    "shards",
+                    ConfigurationWarning,
+                    stacklevel=2,
+                )
+
+            self._algorithm = ShardedHHH(
+                spec.algorithm,
+                # Prefer the registry name (workers rebuild it by name, the
+                # spawn-safe route); an explicitly passed hierarchy instance
+                # is shipped to the workers by pickle.
+                hierarchy if hierarchy is not None else spec.hierarchy,
+                spec.shards,
+                parallel=spec.shard_parallel,
+            )
+        else:
+            self._algorithm = build_algorithm(spec.algorithm, self._hierarchy)
         self._keys = keys
         self._progress_chunk = (
             progress_chunk if progress_chunk is not None else PER_PACKET_PROGRESS_CHUNK
@@ -338,6 +365,26 @@ class Session:
         )
         switch.attach_measurement(measurement)
         return measurement
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Release algorithm-owned resources (the sharded engine's worker pool).
+
+        Idempotent and a no-op for algorithms without a ``close`` method; a
+        closed sharded session can still not be fed, so call it when done.
+        """
+        close = getattr(self._algorithm, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -267,6 +267,14 @@ class ExperimentSpec(_SpecBase):
         theta: HHH threshold fraction for the final ``output`` call.
         batch_size: feed the stream through ``update_batch`` in chunks of this
             size; ``None`` selects the per-packet path.
+        shards: hash-partition the stream across this many shard replicas
+            (:class:`~repro.core.shard.ShardedHHH`) and merge their counter
+            summaries at output time; ``None`` or 1 runs unsharded.  A
+            memory-budgeted auto counter divides its budget evenly across
+            the shards.
+        shard_parallel: give each shard a worker process (default); ``False``
+            runs the shard replicas in-process, with identical results -
+            the deterministic mode the lockstep tests pin.
         label: free-form tag recorded in results.
     """
 
@@ -277,6 +285,8 @@ class ExperimentSpec(_SpecBase):
     packets: int = 100_000
     theta: float = 0.05
     batch_size: Optional[int] = None
+    shards: Optional[int] = None
+    shard_parallel: bool = True
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -291,6 +301,11 @@ class ExperimentSpec(_SpecBase):
         _check_unit_interval("theta", self.theta, closed_right=True)
         _check_positive_int("batch_size", self.batch_size)
         _check_positive_int("num_flows", self.num_flows)
+        _check_positive_int("shards", self.shards)
+        if not isinstance(self.shard_parallel, bool):
+            raise ConfigurationError(
+                f"shard_parallel must be a bool, got {self.shard_parallel!r}"
+            )
 
 
 #: Which spec fields hold nested specs, for ``from_dict`` reconstruction.

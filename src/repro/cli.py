@@ -122,6 +122,14 @@ def _add_stream_arguments(parser: argparse.ArgumentParser) -> None:
         "Space Saving; use array_space_saving for the vectorized batch "
         "backend)",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="hash-partition the stream across this many parallel worker "
+        "shards and merge their counter summaries at output time "
+        "(default: unsharded)",
+    )
 
 
 def _spec_from_args(args: argparse.Namespace, algorithm: str, theta: float) -> ExperimentSpec:
@@ -142,6 +150,7 @@ def _spec_from_args(args: argparse.Namespace, algorithm: str, theta: float) -> E
             packets=args.packets,
             theta=theta,
             batch_size=args.batch_size,
+            shards=args.shards,
         )
     except ReproError as exc:
         raise SystemExit(str(exc)) from None
@@ -192,8 +201,8 @@ def _command_detect(args: argparse.Namespace) -> int:
         print(spec.to_json())
         return 0
     hierarchy = make_hierarchy(spec.hierarchy)
-    session = Session(spec, hierarchy=hierarchy, keys=_trace_keys(args, hierarchy.dimensions))
-    result = session.run()
+    with Session(spec, hierarchy=hierarchy, keys=_trace_keys(args, hierarchy.dimensions)) as session:
+        result = session.run()
     _print_detection(result, algorithm=spec.algorithm.name, hierarchy=spec.hierarchy, theta=spec.theta)
     return 0
 
@@ -206,7 +215,8 @@ def _command_run(args: argparse.Namespace) -> int:
             with open(args.spec) as handle:
                 text = handle.read()
         spec = ExperimentSpec.from_json(text)
-        result = Session(spec).run(theta=args.theta)
+        with Session(spec) as session:
+            result = session.run(theta=args.theta)
     except OSError as exc:
         print(f"error: cannot read spec: {exc}", file=sys.stderr)
         return 1
@@ -240,15 +250,22 @@ def _command_compare(args: argparse.Namespace) -> int:
         # Materialise the stream once (the first session draws it) and share
         # it: every algorithm must see the same packets anyway, and workload
         # generation is far from free.
-        session = Session(spec, hierarchy=hierarchy, keys=keys)
-        keys = session.keys()
-        packets = len(keys)
-        if truth is None:
-            truth = GroundTruth(hierarchy, list(HHHAlgorithm._iter_batch_keys(keys)))
-        speed = session.measure_speed()
-        report = evaluate_output(
-            session.output(args.theta), truth, epsilon=args.epsilon, theta=args.theta
-        )
+        try:
+            session = Session(spec, hierarchy=hierarchy, keys=keys)
+        except ReproError as exc:
+            # e.g. --shards with an algorithm that has no counter lattice
+            # (the ancestry baselines): report and keep the other rows.
+            print(f"skipping {name}: {exc}", file=sys.stderr)
+            continue
+        with session:
+            keys = session.keys()
+            packets = len(keys)
+            if truth is None:
+                truth = GroundTruth(hierarchy, list(HHHAlgorithm._iter_batch_keys(keys)))
+            speed = session.measure_speed()
+            report = evaluate_output(
+                session.output(args.theta), truth, epsilon=args.epsilon, theta=args.theta
+            )
         rows.append(
             {
                 "algorithm": name,

@@ -10,7 +10,10 @@ The public entry points are:
   two-dimensional hierarchies, including the ``V > H`` (e.g. "10-RHHH")
   configurations and the multi-update variant of Corollary 6.8;
 * :class:`~repro.core.base.HHHAlgorithm` / :class:`~repro.core.base.HHHCandidate`
-  - the interface shared with the baseline algorithms in :mod:`repro.hhh`.
+  - the interface shared with the baseline algorithms in :mod:`repro.hhh`;
+* :class:`~repro.core.shard.ShardedHHH` - the hash-partitioned parallel
+  execution layer that runs shard replicas (optionally in worker processes)
+  and reduces their counter summaries with the ``merge`` protocol.
 """
 
 from repro.core.base import HHHAlgorithm, HHHCandidate
@@ -23,7 +26,22 @@ __all__ = [
     "HHHCandidate",
     "RHHHConfig",
     "RHHH",
+    "ShardedHHH",
     "calc_pred",
     "conditioned_frequency_estimate",
     "lattice_output",
+    "shard_assignments",
+    "shard_of_key",
+    "spawn_shard_seeds",
 ]
+
+
+def __getattr__(name):
+    # repro.core.shard imports repro.api (specs/registry), which imports
+    # repro.core.rhhh back through the registry: resolve the shard exports
+    # lazily so importing repro.core stays cycle-free.
+    if name in ("ShardedHHH", "shard_assignments", "shard_of_key", "spawn_shard_seeds"):
+        from repro.core import shard
+
+        return getattr(shard, name)
+    raise AttributeError(f"module 'repro.core' has no attribute {name!r}")

@@ -1,0 +1,530 @@
+"""Sharded parallel batch execution: hash-partitioned shards, mergeable counters.
+
+The per-node grouping inside :meth:`repro.core.rhhh.RHHH.update_batch` is
+embarrassingly parallel, and this module is the scale lever built on that
+fact: a :class:`ShardedHHH` hash-partitions every key batch across ``N``
+shard replicas of a lattice algorithm (RHHH, MST or SampledMST - anything
+built from an :class:`~repro.api.specs.AlgorithmSpec` that keeps one
+mergeable counter per lattice node), drives each replica's own vectorized
+``update_batch`` over its sub-stream, and reduces the per-node counter
+summaries with the :meth:`~repro.hh.base.FrequencyEstimator.merge` protocol
+at output time.  This is the local-update/central-merge loop of the
+federated-aggregation literature with per-shard counter summaries playing
+the role of the local models.
+
+Two execution modes share identical semantics:
+
+* ``parallel=False`` runs the shard replicas in-process (deterministic,
+  dependency-free - the reference the lockstep tests compare against);
+* ``parallel=True`` gives each shard a dedicated worker process (spawn-safe:
+  workers rebuild their replica from the pickled spec + hierarchy, so no
+  live state crosses the fork boundary) and overlaps the per-shard batch
+  work across cores.
+
+Each *key* is routed to exactly one shard (multiplicative hashing on the
+packed key), so at the fully-specified lattice node the shard summaries see
+disjoint key sets and the reduction uses ``merge(..., disjoint=True)``: the
+merged estimate over-counts a monitored key by at most its owning shard's
+error bound.  At generalized nodes disjointness does *not* hold - two
+packets of the same /24 aggregate can hash to different shards - so those
+nodes reduce with the generic merge, whose estimates stay within the
+*summed* per-shard error bounds (and the sketch merges are exactly the
+single-pass tables everywhere).  Merged output is *not* bit-identical to an
+unsharded run (the sampling draws differ and Space Saving truncates the
+merged summary to capacity), which is why the property and statistical
+suites in ``tests/core/test_shard.py`` and
+``tests/eval/test_accuracy_regression.py`` pin the error-bound and
+(epsilon, delta)-coverage guarantees instead.
+
+Per-shard RNG streams are derived with ``numpy.random.SeedSequence.spawn``:
+for a fixed ``(seed, shards)`` pair every run draws the same per-shard
+seeds, while different shards get cryptographically independent streams (no
+two workers ever replay the same coin flips).
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import multiprocessing
+import traceback
+from typing import Hashable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.api.specs import AlgorithmSpec
+from repro.core.base import HHHAlgorithm, HHHOutput
+from repro.core.batch import coerce_key_array, coerce_weights
+from repro.exceptions import AlgorithmError, ConfigurationError
+from repro.hh.base import FrequencyEstimator
+from repro.hierarchy.base import Hierarchy
+
+_MASK64 = (1 << 64) - 1
+#: Odd multiplicative-hash constants (golden-ratio and xxhash64 primes).
+_GOLDEN_SRC = 0x9E3779B97F4A7C15
+_GOLDEN_DST = 0xC2B2AE3D27D4EB4F
+#: Keep the top 31 bits of the mixed word: the low bits of ``x * odd`` are a
+#: permutation of ``x``'s low bits, the high bits are well mixed.
+_MIX_SHIFT = 33
+
+
+def spawn_shard_seeds(seed: Optional[int], shards: int) -> List[int]:
+    """Derive one independent RNG seed per shard via ``SeedSequence.spawn``.
+
+    Reproducible: a fixed ``(seed, shards)`` pair always yields the same
+    seed list.  Independent: spawned children occupy disjoint entropy
+    streams, so two shards never see identical draw sequences (the paired
+    regression test feeds both seeds into RHHH and compares the node
+    choices).  ``seed=None`` draws fresh OS entropy, matching the unseeded
+    behaviour of the underlying algorithms.
+    """
+    if shards < 1:
+        raise ConfigurationError(f"shards must be >= 1, got {shards}")
+    root = np.random.SeedSequence(seed)
+    return [int(child.generate_state(1, dtype=np.uint64)[0]) for child in root.spawn(shards)]
+
+
+def per_shard_algorithm_spec(spec: AlgorithmSpec, seed: Optional[int], shards: int) -> AlgorithmSpec:
+    """The spec one shard replica is built from: own seed, divided memory budget.
+
+    A memory-budgeted auto counter (``CounterSpec(auto=True, memory_bytes=B)``)
+    describes the *deployment's* budget; ``N`` shards each get ``B // N`` so
+    the sharded run stays inside the same envelope.
+    """
+    counter = spec.counter
+    if counter is not None and counter.auto and counter.memory_bytes is not None:
+        counter = dataclasses.replace(
+            counter, memory_bytes=max(1, counter.memory_bytes // shards)
+        )
+    return dataclasses.replace(spec, seed=seed, counter=counter)
+
+
+# --------------------------------------------------------------------------- #
+# hash partitioning
+# --------------------------------------------------------------------------- #
+
+
+def shard_of_key(key: Hashable, shards: int) -> int:
+    """Shard owning ``key`` - the scalar twin of :func:`shard_assignments`.
+
+    Integer and integer-pair keys use the same multiplicative mix as the
+    vectorized path (modulo ``2**64``), so a key is routed identically
+    whether it arrives through ``update`` or inside a numpy batch; other key
+    types fall back to Python ``hash`` (deterministic per process family
+    only for types unaffected by hash randomization, which covers the ints
+    and int tuples the hierarchies emit).
+    """
+    if isinstance(key, tuple) and len(key) == 2:
+        src, dst = key
+        if isinstance(src, (int, np.integer)) and isinstance(dst, (int, np.integer)):
+            mixed = ((int(src) * _GOLDEN_SRC) & _MASK64) ^ ((int(dst) * _GOLDEN_DST) & _MASK64)
+            return (mixed >> _MIX_SHIFT) % shards
+    if isinstance(key, (int, np.integer)) and not isinstance(key, bool):
+        return (((int(key) * _GOLDEN_SRC) & _MASK64) >> _MIX_SHIFT) % shards
+    return hash(key) % shards
+
+
+def shard_assignments(keys: Sequence, shards: int) -> Optional[np.ndarray]:
+    """Per-packet shard ids for a key batch, or ``None`` for non-numeric keys.
+
+    Vectorized multiplicative hashing over the batch: 1-D integer arrays mix
+    each key, ``(n, 2)`` arrays mix source and destination with different
+    odd constants.  Identical keys always land in the same shard, which is
+    what makes the shard summaries key-disjoint and the ``disjoint=True``
+    merge reduction valid.
+    """
+    arr = coerce_key_array(keys, len(keys))
+    if arr is None or arr.dtype.kind not in "iu":
+        return None
+    if arr.ndim == 1:
+        mixed = arr.astype(np.uint64) * np.uint64(_GOLDEN_SRC)
+    elif arr.ndim == 2 and arr.shape[1] == 2:
+        mixed = (arr[:, 0].astype(np.uint64) * np.uint64(_GOLDEN_SRC)) ^ (
+            arr[:, 1].astype(np.uint64) * np.uint64(_GOLDEN_DST)
+        )
+    else:
+        return None
+    return ((mixed >> np.uint64(_MIX_SHIFT)) % np.uint64(shards)).astype(np.int64)
+
+
+# --------------------------------------------------------------------------- #
+# worker process
+# --------------------------------------------------------------------------- #
+
+
+def _shard_worker(conn, hierarchy_payload, spec_dict: dict) -> None:
+    """One shard's process loop: build the replica, then serve commands.
+
+    Spawn-safe by construction: everything the worker needs arrives as
+    picklable data (a registry hierarchy name or a plain-data hierarchy
+    instance, and the shard's ``AlgorithmSpec`` as a dict) and the replica
+    is built inside the worker.  Replies are ``("ok", payload)`` or
+    ``("error", traceback_text)``; the parent re-raises the latter.
+    """
+    from repro.api.registry import build_algorithm, make_hierarchy
+
+    try:
+        hierarchy = (
+            make_hierarchy(hierarchy_payload)
+            if isinstance(hierarchy_payload, str)
+            else hierarchy_payload
+        )
+        algorithm = build_algorithm(AlgorithmSpec.from_dict(spec_dict), hierarchy)
+        conn.send(("ok", None))
+    except Exception:
+        conn.send(("error", traceback.format_exc()))
+        conn.close()
+        return
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            break
+        command = message[0]
+        try:
+            if command == "update_batch":
+                algorithm.update_batch(message[1], message[2])
+                conn.send(("ok", None))
+            elif command == "update":
+                algorithm.update(message[1], message[2])
+                conn.send(("ok", None))
+            elif command == "snapshot":
+                conn.send(("ok", (algorithm.total, algorithm._counters)))
+            elif command == "close":
+                conn.send(("ok", None))
+                break
+            else:
+                conn.send(("error", f"unknown shard command {command!r}"))
+        except Exception:
+            conn.send(("error", traceback.format_exc()))
+    conn.close()
+
+
+# --------------------------------------------------------------------------- #
+# the sharded engine
+# --------------------------------------------------------------------------- #
+
+
+class ShardedHHH(HHHAlgorithm):
+    """Hash-partitioned shard replicas of a lattice HHH algorithm.
+
+    Args:
+        algorithm: the :class:`~repro.api.specs.AlgorithmSpec` each shard
+            replica is built from (or a bare registry name).  The spec's
+            ``seed`` is the *root* seed; per-shard seeds are spawned from it.
+        hierarchy: the hierarchical domain - a registry name (preferred for
+            process workers: each worker rebuilds it by name) or a
+            :class:`~repro.hierarchy.base.Hierarchy` instance (pickled to
+            the workers; the builtin hierarchies are plain data).
+        shards: number of shard replicas (>= 1).
+        parallel: ``True`` gives each shard a worker process; ``False`` runs
+            the replicas in-process (same results, no processes - the
+            lockstep reference and the sensible choice for tiny runs).
+        start_method: multiprocessing start method for the worker pool
+            (default ``"spawn"``, the method that works on every platform
+            and never inherits live state).
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        algorithm: Union[AlgorithmSpec, str] = "rhhh",
+        hierarchy: Union[Hierarchy, str] = "2d-bytes",
+        shards: int = 2,
+        *,
+        parallel: bool = True,
+        start_method: str = "spawn",
+    ) -> None:
+        from repro.api.registry import build_algorithm, make_hierarchy
+
+        spec = AlgorithmSpec(name=algorithm) if isinstance(algorithm, str) else algorithm
+        if not isinstance(spec, AlgorithmSpec):
+            raise ConfigurationError(
+                f"algorithm must be an AlgorithmSpec or name, got {type(algorithm).__name__}"
+            )
+        if not isinstance(shards, int) or isinstance(shards, bool) or shards < 1:
+            raise ConfigurationError(f"shards must be a positive integer, got {shards!r}")
+        hierarchy_obj = make_hierarchy(hierarchy) if isinstance(hierarchy, str) else hierarchy
+        super().__init__(hierarchy_obj)
+        self._spec = spec
+        self._shards = shards
+        self._parallel = bool(parallel)
+        self._start_method = start_method
+        self._seeds = spawn_shard_seeds(spec.seed, shards)
+        self._shard_specs = [
+            per_shard_algorithm_spec(spec, seed, shards) for seed in self._seeds
+        ]
+        # The merged-output delegate: a replica-shaped instance (per-shard
+        # counter sizing, so capacities line up with the shard summaries)
+        # whose counters/total are replaced by the merged state at output
+        # time.  Building it up front also fail-fasts on unshardable specs.
+        self._template = build_algorithm(
+            per_shard_algorithm_spec(spec, spec.seed, shards), hierarchy_obj
+        )
+        if not hasattr(self._template, "_counters"):
+            raise ConfigurationError(
+                f"algorithm {spec.name!r} keeps no per-node counter lattice; "
+                "sharded execution supports the lattice algorithms (rhhh, mst, sampled_mst)"
+            )
+        probe = self._template._counters[0]
+        if type(probe).merge is FrequencyEstimator.merge:
+            raise ConfigurationError(
+                f"counter backend {type(probe).__name__} does not implement merge(); "
+                "pick a mergeable backend (space_saving, array_space_saving, "
+                "misra_gries, count_min, count_sketch)"
+            )
+        # Hash partitioning is key-disjoint only where the counter keys ARE
+        # the routed keys: the fully-specified (level-0) lattice node.
+        # Generalized nodes aggregate keys from many shards and must take
+        # the generic summed-bound merge.
+        self._node_disjoint = [
+            hierarchy_obj.node_level(node) == 0 for node in range(hierarchy_obj.size)
+        ]
+        self._replicas: List[HHHAlgorithm] = []
+        self._workers: List[Tuple] = []
+        self._closed = False
+        if self._parallel:
+            self._start_workers(hierarchy if isinstance(hierarchy, str) else hierarchy_obj)
+        else:
+            self._replicas = [
+                build_algorithm(shard_spec, hierarchy_obj) for shard_spec in self._shard_specs
+            ]
+
+    # ------------------------------------------------------------------ #
+    # worker lifecycle
+    # ------------------------------------------------------------------ #
+
+    def _start_workers(self, hierarchy_payload) -> None:
+        context = multiprocessing.get_context(self._start_method)
+        for shard_spec in self._shard_specs:
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_shard_worker,
+                args=(child_conn, hierarchy_payload, shard_spec.to_dict()),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._workers.append((process, parent_conn))
+        for _, conn in self._workers:
+            self._expect_ok(conn)
+
+    @staticmethod
+    def _expect_ok(conn):
+        try:
+            status, payload = conn.recv()
+        except EOFError:
+            raise AlgorithmError("a shard worker died before replying") from None
+        if status != "ok":
+            raise AlgorithmError(f"shard worker failed:\n{payload}")
+        return payload
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; serial mode is a no-op)."""
+        if self._closed:
+            return
+        self._closed = True
+        for process, conn in self._workers:
+            try:
+                conn.send(("close", None))
+                self._expect_ok(conn)
+            except (OSError, EOFError, AlgorithmError):
+                pass
+            finally:
+                conn.close()
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+        self._workers = []
+
+    def __enter__(self) -> "ShardedHHH":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # stream processing
+    # ------------------------------------------------------------------ #
+
+    def update(self, key: Hashable, weight: int = 1) -> None:
+        """Route one packet to the shard owning its key."""
+        shard = shard_of_key(key, self._shards)
+        self._total += weight
+        if self._parallel:
+            _, conn = self._workers[shard]
+            conn.send(("update", key, weight))
+            self._expect_ok(conn)
+        else:
+            self._replicas[shard].update(key, weight)
+
+    def update_batch(
+        self, keys: Sequence[Hashable], weights: Optional[Sequence[int]] = None
+    ) -> None:
+        """Hash-partition the batch and drive every shard's own ``update_batch``.
+
+        In parallel mode the sub-batches are dispatched to all workers before
+        any acknowledgement is collected, so the per-shard vectorized engines
+        run concurrently; serial mode applies them in shard order.  Either
+        way each shard sees exactly the sub-stream of keys it owns, in stream
+        order - the property the lockstep suite pins.
+        """
+        n = len(keys)
+        if n == 0:
+            return
+        weights_arr, total_weight = coerce_weights(weights, n)
+        self._total += total_weight
+        parts = self._partition(keys, weights_arr, n)
+        if self._parallel:
+            touched = []
+            for shard, (sub_keys, sub_weights) in enumerate(parts):
+                if len(sub_keys) == 0:
+                    continue
+                _, conn = self._workers[shard]
+                conn.send(("update_batch", sub_keys, sub_weights))
+                touched.append(conn)
+            for conn in touched:
+                self._expect_ok(conn)
+        else:
+            for shard, (sub_keys, sub_weights) in enumerate(parts):
+                if len(sub_keys):
+                    self._replicas[shard].update_batch(sub_keys, sub_weights)
+
+    def _partition(
+        self, keys: Sequence, weights_arr: Optional[np.ndarray], n: int
+    ) -> List[Tuple[Sequence, Optional[np.ndarray]]]:
+        """Split a batch into per-shard ``(keys, weights)`` sub-batches."""
+        if self._shards == 1:
+            return [(keys if isinstance(keys, np.ndarray) else list(keys), weights_arr)]
+        assignments = shard_assignments(keys, self._shards)
+        if assignments is None:
+            key_list = list(self._iter_batch_keys(keys))
+            buckets: List[List] = [[] for _ in range(self._shards)]
+            weight_buckets: List[List[int]] = [[] for _ in range(self._shards)]
+            weight_list = weights_arr.tolist() if weights_arr is not None else None
+            for i, key in enumerate(key_list):
+                shard = shard_of_key(key, self._shards)
+                buckets[shard].append(key)
+                if weight_list is not None:
+                    weight_buckets[shard].append(weight_list[i])
+            return [
+                (
+                    bucket,
+                    np.asarray(weight_buckets[shard], dtype=np.int64)
+                    if weights_arr is not None
+                    else None,
+                )
+                for shard, bucket in enumerate(buckets)
+            ]
+        keys_arr = coerce_key_array(keys, n)
+        parts: List[Tuple[Sequence, Optional[np.ndarray]]] = []
+        for shard in range(self._shards):
+            picked = np.flatnonzero(assignments == shard)
+            parts.append(
+                (
+                    keys_arr[picked],
+                    weights_arr[picked] if weights_arr is not None else None,
+                )
+            )
+        return parts
+
+    # ------------------------------------------------------------------ #
+    # the merge reduction and queries
+    # ------------------------------------------------------------------ #
+
+    def _shard_states(self) -> List[Tuple[int, List]]:
+        """Collect ``(total, counters)`` from every shard.
+
+        Parallel snapshots arrive as fresh pickled copies; the serial path
+        deep-copies shard 0 (the merge target) and hands the rest over
+        read-only - ``merge`` never mutates its argument.
+        """
+        if self._parallel:
+            for _, conn in self._workers:
+                conn.send(("snapshot", None))
+            return [self._expect_ok(conn) for _, conn in self._workers]
+        states = []
+        for shard, replica in enumerate(self._replicas):
+            counters = replica._counters
+            if shard == 0:
+                counters = copy.deepcopy(counters)
+            states.append((replica.total, counters))
+        return states
+
+    def merged_counters(self) -> Tuple[List, int]:
+        """Reduce the shard summaries into one per-node counter list.
+
+        Returns ``(counters, total)``: the merge of every shard's per-node
+        summaries (key-disjoint at the fully-specified node, generic
+        summed-bound elsewhere) and the summed shard totals.
+        """
+        states = self._shard_states()
+        merged = list(states[0][1])
+        total = states[0][0]
+        for shard_total, counters in states[1:]:
+            total += shard_total
+            for node, counter in enumerate(counters):
+                merged[node].merge(counter, disjoint=self._node_disjoint[node])
+        return merged, total
+
+    def output(self, theta: float) -> HHHOutput:
+        """Merge the shards and run the underlying algorithm's Output on the result.
+
+        The delegate instance supplies the algorithm-specific scaling and
+        sampling correction (``V`` and the ``2 Z sqrt(NV)`` term for RHHH,
+        the plain lattice output for MST), computed against the *combined*
+        stream length.
+        """
+        merged, total = self.merged_counters()
+        self._template._counters = merged
+        self._template._total = total
+        return self._template.output(theta)
+
+    def counters(self) -> int:
+        if self._parallel:
+            return self._shards * self._template.counters()
+        return sum(replica.counters() for replica in self._replicas)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def shards(self) -> int:
+        """Number of shard replicas."""
+        return self._shards
+
+    @property
+    def parallel(self) -> bool:
+        """Whether shards run in worker processes."""
+        return self._parallel
+
+    @property
+    def shard_seeds(self) -> List[int]:
+        """The per-shard RNG seeds spawned from the root seed."""
+        return list(self._seeds)
+
+    @property
+    def shard_specs(self) -> List[AlgorithmSpec]:
+        """The per-shard algorithm specs (own seed, divided memory budget)."""
+        return list(self._shard_specs)
+
+    def shard_algorithm(self, shard: int) -> HHHAlgorithm:
+        """The live replica of ``shard`` (serial mode only; for tests)."""
+        if self._parallel:
+            raise AlgorithmError("shard replicas live in worker processes when parallel=True")
+        return self._replicas[shard]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "parallel" if self._parallel else "serial"
+        return (
+            f"ShardedHHH({self._spec.name!r}, shards={self._shards}, {mode}, "
+            f"N={self._total})"
+        )

@@ -52,6 +52,7 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.hh.base import CounterAlgorithm
+from repro.hh.merge import check_same_capacity, merged_space_saving_entries
 
 #: Below this wave length the sorted-wave eviction keeps re-sorting the table
 #: for almost no progress; the replay drops to the heap path instead.
@@ -87,6 +88,9 @@ class ArraySpaceSaving(CounterAlgorithm):
         self._slot: Dict[Hashable, int] = {}
         self._size = 0
         self._clock = 0
+        # Upper bound on the true count of keys absent from the summary, in
+        # addition to the current minimum count; only merges raise it.
+        self._absent_floor = 0
         # Lazy (count, stamp, slot) min-heap for the scalar update() path.
         # Entries are invalidated by comparing their stamp against the stamps
         # array (stamps are unique per write); bulk paths drop the heap
@@ -481,8 +485,9 @@ class ArraySpaceSaving(CounterAlgorithm):
     def upper_bound(self, key: Hashable) -> float:
         slot = self._slot.get(key)
         if slot is None:
-            # An unmonitored key has true count at most the minimum counter.
-            return float(self._min_count())
+            # An unmonitored key has true count at most the minimum counter
+            # (plus the absent-key floor a merge may have introduced).
+            return float(max(self._min_count(), self._absent_floor))
         return float(self._counts[slot])
 
     def lower_bound(self, key: Hashable) -> float:
@@ -519,3 +524,70 @@ class ArraySpaceSaving(CounterAlgorithm):
         if slot is None:
             return 0
         return int(self._errors[slot])
+
+    # ------------------------------------------------------------------ #
+    # merging
+    # ------------------------------------------------------------------ #
+
+    def _entries(self) -> List[tuple]:
+        """Snapshot the summary as ``(key, count, error)`` tuples.
+
+        Emitted in ascending ``(count, stamp)`` order - the eviction order,
+        matching the bucket-order snapshot of the linked implementation.
+        """
+        size = self._size
+        order = np.lexsort((self._stamps[:size], self._counts[:size]))
+        counts = self._counts.tolist()
+        errors = self._errors.tolist()
+        keys = self._keys
+        return [(keys[slot], counts[slot], errors[slot]) for slot in order.tolist()]
+
+    def merge(self, other, *, disjoint: bool = False) -> None:
+        """Fold another Space Saving summary (either implementation) into this one.
+
+        Same merged state (monitored set, counts, errors, total) as
+        :meth:`repro.hh.space_saving.SpaceSaving.merge` on the same inputs -
+        both rebuild from the canonical kept-entry order of
+        :func:`repro.hh.merge.merged_space_saving_entries`, so the eviction
+        tie-break order after a merge also stays consistent across the two
+        implementations (fresh stamps in insertion order here, bucket FIFO
+        there).
+        """
+        if not hasattr(other, "_entries") or not hasattr(other, "_min_count"):
+            raise ConfigurationError(
+                f"cannot merge {type(self).__name__} with {type(other).__name__}; "
+                "merge requires another Space Saving summary"
+            )
+        check_same_capacity(self, other)
+        floor_a = max(self._min_count(), self._absent_floor)
+        floor_b = max(other._min_count(), other._absent_floor)
+        kept, truncated = merged_space_saving_entries(
+            self._entries(),
+            self._min_count(),
+            other._entries(),
+            other._min_count(),
+            self._capacity,
+            disjoint=disjoint,
+        )
+        floor = max(floor_a, floor_b) if disjoint else floor_a + floor_b
+        if truncated:
+            floor = max(floor, kept[-1][1])  # smallest kept count bounds the dropped
+        kept.reverse()  # canonical count-descending -> ascending insertion order
+        total = self._total + other.total
+        n = len(kept)
+        self._counts = np.zeros(self._capacity, dtype=np.int64)
+        self._errors = np.zeros(self._capacity, dtype=np.int64)
+        self._stamps = np.zeros(self._capacity, dtype=np.int64)
+        self._keys = [None] * self._capacity
+        self._slot = {}
+        for slot, (key, count, error) in enumerate(kept):
+            self._counts[slot] = count
+            self._errors[slot] = error
+            self._stamps[slot] = slot + 1
+            self._keys[slot] = key
+            self._slot[key] = slot
+        self._size = n
+        self._clock = n
+        self._heap = None
+        self._total = total
+        self._absent_floor = floor

@@ -15,6 +15,8 @@ import abc
 from dataclasses import dataclass
 from typing import Hashable, Iterable, Iterator, List, Tuple
 
+from repro.exceptions import ConfigurationError
+
 
 @dataclass(frozen=True)
 class HeavyHitter:
@@ -93,6 +95,35 @@ class FrequencyEstimator(abc.ABC):
         """
         for key, weight in items:
             self.update(key, weight)
+
+    def merge(self, other: "FrequencyEstimator", *, disjoint: bool = False) -> None:
+        """Fold ``other``'s summary into this one (the sharded-reduction step).
+
+        After the merge this summary describes the concatenation of both input
+        streams: ``total`` is the sum of the totals, and every key's estimate
+        stays within the *sum* of the two summaries' error bounds of the key's
+        exact combined count (each backend documents its exact guarantee).
+
+        Args:
+            other: a summary of the same backend with compatible parameters
+                (same capacity for the table summaries, same table geometry
+                and hash functions for the sketches).
+            disjoint: promise that the two summaries saw disjoint key sets
+                (the hash-partitioned shard case).  Mergers that charge an
+                absent key the other summary's worst-case residual (Space
+                Saving) skip that inflation, tightening the merged error to
+                the per-shard bound; backends where the flag changes nothing
+                accept and ignore it.
+
+        Raises:
+            ConfigurationError: when the backend does not support merging or
+                the two summaries' parameters are incompatible.
+        """
+        raise ConfigurationError(
+            f"counter backend {type(self).__name__} does not support merge(); "
+            "sharded execution requires a mergeable counter "
+            "(space_saving, array_space_saving, misra_gries, count_min, count_sketch)"
+        )
 
 
 class CounterAlgorithm(FrequencyEstimator):

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.hh.base import CounterAlgorithm
+from repro.hh.merge import check_same_sketch_family, remerge_tracked
 
 _PRIME = (1 << 61) - 1  # Mersenne prime for universal hashing
 
@@ -96,6 +97,24 @@ class CountMinSketch(CounterAlgorithm):
         if tracked[victim] < estimate:
             del tracked[victim]
             tracked[key] = estimate
+
+    def merge(self, other: "CountMinSketch", *, disjoint: bool = False) -> None:
+        """Fold another Count-Min sketch into this one by table addition.
+
+        Sketch updates are linear in the table, so the merged table is
+        bit-identical to one sketch having seen both streams - per-key
+        estimates after the merge equal the single-pass estimates exactly.
+        Requires identical geometry *and* hash functions (same width, depth
+        and seed).  The tracked heavy-hitter candidates are re-estimated from
+        the merged table and the strongest ``track`` of the union survive.
+        ``disjoint`` changes nothing (addition is addition) and is accepted
+        for protocol compatibility.
+        """
+        del disjoint
+        check_same_sketch_family(self, other, ("_a", "_b"))
+        self._table += other._table
+        self._total += other.total
+        remerge_tracked(self, other)
 
     def estimate(self, key: Hashable) -> float:
         cols = self._rows(key)

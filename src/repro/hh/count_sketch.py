@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.hh.base import CounterAlgorithm
+from repro.hh.merge import check_same_sketch_family, remerge_tracked
 
 _PRIME = (1 << 61) - 1
 
@@ -91,6 +92,22 @@ class CountSketch(CounterAlgorithm):
             if tracked[victim] < estimate:
                 del tracked[victim]
                 tracked[key] = estimate
+
+    def merge(self, other: "CountSketch", *, disjoint: bool = False) -> None:
+        """Fold another Count Sketch into this one by table addition.
+
+        Signed sketch updates are linear, so the merged table is bit-identical
+        to one sketch having seen both streams and per-key estimates equal
+        the single-pass estimates exactly.  Requires identical geometry and
+        hash/sign functions (same width, depth and seed).  Tracked candidates
+        are re-estimated from the merged table; ``disjoint`` is accepted for
+        protocol compatibility.
+        """
+        del disjoint
+        check_same_sketch_family(self, other, ("_a", "_b", "_sa", "_sb"))
+        self._table += other._table
+        self._total += other.total
+        remerge_tracked(self, other)
 
     def estimate(self, key: Hashable) -> float:
         cols, signs = self._cols_signs(key)

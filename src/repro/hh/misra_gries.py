@@ -13,6 +13,7 @@ from typing import Dict, Hashable, Iterator, Optional
 
 from repro.exceptions import ConfigurationError
 from repro.hh.base import CounterAlgorithm
+from repro.hh.merge import check_same_capacity
 
 
 class MisraGries(CounterAlgorithm):
@@ -61,6 +62,40 @@ class MisraGries(CounterAlgorithm):
             del counts[k]
         if remaining > 0 and len(counts) < self._capacity:
             counts[key] = remaining
+
+    def merge(self, other: "MisraGries", *, disjoint: bool = False) -> None:
+        """Fold another Misra-Gries summary into this one (mergeable summaries).
+
+        Sums the two count tables, then restores the capacity bound the
+        classic way: subtract the ``(capacity + 1)``-th largest merged count
+        from every entry and drop the non-positive ones.  Every subtraction
+        of ``t`` removes at least ``(capacity + 1) * t`` mass from a summary
+        whose total mass is bounded by the combined stream weight, so the
+        merged summary keeps the Misra-Gries guarantee over the concatenated
+        stream: ``estimate <= exact`` and ``exact - estimate <=
+        (N_a + N_b) / (capacity + 1)``.  ``disjoint`` changes nothing here
+        (there is no absent-key residual to charge) and is accepted for
+        protocol compatibility.
+        """
+        del disjoint  # summing disjoint or overlapping tables is the same operation
+        if not isinstance(other, MisraGries):
+            raise ConfigurationError(
+                f"cannot merge MisraGries with {type(other).__name__}"
+            )
+        check_same_capacity(self, other)
+        counts = self._counts
+        for key, count in other._counts.items():
+            counts[key] = counts.get(key, 0) + count
+        self._decrements += other._decrements
+        self._total += other.total
+        if len(counts) > self._capacity:
+            threshold = sorted(counts.values(), reverse=True)[self._capacity]
+            if threshold > 0:
+                self._decrements += threshold
+                for key in [k for k, c in counts.items() if c <= threshold]:
+                    del counts[key]
+                for key in counts:
+                    counts[key] -= threshold
 
     def estimate(self, key: Hashable) -> float:
         return float(self._counts.get(key, 0))

@@ -22,10 +22,11 @@ worst-case per-packet cost.
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, Iterator, Optional
+from typing import Dict, Hashable, Iterator, List, Optional, Tuple
 
 from repro.exceptions import ConfigurationError
 from repro.hh.base import CounterAlgorithm
+from repro.hh.merge import check_same_capacity, merged_space_saving_entries
 
 
 class _Bucket:
@@ -65,6 +66,10 @@ class SpaceSaving(CounterAlgorithm):
         # sentinel-free linked list ordered by increasing count
         self._head: Optional[_Bucket] = None  # minimum count bucket
         self._tail: Optional[_Bucket] = None  # maximum count bucket
+        # Upper bound on the true count of keys absent from the summary, in
+        # addition to the current minimum count; only merges raise it (see
+        # merge()).  0 for a plain single-stream summary.
+        self._absent_floor = 0
 
     # ------------------------------------------------------------------ #
     # linked-list plumbing
@@ -261,8 +266,9 @@ class SpaceSaving(CounterAlgorithm):
     def upper_bound(self, key: Hashable) -> float:
         bucket = self._where.get(key)
         if bucket is None:
-            # An unmonitored key has true count at most the minimum counter.
-            return float(self._min_count())
+            # An unmonitored key has true count at most the minimum counter
+            # (plus the absent-key floor a merge may have introduced).
+            return float(max(self._min_count(), self._absent_floor))
         return float(bucket.count)
 
     def lower_bound(self, key: Hashable) -> float:
@@ -299,3 +305,99 @@ class SpaceSaving(CounterAlgorithm):
         if bucket is None:
             return 0
         return bucket.keys[key]
+
+    # ------------------------------------------------------------------ #
+    # merging and serialization
+    # ------------------------------------------------------------------ #
+
+    def _entries(self) -> List[Tuple[Hashable, int, int]]:
+        """Snapshot the summary as ``(key, count, error)`` tuples.
+
+        Emitted in ascending-count bucket order, keys within a bucket in
+        their FIFO (insertion) order - the order :meth:`_rebuild` consumes to
+        reproduce the structure exactly.
+        """
+        result: List[Tuple[Hashable, int, int]] = []
+        bucket = self._head
+        while bucket is not None:
+            count = bucket.count
+            for key, error in bucket.keys.items():
+                result.append((key, count, error))
+            bucket = bucket.next
+        return result
+
+    def _rebuild(self, entries: List[Tuple[Hashable, int, int]], total: int) -> None:
+        """Reset the structure to exactly ``entries`` (given in ascending count order)."""
+        self._where = {}
+        self._head = None
+        self._tail = None
+        tail: Optional[_Bucket] = None
+        for key, count, error in entries:
+            if tail is None or tail.count != count:
+                tail = _Bucket(count)
+                self._insert_bucket_after(tail, self._tail)
+            tail.keys[key] = error
+            self._where[key] = tail
+        self._total = total
+
+    def merge(self, other, *, disjoint: bool = False) -> None:
+        """Fold another Space Saving summary (either implementation) into this one.
+
+        Guarantee (see :mod:`repro.hh.merge`): with exact combined counts
+        ``f``, the merged summary satisfies ``lower_bound(k) <= f(k) <=
+        upper_bound(k)`` for every key, and over-estimates a monitored key by
+        at most ``min_count(a) + min_count(b)`` - the summed per-input error
+        bounds (just ``min_count`` of the owning shard when ``disjoint``).
+
+        The absent-key floor keeps the bracket sound for unmonitored keys: a
+        key missing from the merged summary is either truncated (count at
+        most the kept minimum) or was already hidden in an input (count at
+        most that input's own absent bound) - summed across inputs in the
+        general case, the per-shard maximum in the key-disjoint case.
+        """
+        if not hasattr(other, "_entries") or not hasattr(other, "_min_count"):
+            raise ConfigurationError(
+                f"cannot merge {type(self).__name__} with {type(other).__name__}; "
+                "merge requires another Space Saving summary"
+            )
+        check_same_capacity(self, other)
+        floor_a = max(self._min_count(), self._absent_floor)
+        floor_b = max(other._min_count(), other._absent_floor)
+        kept, truncated = merged_space_saving_entries(
+            self._entries(),
+            self._min_count(),
+            other._entries(),
+            other._min_count(),
+            self._capacity,
+            disjoint=disjoint,
+        )
+        floor = max(floor_a, floor_b) if disjoint else floor_a + floor_b
+        if truncated:
+            floor = max(floor, kept[-1][1])  # smallest kept count bounds the dropped
+        kept.reverse()  # canonical count-descending -> ascending insertion order
+        self._rebuild(kept, self._total + other.total)
+        self._absent_floor = floor
+
+    def __getstate__(self) -> dict:
+        """Flat picklable form: the linked buckets would otherwise recurse."""
+        buckets = []
+        bucket = self._head
+        while bucket is not None:
+            buckets.append((bucket.count, list(bucket.keys.items())))
+            bucket = bucket.next
+        return {
+            "capacity": self._capacity,
+            "total": self._total,
+            "buckets": buckets,
+            "absent_floor": self._absent_floor,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self._capacity = state["capacity"]
+        entries = [
+            (key, count, error)
+            for count, items in state["buckets"]
+            for key, error in items
+        ]
+        self._rebuild(entries, state["total"])
+        self._absent_floor = state["absent_floor"]

@@ -97,3 +97,66 @@ class TestChooser:
     def test_auto_spec_resolution_is_recorded(self):
         resolved = CounterSpec(auto=True, memory_bytes=10_000_000).resolve(0.01)
         assert resolved.name == "space_saving" and resolved.auto is False
+
+
+class TestChooserBoundaries:
+    """Exact budget boundaries: the chooser treats "fits" as ``<=``."""
+
+    def test_budget_exactly_at_estimate_fits(self):
+        for name in ("space_saving", "array_space_saving"):
+            budget = estimate_counter_memory(name, epsilon=0.01)
+            assert choose_counter_backend(budget, epsilon=0.01) == name
+        # One byte below the preferred backend's estimate, the next-cheaper
+        # variant takes over.
+        space_saving = estimate_counter_memory("space_saving", epsilon=0.01)
+        assert choose_counter_backend(space_saving - 1, epsilon=0.01) == "array_space_saving"
+
+    def test_budget_below_every_estimate_is_an_error(self):
+        cheapest = min(
+            estimate_counter_memory(name, epsilon=0.01)
+            for name in ("space_saving", "array_space_saving", "count_min", "count_sketch")
+        )
+        assert choose_counter_backend(cheapest, epsilon=0.01)  # boundary fits
+        with pytest.raises(ConfigurationError, match="raise the budget"):
+            choose_counter_backend(cheapest - 1, epsilon=0.01)
+
+    def test_minimum_budget_validation(self):
+        with pytest.raises(ConfigurationError, match="memory_bytes"):
+            choose_counter_backend(0, epsilon=0.01)
+
+
+class TestShardBudgetDivision:
+    """``shards=N`` divides the deployment budget into per-shard budgets."""
+
+    def test_per_shard_spec_divides_memory_bytes(self):
+        from repro.core.shard import per_shard_algorithm_spec
+        from repro.api.specs import AlgorithmSpec
+
+        spec = AlgorithmSpec(
+            name="rhhh", counter=CounterSpec(auto=True, memory_bytes=100_000)
+        )
+        assert per_shard_algorithm_spec(spec, 1, 4).counter.memory_bytes == 25_000
+        # A budget smaller than the shard count still yields a valid spec
+        # (the chooser then reports the shortfall with its usual error).
+        assert per_shard_algorithm_spec(spec, 1, 200_001).counter.memory_bytes == 1
+
+    def test_sharded_engine_downgrades_backend_to_fit_the_divided_budget(self):
+        from repro.api.specs import AlgorithmSpec
+        from repro.core.shard import ShardedHHH
+
+        space_saving = estimate_counter_memory("space_saving", epsilon=0.01)
+        array = estimate_counter_memory("array_space_saving", epsilon=0.01)
+        budget = space_saving + array  # fits the linked backend outright...
+        assert array <= budget // 2 < space_saving  # ...but halved, only the array one
+        spec = AlgorithmSpec(
+            name="rhhh",
+            epsilon=0.05,
+            seed=1,
+            counter=CounterSpec(auto=True, memory_bytes=budget, epsilon=0.01),
+        )
+        unsharded = build_counter(spec.counter, epsilon=0.01)
+        assert type(unsharded).__name__ == "SpaceSaving"
+        engine = ShardedHHH(spec, "1d-bytes", 2, parallel=False)
+        for shard in range(2):
+            node_counter = engine.shard_algorithm(shard).node_counter(0)
+            assert type(node_counter).__name__ == "ArraySpaceSaving"

@@ -53,6 +53,81 @@ class TestDetect:
         out = capsys.readouterr().out
         assert "HHH prefixes" in out
 
+    def test_detect_with_shards_runs_the_worker_pool(self, capsys):
+        # Exercises the full CLI -> spec -> Session -> ShardedHHH pool path
+        # with real worker processes (the CI 2-worker smoke).
+        exit_code = main(
+            [
+                "detect",
+                "--workload",
+                "chicago16",
+                "--packets",
+                "5000",
+                "--hierarchy",
+                "1d-bytes",
+                "--theta",
+                "0.2",
+                "--algorithm",
+                "rhhh",
+                "--batch-size",
+                "1024",
+                "--shards",
+                "2",
+            ]
+        )
+        assert exit_code == 0
+        assert "HHH prefixes" in capsys.readouterr().out
+
+    def test_compare_with_shards_skips_unshardable_algorithms(self, capsys):
+        # partial_ancestry keeps no per-node counter lattice: with --shards
+        # it must be skipped with a clean message, not crash the run or
+        # discard the other rows.
+        exit_code = main(
+            [
+                "compare",
+                "--workload",
+                "chicago16",
+                "--packets",
+                "4000",
+                "--hierarchy",
+                "1d-bytes",
+                "--theta",
+                "0.2",
+                "--algorithms",
+                "mst",
+                "partial_ancestry",
+                "--batch-size",
+                "1024",
+                "--shards",
+                "2",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "mst" in captured.out
+        assert "skipping partial_ancestry" in captured.err
+
+    def test_detect_rejects_bad_shards(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "detect",
+                    "--workload",
+                    "chicago16",
+                    "--packets",
+                    "1000",
+                    "--shards",
+                    "0",
+                ]
+            )
+
+    def test_print_spec_carries_shards(self, capsys):
+        exit_code = main(
+            ["detect", "--packets", "1000", "--shards", "3", "--print-spec"]
+        )
+        assert exit_code == 0
+        assert '"shards": 3' in capsys.readouterr().out
+
     def test_detect_rejects_bad_batch_size(self):
         with pytest.raises(SystemExit):
             main(
