@@ -16,6 +16,14 @@ settings (sanjose14 backbone workload, 2D-bytes lattice by default):
                             the timing; the feed loop includes the per-chunk
                             dispatch, partitioning and acknowledgement).
 
+With ``--trace FILE`` the stream comes from a serialized binary trace instead
+of the workload generator, and three replay paths are additionally measured:
+``trace_inline`` (read + update alternating on one thread), ``trace_ingest``
+(reader on a ring-buffer producer thread overlapping ``update_batch``) and,
+with ``--shards N``, ``trace_ingest[sharded]`` - reader thread plus the
+worker-pool engine, the fully overlapped pipeline.  An ingest parity gate
+first verifies the ring-buffered feed is bit-identical to the inline feed.
+
 It also measures the batch-aware MST baseline (``--mst-packets`` stream
 prefix): the scalar every-node-every-packet ``update`` loop against the
 vectorized aggregated ``update_batch`` - the number that makes the Figure 5
@@ -52,6 +60,7 @@ from typing import Dict, List
 import numpy as np
 
 from repro.api.specs import AlgorithmSpec
+from repro.core.ingest import RingBufferIngest, rechunk_batches
 from repro.core.rhhh import RHHH
 from repro.core.shard import ShardedHHH
 from repro.eval.reporting import format_table
@@ -60,6 +69,7 @@ from repro.hhh.mst import MST
 from repro.hierarchy.onedim import ipv4_bit_hierarchy, ipv4_byte_hierarchy
 from repro.hierarchy.twodim import ipv4_two_dim_byte_hierarchy
 from repro.traffic.caida_like import named_workload
+from repro.traffic.trace_io import trace_key_array, trace_key_batches, trace_packet_count
 
 HIERARCHIES = {
     "1d-bytes": ipv4_byte_hierarchy,
@@ -97,6 +107,13 @@ def _parse_args(argv=None) -> argparse.Namespace:
     parser.add_argument("--min-array-speedup", type=float, default=None,
                         help="fail (exit 1) if the array-backend batch speedup over the "
                         "update loop is below this")
+    parser.add_argument("--trace", default=None,
+                        help="replay a serialized binary trace (v2 columnar preferred) "
+                        "instead of generating the workload, and additionally measure "
+                        "reader-inline vs ring-buffer-overlapped trace feeds (gated on "
+                        "the ingest-vs-inline parity check)")
+    parser.add_argument("--ingest-depth", type=int, default=4,
+                        help="ring-buffer depth (batches) of the overlapped trace feed")
     parser.add_argument("--shards", type=int, default=0,
                         help="also measure the hash-partitioned process-pool engine with "
                         "this many worker shards (0 = skip)")
@@ -219,6 +236,38 @@ def verify_shard_equivalence(args, hierarchy, keys) -> bool:
     )
 
 
+def _trace_batches(args, hierarchy, limit):
+    """The re-chunked trace batch stream both trace feed paths consume."""
+    return rechunk_batches(
+        trace_key_batches(args.trace, dimensions=hierarchy.dimensions, limit=limit),
+        args.batch_size,
+    )
+
+
+def verify_ingest_equivalence(args, hierarchy) -> bool:
+    """The ring-buffered trace feed must be bit-identical to the inline feed.
+
+    Same trace, same re-chunking, same seed: the only difference is whether
+    the batches cross the bounded ring (reader on a producer thread) or are
+    pulled inline.  Any divergence in counter state or output fails the gate
+    and the benchmark refuses to report overlap numbers.
+    """
+    count = min(args.verify_packets, args.packets)
+    inline = _make(args, hierarchy)
+    overlapped = _make(args, hierarchy)
+    for chunk in _trace_batches(args, hierarchy, count):
+        inline.update_batch(chunk)
+    with RingBufferIngest(_trace_batches(args, hierarchy, count), depth=args.ingest_depth) as ring:
+        for chunk in ring:
+            overlapped.update_batch(chunk)
+    return (
+        inline.total == overlapped.total
+        and inline.ignored_packets == overlapped.ignored_packets
+        and _counter_state(inline) == _counter_state(overlapped)
+        and _output_state(inline, args.theta) == _output_state(overlapped, args.theta)
+    )
+
+
 def verify_mst_equivalence(args, hierarchy, keys) -> bool:
     """Vectorized MST update_batch must be bit-identical to its scalar reference."""
     count = min(args.verify_packets, args.mst_packets, len(keys))
@@ -238,17 +287,31 @@ def verify_mst_equivalence(args, hierarchy, keys) -> bool:
 def main(argv=None) -> int:
     args = _parse_args(argv)
     hierarchy = HIERARCHIES[args.hierarchy]()
-    generator = named_workload(args.workload, num_flows=args.num_flows)
-    if hierarchy.dimensions == 2:
-        key_array = generator.key_array(args.packets)
-        scalar_keys = [(int(s), int(d)) for s, d in key_array]
-        batch_keys = key_array
+    if args.trace:
+        args.packets = min(args.packets, trace_packet_count(args.trace))
+        args.verify_packets = min(args.verify_packets, args.packets)
+        args.mst_packets = min(args.mst_packets, args.packets)
+        batch_keys = trace_key_array(
+            args.trace, dimensions=hierarchy.dimensions, limit=args.packets
+        )
+        if hierarchy.dimensions == 2:
+            scalar_keys = [tuple(row) for row in batch_keys.tolist()]
+        else:
+            scalar_keys = batch_keys.tolist()
+        source = f"trace={args.trace}"
     else:
-        scalar_keys = generator.keys_1d(args.packets)
-        batch_keys = np.asarray(scalar_keys, dtype=np.int64)
+        generator = named_workload(args.workload, num_flows=args.num_flows)
+        if hierarchy.dimensions == 2:
+            key_array = generator.key_array(args.packets)
+            scalar_keys = [(int(s), int(d)) for s, d in key_array]
+            batch_keys = key_array
+        else:
+            scalar_keys = generator.keys_1d(args.packets)
+            batch_keys = np.asarray(scalar_keys, dtype=np.int64)
+        source = f"workload={args.workload} flows={args.num_flows}"
 
     print(
-        f"workload={args.workload} flows={args.num_flows} packets={args.packets:,} "
+        f"{source} packets={args.packets:,} "
         f"hierarchy={args.hierarchy} (H={hierarchy.size}) epsilon={args.epsilon} "
         f"V={args.v_multiplier}*H batch_size={args.batch_size}"
     )
@@ -262,6 +325,12 @@ def main(argv=None) -> int:
         )
     verified["mst"] = verify_mst_equivalence(args, hierarchy, batch_keys)
     print(f"mst batch output bit-identical to sequential reference: {verified['mst']}")
+    if args.trace:
+        verified["ingest"] = verify_ingest_equivalence(args, hierarchy)
+        print(
+            f"ring-buffer trace feed bit-identical to inline trace feed: "
+            f"{verified['ingest']}"
+        )
     if args.shards >= 2:
         verified["sharded"] = verify_shard_equivalence(args, hierarchy, batch_keys)
         print(
@@ -327,6 +396,45 @@ def main(argv=None) -> int:
             elapsed = time.perf_counter() - start
         return elapsed
 
+    def run_trace_inline() -> float:
+        # Read + decode + update alternating on one thread: the honest
+        # replay baseline the overlapped feed is compared against.
+        algorithm = _make(args, hierarchy)
+        update_batch = algorithm.update_batch
+        start = time.perf_counter()
+        for chunk in _trace_batches(args, hierarchy, args.packets):
+            update_batch(chunk)
+        return time.perf_counter() - start
+
+    def run_trace_ingest() -> float:
+        algorithm = _make(args, hierarchy)
+        update_batch = algorithm.update_batch
+        start = time.perf_counter()
+        with RingBufferIngest(
+            _trace_batches(args, hierarchy, args.packets), depth=args.ingest_depth
+        ) as ring:
+            for chunk in ring:
+                update_batch(chunk)
+        return time.perf_counter() - start
+
+    def run_shard_trace_ingest() -> float:
+        # The acceptance measurement: trace reader on the producer thread,
+        # sharded batch engine (worker pool) on the consumer side - the
+        # whole pipeline overlapped end to end.  Worker spawn excluded, as
+        # in run_shard_batch.
+        with ShardedHHH(
+            _shard_spec(args, hierarchy), args.hierarchy, args.shards, parallel=True
+        ) as engine:
+            update_batch = engine.update_batch
+            start = time.perf_counter()
+            with RingBufferIngest(
+                _trace_batches(args, hierarchy, args.packets), depth=args.ingest_depth
+            ) as ring:
+                for chunk in ring:
+                    update_batch(chunk)
+            elapsed = time.perf_counter() - start
+        return elapsed
+
     variants = {
         "update": run_update,
         "update_fast": run_update_fast,
@@ -335,6 +443,11 @@ def main(argv=None) -> int:
         "mst_update": run_mst_update,
         "mst_update_batch": run_mst_batch,
     }
+    if args.trace:
+        variants["trace_inline"] = run_trace_inline
+        variants[f"trace_ingest[depth={args.ingest_depth}]"] = run_trace_ingest
+        if args.shards >= 2:
+            variants[f"trace_ingest[sharded x{args.shards}]"] = run_shard_trace_ingest
     if args.shards >= 2:
         variants[f"update_batch[sharded x{args.shards}]"] = run_shard_batch
     # Interleave the variants so machine noise hits them evenly.
@@ -365,6 +478,22 @@ def main(argv=None) -> int:
     print(f"array-backend batch speedup over update loop:     {array_speedup:.2f}x")
     print(f"array backend vs linked counter (batch path):     {array_vs_linked:.2f}x")
     print(f"MST batch speedup over its scalar O(H) loop:      {mst_speedup:.2f}x")
+    ingest_speedup = None
+    if args.trace:
+        ingest_speedup = (
+            medians["trace_inline"] / medians[f"trace_ingest[depth={args.ingest_depth}]"]
+        )
+        print(
+            f"ring-buffer overlap speedup over inline replay:   {ingest_speedup:.2f}x "
+            f"(depth={args.ingest_depth})"
+        )
+        if args.shards >= 2:
+            sharded_trace = medians[f"trace_ingest[sharded x{args.shards}]"]
+            print(
+                f"overlapped sharded-engine trace throughput:       "
+                f"{args.packets / sharded_trace / 1e3:,.0f} kpps "
+                f"({args.shards} shards + reader thread)"
+            )
     shard_speedup = None
     if args.shards >= 2:
         import os
@@ -389,6 +518,7 @@ def main(argv=None) -> int:
             "array_vs_scalar_counter_batch_ratio": array_vs_linked,
             "mst_batch_speedup": mst_speedup,
             "shard_batch_speedup": shard_speedup,
+            "ingest_overlap_speedup": ingest_speedup,
         }
         with open(args.json, "w") as handle:
             json.dump(payload, handle, indent=2)

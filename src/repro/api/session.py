@@ -38,17 +38,19 @@ from __future__ import annotations
 import time
 import warnings
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Sequence, Union
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.api.registry import build_algorithm, make_hierarchy
 from repro.api.specs import ExperimentSpec
 from repro.core.base import HHHAlgorithm, HHHOutput
+from repro.core.ingest import RingBufferIngest, rechunk_batches
 from repro.core.output import validate_theta
 from repro.exceptions import ConfigurationError, ConfigurationWarning
 from repro.hierarchy.base import Hierarchy
 from repro.traffic.caida_like import named_workload
+from repro.traffic.trace_io import trace_key_array, trace_key_batches, trace_packet_count
 
 #: Progress hook: ``hook(session, processed, total)`` after every fed chunk.
 ProgressHook = Callable[["Session", int, int], None]
@@ -204,29 +206,47 @@ class Session:
     def keys(self) -> Keys:
         """Materialise (and cache) the key stream this session feeds.
 
-        Explicit ``keys`` passed to the constructor win; otherwise the spec's
-        named workload is drawn.  The batch path materialises a numpy key
-        array (the zero-copy route into the vectorized batch engine); the
-        per-packet path materialises plain Python keys.
+        Explicit ``keys`` passed to the constructor win; otherwise a
+        ``spec.trace`` is loaded (key arrays for batch runs - zero-copy
+        memmap views for single-chunk v2 traces - plain Python keys for the
+        per-packet path), and failing both the spec's named workload is
+        drawn.  Note that :meth:`run` on a batch-mode trace spec *streams*
+        the trace instead of materialising it here.
         """
         if self._keys is None:
-            generator = named_workload(self._spec.workload, num_flows=self._spec.num_flows)
-            count = self._spec.packets
-            if self._spec.batch_size is not None:
-                if self._hierarchy.dimensions == 2:
-                    self._keys = generator.key_array(count)
-                else:
-                    # Source column of the generator's array emitter: the
-                    # same stream (and RNG consumption) as keys_1d, without
-                    # materialising a Python list first.
-                    self._keys = np.ascontiguousarray(generator.key_array(count)[:, 0])
+            if self._spec.trace is not None:
+                self._keys = self._load_trace_keys()
             else:
-                self._keys = (
-                    generator.keys_2d(count)
-                    if self._hierarchy.dimensions == 2
-                    else generator.keys_1d(count)
-                )
+                generator = named_workload(self._spec.workload, num_flows=self._spec.num_flows)
+                count = self._spec.packets
+                if self._spec.batch_size is not None:
+                    if self._hierarchy.dimensions == 2:
+                        self._keys = generator.key_array(count)
+                    else:
+                        # Source column of the generator's array emitter: the
+                        # same stream (and RNG consumption) as keys_1d, without
+                        # materialising a Python list first.
+                        self._keys = np.ascontiguousarray(generator.key_array(count)[:, 0])
+                else:
+                    self._keys = (
+                        generator.keys_2d(count)
+                        if self._hierarchy.dimensions == 2
+                        else generator.keys_1d(count)
+                    )
         return self._keys
+
+    def _load_trace_keys(self) -> Keys:
+        """Materialise the spec's trace (capped at ``spec.packets``) as a key stream."""
+        dimensions = self._hierarchy.dimensions
+        arr = trace_key_array(
+            self._spec.trace, dimensions=dimensions, limit=self._spec.packets
+        )
+        if self._spec.batch_size is not None:
+            return arr
+        # Per-packet path: plain Python keys, like the workload emitters.
+        if dimensions == 2:
+            return [tuple(row) for row in arr.tolist()]
+        return arr.tolist()
 
     # ------------------------------------------------------------------ #
     # the feed loop
@@ -299,6 +319,84 @@ class Session:
             hook(self, min(processed, total), total)
 
     # ------------------------------------------------------------------ #
+    # trace streaming
+    # ------------------------------------------------------------------ #
+
+    def feed_batches(self, batches: Iterable[Keys], *, total: Optional[int] = None) -> int:
+        """Drive an iterable of key-array batches through ``update_batch`` inline.
+
+        This is the inline reference the ingest parity gate compares the
+        ring-buffered feed against: batches are applied strictly in iteration
+        order, one ``update_batch`` call each, progress hooks firing after
+        every batch.  Returns the number of packets fed.
+
+        Args:
+            batches: iterable of key arrays (``(n, 2)`` for two-dimensional
+                hierarchies, 1-D otherwise); a
+                :class:`~repro.core.ingest.RingBufferIngest` is itself such
+                an iterable.
+            total: stream length reported to progress hooks; defaults to the
+                running fed count (useful when the iterable's length is
+                unknown).
+        """
+        fed = 0
+        update_batch = self._algorithm.update_batch
+        for batch in batches:
+            n = len(batch)
+            if n == 0:
+                continue
+            update_batch(batch)
+            fed += n
+            self._fire_progress(fed, total if total is not None else fed)
+        return fed
+
+    def feed_trace(self, path: Optional[str] = None, *, ingest: Optional[int] = None) -> int:
+        """Stream a serialized trace through the batch engine; returns packets fed.
+
+        v2 columnar traces replay as zero-copy memmap views re-chunked to the
+        spec's ``batch_size`` (batches never span trace chunks); v1 traces
+        decode per record into the same batch shapes.  With an ingest depth
+        (argument, or ``spec.ingest``) the reader runs on a producer thread
+        overlapped with ``update_batch`` via a bounded ring buffer - the fed
+        batch sequence, and therefore the final algorithm state, is
+        bit-identical to the inline feed.
+
+        Args:
+            path: trace file; defaults to ``spec.trace``.
+            ingest: ring depth override; ``None`` uses ``spec.ingest``
+                (inline when that is also ``None``).
+
+        Raises:
+            ConfigurationError: when no trace path is available or the spec
+                has no ``batch_size`` (per-packet trace runs go through
+                :meth:`run`/:meth:`feed`, which materialise Python keys).
+        """
+        if path is None:
+            path = self._spec.trace
+        if path is None:
+            raise ConfigurationError("feed_trace needs a path (argument or spec.trace)")
+        if self._spec.batch_size is None:
+            raise ConfigurationError(
+                "feed_trace streams through update_batch; set batch_size on the "
+                "spec (per-packet trace runs use run()/feed(), which "
+                "materialise the keys)"
+            )
+        depth = ingest if ingest is not None else self._spec.ingest
+        total = min(trace_packet_count(path), self._spec.packets)
+        batches = rechunk_batches(
+            trace_key_batches(
+                path,
+                dimensions=self._hierarchy.dimensions,
+                limit=self._spec.packets,
+            ),
+            self._spec.batch_size,
+        )
+        if depth is None:
+            return self.feed_batches(batches, total=total)
+        with RingBufferIngest(batches, depth=depth) as ring:
+            return self.feed_batches(ring, total=total)
+
+    # ------------------------------------------------------------------ #
     # queries and runs
     # ------------------------------------------------------------------ #
 
@@ -313,7 +411,33 @@ class Session:
         theta: Optional[float] = None,
         checkpoints: Sequence[int] = (),
     ) -> SessionResult:
-        """Feed the full stream, take the final output, return a :class:`SessionResult`."""
+        """Feed the full stream, take the final output, return a :class:`SessionResult`.
+
+        Batch-mode trace specs stream the trace through :meth:`feed_trace`
+        (zero per-packet Python objects, optional ring-buffer overlap)
+        instead of materialising a key stream; checkpoints are not supported
+        on that streaming path.
+        """
+        if (
+            self._spec.trace is not None
+            and self._spec.batch_size is not None
+            and self._keys is None
+        ):
+            if checkpoints:
+                raise ConfigurationError(
+                    "checkpoints are not supported on streamed trace runs; "
+                    "pass explicit keys to checkpoint a trace stream"
+                )
+            start = time.perf_counter()
+            fed = self.feed_trace()
+            seconds = time.perf_counter() - start
+            return SessionResult(
+                spec=self._spec,
+                output=self.output(theta),
+                packets=fed,
+                seconds=seconds,
+                measurements=[],
+            )
         keys = self.keys()
         start = time.perf_counter()
         measurements = self.feed(keys, checkpoints=checkpoints)

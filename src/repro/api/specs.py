@@ -261,9 +261,21 @@ class ExperimentSpec(_SpecBase):
         algorithm: the algorithm under test.
         hierarchy: registered hierarchy name (e.g. ``"2d-bytes"``).
         workload: named synthetic workload feeding the run (ignored when a
-            :class:`~repro.api.session.Session` is given explicit keys).
+            :class:`~repro.api.session.Session` is given explicit keys or
+            when ``trace`` is set).
+        trace: path to a serialized binary trace (v2 columnar preferred; v1
+            row traces replay with per-packet decode cost) fed instead of the
+            synthetic workload.  Batch runs stream the trace straight into
+            ``update_batch`` as memory-mapped key arrays - no per-packet
+            Python objects.
+        ingest: ring-buffer depth (in batches) of the overlapped ingest stage
+            (:class:`~repro.core.ingest.RingBufferIngest`): trace reading and
+            the batch engine run concurrently, bit-identical to the inline
+            feed.  ``None`` feeds inline; requires ``trace`` and
+            ``batch_size``.
         num_flows: workload flow-population override.
-        packets: stream length.
+        packets: stream length; for trace runs an upper cap - the run feeds
+            ``min(trace packets, packets)``.
         theta: HHH threshold fraction for the final ``output`` call.
         batch_size: feed the stream through ``update_batch`` in chunks of this
             size; ``None`` selects the per-packet path.
@@ -281,6 +293,8 @@ class ExperimentSpec(_SpecBase):
     algorithm: AlgorithmSpec = field(default_factory=AlgorithmSpec)
     hierarchy: str = "2d-bytes"
     workload: str = "chicago16"
+    trace: Optional[str] = None
+    ingest: Optional[int] = None
     num_flows: Optional[int] = None
     packets: int = 100_000
     theta: float = 0.05
@@ -302,6 +316,16 @@ class ExperimentSpec(_SpecBase):
         _check_positive_int("batch_size", self.batch_size)
         _check_positive_int("num_flows", self.num_flows)
         _check_positive_int("shards", self.shards)
+        if self.trace is not None and (not self.trace or not isinstance(self.trace, str)):
+            raise ConfigurationError(f"trace must be a non-empty path string, got {self.trace!r}")
+        _check_positive_int("ingest", self.ingest)
+        if self.ingest is not None:
+            if self.trace is None:
+                raise ConfigurationError("ingest requires a trace to overlap (set trace=...)")
+            if self.batch_size is None:
+                raise ConfigurationError(
+                    "ingest overlaps the batch feed; set batch_size alongside ingest"
+                )
         if not isinstance(self.shard_parallel, bool):
             raise ConfigurationError(
                 f"shard_parallel must be a bool, got {self.shard_parallel!r}"

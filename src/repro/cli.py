@@ -1,6 +1,6 @@
 """Command-line interface of the reproduction.
 
-Four sub-commands cover the common workflows without writing any Python:
+Five sub-commands cover the common workflows without writing any Python:
 
 ``detect``
     run one HHH algorithm over a synthetic workload (or a serialized trace)
@@ -9,13 +9,18 @@ Four sub-commands cover the common workflows without writing any Python:
 
 ``run``
     execute a JSON experiment spec (the declarative twin of ``detect``);
+    ``--trace``/``--ingest`` override the spec's trace replay settings;
 
 ``compare``
     run several algorithms over the same stream and print speed + quality
     against the exact ground truth;
 
 ``figure``
-    regenerate one of the paper's figures and print its table.
+    regenerate one of the paper's figures and print its table;
+
+``trace``
+    manage serialized traces: ``generate`` a v2 columnar trace from a named
+    workload, ``convert`` between csv/v1/v2, ``inspect`` a file's layout.
 
 Examples::
 
@@ -24,6 +29,9 @@ Examples::
     python -m repro.cli run --spec experiment.json
     python -m repro.cli compare --algorithms rhhh mst --packets 50000
     python -m repro.cli figure --name fig6
+    python -m repro.cli trace generate trace.v2 --workload sanjose14 --packets 500000
+    python -m repro.cli trace convert old_trace.bin trace.v2
+    python -m repro.cli detect --trace trace.v2 --batch-size 65536 --ingest 4
 
 The CLI is a thin veneer over :mod:`repro.api`: algorithm and hierarchy
 choices come from the plugin registries, and every execution path goes
@@ -33,9 +41,11 @@ through :class:`~repro.api.session.Session`.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import functools
 import sys
-from typing import List, Optional, Sequence
+from pathlib import Path
+from typing import Optional, Sequence
 
 from repro.api.registry import algorithm_names, counter_names, hierarchy_names, make_hierarchy
 from repro.api.session import Session, SessionResult
@@ -46,8 +56,18 @@ from repro.eval.ground_truth import GroundTruth
 from repro.eval.metrics import evaluate_output
 from repro.eval.reporting import format_table
 from repro.exceptions import ReproError
-from repro.traffic.caida_like import WORKLOADS
-from repro.traffic.trace_io import read_trace_binary
+from repro.traffic.caida_like import WORKLOADS, named_workload
+from repro.traffic.trace_io import (
+    DEFAULT_TRACE_CHUNK,
+    TraceV2Writer,
+    inspect_trace,
+    read_trace_binary,
+    read_trace_csv,
+    trace_version,
+    write_trace_binary,
+    write_trace_csv,
+    write_trace_v2,
+)
 
 #: Hierarchy constructors, keyed by registry name (kept as a dict for
 #: backwards compatibility; the source of truth is the repro.api registry).
@@ -82,6 +102,14 @@ def _build_parser() -> argparse.ArgumentParser:
     run = subparsers.add_parser("run", help="execute a JSON experiment spec")
     run.add_argument("--spec", required=True, help="path to an ExperimentSpec JSON file ('-' for stdin)")
     run.add_argument("--theta", type=float, default=None, help="override the spec's theta")
+    run.add_argument("--trace", default=None, help="override the spec's trace file")
+    run.add_argument(
+        "--ingest",
+        type=int,
+        default=None,
+        help="override the spec's ingest ring depth (overlap trace reading "
+        "with the batch engine)",
+    )
 
     compare = subparsers.add_parser("compare", help="compare several algorithms on the same stream")
     _add_stream_arguments(compare)
@@ -96,12 +124,57 @@ def _build_parser() -> argparse.ArgumentParser:
     figure = subparsers.add_parser("figure", help="regenerate one of the paper's figures")
     figure.add_argument("--name", required=True, choices=sorted(FIGURES))
 
+    trace = subparsers.add_parser("trace", help="generate, convert and inspect serialized traces")
+    trace_commands = trace.add_subparsers(dest="trace_command", required=True)
+
+    generate = trace_commands.add_parser(
+        "generate", help="draw a named workload once and save it as a trace"
+    )
+    generate.add_argument("output", help="trace file to write")
+    generate.add_argument("--workload", default="chicago16", choices=sorted(WORKLOADS))
+    generate.add_argument("--packets", type=int, default=500_000)
+    generate.add_argument("--num-flows", type=int, default=None)
+    generate.add_argument(
+        "--format", default="v2", choices=("v2", "v1", "csv"), help="output format (default: v2 columnar)"
+    )
+    generate.add_argument(
+        "--chunk-size",
+        type=int,
+        default=DEFAULT_TRACE_CHUNK,
+        help="packets per v2 chunk (v2 only)",
+    )
+
+    convert = trace_commands.add_parser(
+        "convert", help="convert a trace between csv, v1 rows and v2 columnar"
+    )
+    convert.add_argument("input", help="source trace (csv or binary; format auto-detected)")
+    convert.add_argument("output", help="destination trace file")
+    convert.add_argument(
+        "--format", default="v2", choices=("v2", "v1", "csv"), help="output format (default: v2 columnar)"
+    )
+    convert.add_argument(
+        "--chunk-size",
+        type=int,
+        default=DEFAULT_TRACE_CHUNK,
+        help="packets per v2 chunk (v2 only)",
+    )
+
+    inspect = trace_commands.add_parser("inspect", help="print a binary trace's layout summary")
+    inspect.add_argument("path", help="trace file to inspect")
+
     return parser
 
 
 def _add_stream_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workload", default="chicago16", choices=sorted(WORKLOADS))
     parser.add_argument("--trace", help="read packets from a binary trace instead of a synthetic workload")
+    parser.add_argument(
+        "--ingest",
+        type=int,
+        default=None,
+        help="ring-buffer depth overlapping trace reading with the batch "
+        "engine (requires --trace and --batch-size; default: inline feed)",
+    )
     parser.add_argument("--packets", type=int, default=100_000)
     parser.add_argument("--hierarchy", default="2d-bytes", choices=hierarchy_names())
     parser.add_argument("--epsilon", type=float, default=0.05)
@@ -147,6 +220,8 @@ def _spec_from_args(args: argparse.Namespace, algorithm: str, theta: float) -> E
             ),
             hierarchy=args.hierarchy,
             workload=args.workload,
+            trace=args.trace,
+            ingest=args.ingest,
             packets=args.packets,
             theta=theta,
             batch_size=args.batch_size,
@@ -154,14 +229,6 @@ def _spec_from_args(args: argparse.Namespace, algorithm: str, theta: float) -> E
         )
     except ReproError as exc:
         raise SystemExit(str(exc)) from None
-
-
-def _trace_keys(args: argparse.Namespace, dimensions: int) -> Optional[List]:
-    """Materialise keys from a binary trace, or None for synthetic workloads."""
-    if not args.trace:
-        return None
-    packets = list(read_trace_binary(args.trace))[: args.packets]
-    return [p.key_1d() if dimensions == 1 else p.key_2d() for p in packets]
 
 
 def _check_batch_size(batch_size) -> None:
@@ -194,14 +261,11 @@ def _print_detection(result: SessionResult, *, algorithm: str, hierarchy: str, t
 def _command_detect(args: argparse.Namespace) -> int:
     spec = _spec_from_args(args, args.algorithm, args.theta)
     if args.print_spec:
-        if args.trace:
-            # A spec names a synthetic workload; it cannot encode a trace
-            # file, so printing one here would silently change the stream.
-            raise SystemExit("--print-spec cannot express --trace runs; specs name synthetic workloads")
+        # Specs carry trace paths since the trace/ingest fields landed, so
+        # --print-spec round-trips --trace runs too.
         print(spec.to_json())
         return 0
-    hierarchy = make_hierarchy(spec.hierarchy)
-    with Session(spec, hierarchy=hierarchy, keys=_trace_keys(args, hierarchy.dimensions)) as session:
+    with Session(spec) as session:
         result = session.run()
     _print_detection(result, algorithm=spec.algorithm.name, hierarchy=spec.hierarchy, theta=spec.theta)
     return 0
@@ -215,6 +279,12 @@ def _command_run(args: argparse.Namespace) -> int:
             with open(args.spec) as handle:
                 text = handle.read()
         spec = ExperimentSpec.from_json(text)
+        if args.trace is not None or args.ingest is not None:
+            spec = dataclasses.replace(
+                spec,
+                trace=args.trace if args.trace is not None else spec.trace,
+                ingest=args.ingest if args.ingest is not None else spec.ingest,
+            )
         with Session(spec) as session:
             result = session.run(theta=args.theta)
     except OSError as exc:
@@ -239,11 +309,19 @@ def _command_run(args: argparse.Namespace) -> int:
 
 def _command_compare(args: argparse.Namespace) -> int:
     _check_batch_size(args.batch_size)
+    if args.ingest is not None:
+        # compare materialises the stream once and shares it across the
+        # algorithms (same packets for a fair comparison), so there is no
+        # streaming feed to overlap; accepting the flag would silently
+        # report non-overlapped numbers as overlapped.
+        raise SystemExit(
+            "--ingest does not apply to compare (the stream is materialised "
+            "once and shared); use detect or run for overlapped trace replay"
+        )
     hierarchy = make_hierarchy(args.hierarchy)
-    trace_keys = _trace_keys(args, hierarchy.dimensions)
     rows = []
     truth: Optional[GroundTruth] = None
-    keys = trace_keys
+    keys = None  # materialised by the first session (trace- and spec-aware)
     packets = 0
     for name in args.algorithms:
         spec = _spec_from_args(args, name, args.theta)
@@ -288,6 +366,73 @@ def _command_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_packets(path: str, packets, fmt: str, chunk_size: int) -> int:
+    """Write a packet iterable in the requested trace format."""
+    if fmt == "v2":
+        return write_trace_v2(path, packets, chunk_size=chunk_size)
+    if fmt == "v1":
+        return write_trace_binary(path, packets)
+    return write_trace_csv(path, packets)
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    try:
+        if args.trace_command == "generate":
+            generator = named_workload(args.workload, num_flows=args.num_flows)
+            if args.format == "v2":
+                # Vectorized route: the key-array emitter feeds whole columnar
+                # chunks, never materialising per-packet objects.
+                with TraceV2Writer(args.output, chunk_size=args.chunk_size) as writer:
+                    count = writer.key_batches_from(
+                        generator.key_batches(args.packets, args.chunk_size)
+                    )
+            else:
+                count = _write_packets(
+                    args.output, generator.packets(args.packets), args.format, args.chunk_size
+                )
+            print(f"wrote {count:,} packets ({args.workload}, {args.format}) to {args.output}")
+            return 0
+        if args.trace_command == "convert":
+            if Path(args.input).resolve() == Path(args.output).resolve():
+                # The reader memory-maps the input while the writer would
+                # truncate it: in-place conversion destroys the trace.
+                print("error: input and output are the same file; convert to a new path",
+                      file=sys.stderr)
+                return 1
+            try:
+                trace_version(args.input)
+                is_binary = True
+            except ReproError:
+                is_binary = False  # no RHHH magic: try CSV below
+            if is_binary:
+                # A recognized binary trace that fails to read (truncation,
+                # corruption) must surface its real error, not be re-parsed
+                # as CSV.
+                packets = read_trace_binary(args.input)
+            else:
+                packets = iter(read_trace_csv(args.input))
+            count = _write_packets(args.output, packets, args.format, args.chunk_size)
+            print(f"converted {count:,} packets to {args.format}: {args.output}")
+            return 0
+        summary = inspect_trace(args.path)
+        for key, value in summary.items():
+            if key == "chunk_packets":
+                preview = ", ".join(str(v) for v in value[:8])
+                more = f", ... ({len(value)} chunks)" if len(value) > 8 else ""
+                print(f"{key:>17}: [{preview}{more}]")
+            elif isinstance(value, float):
+                print(f"{key:>17}: {value:.2f}")
+            else:
+                print(f"{key:>17}: {value}")
+        return 0
+    except UnicodeDecodeError:
+        print("error: input is neither a binary trace nor CSV text", file=sys.stderr)
+        return 1
+    except (OSError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -299,6 +444,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_compare(args)
     if args.command == "figure":
         return _command_figure(args)
+    if args.command == "trace":
+        return _command_trace(args)
     return 2  # unreachable: argparse enforces the choices
 
 

@@ -18,7 +18,8 @@ The public entry points are:
 
 from repro.core.base import HHHAlgorithm, HHHCandidate
 from repro.core.config import RHHHConfig
-from repro.core.output import calc_pred, conditioned_frequency_estimate, lattice_output
+from repro.core.ingest import DEFAULT_RING_DEPTH, RingBufferIngest, rechunk_batches
+from repro.core.output import SelectedIndex, calc_pred, conditioned_frequency_estimate, lattice_output
 from repro.core.rhhh import RHHH
 
 __all__ = [
@@ -26,6 +27,10 @@ __all__ = [
     "HHHCandidate",
     "RHHHConfig",
     "RHHH",
+    "RingBufferIngest",
+    "DEFAULT_RING_DEPTH",
+    "rechunk_batches",
+    "SelectedIndex",
     "ShardedHHH",
     "calc_pred",
     "conditioned_frequency_estimate",

@@ -1,0 +1,214 @@
+"""Overlapped trace ingest: a bounded ring buffer between reader and engine.
+
+The batch engine made the per-packet *measurement* cost O(1), but a replay
+loop still alternates ``read batch -> update_batch -> read batch``: while the
+engine crunches one batch the reader sits idle and vice versa.  This module
+overlaps the two with a classic bounded producer/consumer stage:
+
+* the **producer** is a daemon thread draining any batch iterable (typically
+  :func:`repro.traffic.trace_io.trace_key_batches`, whose v2 path yields
+  zero-copy memmap views - the thread does the page faults, decoding and
+  re-chunking off the consumer's critical path);
+* the **ring** is a fixed array of ``depth`` slots guarded by one lock and
+  two condition variables; a full ring blocks the producer (backpressure - at
+  most ``depth`` batches are ever in flight, so memory stays bounded no
+  matter how fast the reader is);
+* the **consumer** is whoever iterates the :class:`RingBufferIngest` -
+  :meth:`repro.api.session.Session.feed_batches` in the wired-up pipeline.
+
+Shutdown semantics, which the differential ingest-parity suite pins:
+
+* **exhaustion**: the producer finishes, the consumer drains the remaining
+  slots, iteration ends - the consumed batch sequence is *identical* to
+  iterating the source inline;
+* **producer error**: the exception is captured, all batches produced before
+  it are still delivered in order, then the original exception is re-raised
+  in the consumer (so a half-fed algorithm state matches an inline feed of
+  the same prefix);
+* **early close**: :meth:`close` (or leaving the ``with`` block) wakes a
+  blocked producer, which stops without reading further; the thread is
+  joined.  Iterating after an early close raises
+  :class:`~repro.exceptions.IngestError` rather than silently truncating the
+  stream.
+
+Because the payloads are numpy arrays handed over by reference, the stage
+copies nothing; the GIL is released during the producer's memmap page faults
+and numpy slicing, which is where the overlap gain comes from.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Generic, Iterable, Iterator, Optional, TypeVar
+
+from repro.exceptions import ConfigurationError, IngestError
+
+T = TypeVar("T")
+
+#: Default ring depth: enough slots that a bursty consumer never starves,
+#: small enough that in-flight batches stay a few MB.
+DEFAULT_RING_DEPTH = 4
+
+
+def rechunk_batches(batches: Iterable, batch_size: Optional[int] = None) -> Iterator:
+    """Slice an iterable of array batches into pieces of at most ``batch_size``.
+
+    Re-chunking only slices (views, no copies) and never merges across source
+    batches, so trace-chunk boundaries also cut feed batches - a documented
+    property the ingest parity gate relies on: inline and ring-buffered feeds
+    of the same source see byte-identical batch sequences.  ``None`` passes
+    the source batches through unchanged.
+    """
+    if batch_size is None:
+        yield from batches
+        return
+    if batch_size < 1:
+        raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+    for batch in batches:
+        for lo in range(0, len(batch), batch_size):
+            yield batch[lo : lo + batch_size]
+
+
+class RingBufferIngest(Generic[T]):
+    """Bounded single-producer/single-consumer ring over a batch iterable.
+
+    Args:
+        source: the batch iterable to drain; consumed on a daemon thread that
+            starts immediately (prefetch begins before the first ``next``).
+        depth: ring capacity in batches; the producer blocks when the ring is
+            full (backpressure).
+
+    Iterate the instance to consume; use it as a context manager (or call
+    :meth:`close`) to guarantee the producer thread is stopped and joined
+    even when the consumer abandons the stream early.
+    """
+
+    def __init__(self, source: Iterable[T], *, depth: int = DEFAULT_RING_DEPTH) -> None:
+        if depth < 1:
+            raise ConfigurationError(f"ring depth must be >= 1, got {depth}")
+        self._depth = depth
+        self._slots: list = [None] * depth
+        self._head = 0
+        self._tail = 0
+        self._count = 0
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._closed = False
+        self._done = False
+        self._error: Optional[BaseException] = None
+        self._produced = 0
+        self._consumed = 0
+        self._source = source
+        self._thread = threading.Thread(
+            target=self._produce, name="trace-ingest", daemon=True
+        )
+        self._thread.start()
+
+    # introspection ------------------------------------------------------ #
+
+    @property
+    def depth(self) -> int:
+        """Ring capacity in batches."""
+        return self._depth
+
+    @property
+    def produced(self) -> int:
+        """Batches the producer has placed into the ring so far."""
+        with self._lock:
+            return self._produced
+
+    @property
+    def consumed(self) -> int:
+        """Batches the consumer has taken out of the ring so far."""
+        with self._lock:
+            return self._consumed
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run."""
+        with self._lock:
+            return self._closed
+
+    # producer ----------------------------------------------------------- #
+
+    def _produce(self) -> None:
+        try:
+            for item in self._source:
+                if not self._offer(item):
+                    return  # closed while we were blocked: stop reading
+        except BaseException as exc:  # noqa: BLE001 - delivered to the consumer
+            with self._lock:
+                self._error = exc
+                self._not_empty.notify_all()
+        finally:
+            with self._lock:
+                self._done = True
+                self._not_empty.notify_all()
+
+    def _offer(self, item: T) -> bool:
+        with self._not_full:
+            while self._count == self._depth and not self._closed:
+                self._not_full.wait()
+            if self._closed:
+                return False
+            self._slots[self._tail] = item
+            self._tail = (self._tail + 1) % self._depth
+            self._count += 1
+            self._produced += 1
+            self._not_empty.notify()
+            return True
+
+    # consumer ----------------------------------------------------------- #
+
+    def __iter__(self) -> Iterator[T]:
+        return self
+
+    def __next__(self) -> T:
+        with self._not_empty:
+            while True:
+                if self._count:
+                    item = self._slots[self._head]
+                    self._slots[self._head] = None  # drop the reference promptly
+                    self._head = (self._head + 1) % self._depth
+                    self._count -= 1
+                    self._consumed += 1
+                    self._not_full.notify()
+                    return item
+                if self._closed:
+                    raise IngestError(
+                        "reading from a closed ingest ring (close() ran before "
+                        "the stream was drained)"
+                    )
+                if self._error is not None:
+                    raise self._error
+                if self._done:
+                    raise StopIteration
+                self._not_empty.wait()
+
+    # lifecycle ---------------------------------------------------------- #
+
+    def close(self, *, timeout: float = 5.0) -> None:
+        """Stop the producer and release the ring; idempotent.
+
+        Safe to call mid-stream: a producer blocked on a full ring wakes up
+        and exits without reading further from the source.  The producer
+        thread is joined (bounded by ``timeout``; it is a daemon thread, so a
+        source stuck in IO cannot hang interpreter exit either).
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            # Drop buffered references so memmap views don't pin the file.
+            self._slots = [None] * self._depth
+            self._head = self._tail = self._count = 0
+            self._not_full.notify_all()
+            self._not_empty.notify_all()
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "RingBufferIngest[T]":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -10,7 +10,7 @@ deterministic baselines).
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.base import HHHCandidate, HHHOutput
 from repro.exceptions import ConfigurationError
@@ -19,6 +19,102 @@ from repro.hierarchy.base import Hierarchy, PrefixKey
 
 #: A function mapping an internal ``(node, value)`` prefix to a frequency bound.
 BoundFn = Callable[[PrefixKey], float]
+
+
+class SelectedIndex:
+    """Masked-value index of selected HHH prefixes for fast ``G(p|P)`` queries.
+
+    ``Hierarchy.closest_descendants`` scans the *whole* selected set (one
+    ``is_proper_ancestor`` each) for every candidate prefix, which makes the
+    Output procedure quadratic in the candidate count - painful at small
+    theta, where hundreds of prefixes pass the threshold.  This index caps
+    that scan two ways:
+
+    * selected prefixes are grouped by lattice node, and a query skips whole
+      groups whose node cannot be generalized to the query node at all
+      (node-to-node reachability is value-independent by the
+      :meth:`~repro.hierarchy.base.Hierarchy.generalize_prefix` contract -
+      ``None`` means the *nodes* are incomparable - so one probe per node
+      pair is cached);
+    * within a reachable group, candidates are bucketed by their value masked
+      to the query node, built lazily once per ``(candidate node, query
+      node)`` pair and kept current by :meth:`add`.  A prefix ``p``
+      generalizes exactly the candidates in the bucket of ``p``'s own value,
+      so each query is one dict lookup per reachable node instead of a pass
+      over every selected prefix.
+
+    Results are returned in selection (insertion) order - exactly the order
+    the unindexed reference produces - so the floating-point summations in
+    ``calc_pred`` are bit-identical to the reference; the parity tests pin
+    this.
+    """
+
+    def __init__(self, hierarchy: Hierarchy) -> None:
+        self._hierarchy = hierarchy
+        self._by_node: Dict[int, List[Tuple[int, PrefixKey]]] = {}
+        self._order = 0
+        #: (candidate node, query node) -> can any prefix at candidate node be
+        #: masked to query node?
+        self._node_reaches: Dict[Tuple[int, int], bool] = {}
+        #: (candidate node, query node) -> {masked value: [(order, prefix)]}
+        self._masked: Dict[Tuple[int, int], Dict] = {}
+
+    def __len__(self) -> int:
+        return self._order
+
+    def add(self, prefix: PrefixKey) -> None:
+        """Record a newly selected prefix (and refresh the lazy mask buckets)."""
+        node = prefix[0]
+        entry = (self._order, prefix)
+        self._by_node.setdefault(node, []).append(entry)
+        self._order += 1
+        for (candidate_node, query_node), buckets in self._masked.items():
+            if candidate_node == node:
+                masked = self._hierarchy.generalize_prefix(prefix, query_node)
+                buckets.setdefault(masked, []).append(entry)
+
+    def _buckets(self, candidate_node: int, query_node: int) -> Dict:
+        """The masked-value buckets of one reachable node pair (built lazily)."""
+        pair = (candidate_node, query_node)
+        buckets = self._masked.get(pair)
+        if buckets is None:
+            buckets = {}
+            generalize_prefix = self._hierarchy.generalize_prefix
+            for entry in self._by_node[candidate_node]:
+                buckets.setdefault(generalize_prefix(entry[1], query_node), []).append(entry)
+            self._masked[pair] = buckets
+        return buckets
+
+    def closest_descendants(self, prefix: PrefixKey) -> List[PrefixKey]:
+        """``G(prefix | selected)``, identical to the unindexed reference.
+
+        Equivalent to ``hierarchy.closest_descendants(prefix, selected)`` with
+        ``selected`` in insertion order, but resolved through the node-pair
+        reachability cache and the masked-value buckets.
+        """
+        node, value = prefix
+        hierarchy = self._hierarchy
+        reaches = self._node_reaches
+        below: List[Tuple[int, PrefixKey]] = []
+        for candidate_node, entries in self._by_node.items():
+            compatible = reaches.get((candidate_node, node))
+            if compatible is None:
+                compatible = hierarchy.generalize_prefix(entries[0][1], node) is not None
+                reaches[(candidate_node, node)] = compatible
+            if not compatible:
+                continue
+            for entry in self._buckets(candidate_node, node).get(value, ()):
+                if entry[1] != prefix:
+                    below.append(entry)
+        below.sort()
+        candidates = [candidate for _, candidate in below]
+        return [
+            c
+            for c in candidates
+            if not any(
+                other != c and hierarchy.is_proper_ancestor(other, c) for other in candidates
+            )
+        ]
 
 
 def validate_theta(theta: float) -> float:
@@ -66,6 +162,16 @@ def calc_pred(
         the (usually negative) adjustment ``R`` to add to ``f^+_p``.
     """
     closest = hierarchy.closest_descendants(prefix, selected)
+    return _pred_from_closest(hierarchy, closest, lower_bound, upper_bound)
+
+
+def _pred_from_closest(
+    hierarchy: Hierarchy,
+    closest: Sequence[PrefixKey],
+    lower_bound: BoundFn,
+    upper_bound: BoundFn,
+) -> float:
+    """The adjustment ``R`` given an already-computed ``G(p|P)`` set."""
     result = 0.0
     for h in closest:
         result -= lower_bound(h)
@@ -104,6 +210,7 @@ def lattice_output(
     *,
     scale: float = 1.0,
     correction: float = 0.0,
+    use_index: bool = True,
 ) -> HHHOutput:
     """Run the Output procedure over a per-lattice-node array of counter summaries.
 
@@ -120,6 +227,11 @@ def lattice_output(
         scale: multiplier converting raw counter values to stream-level
             frequencies (``V`` for RHHH, 1 for MST).
         correction: additive sampling-error compensation in stream-level units.
+        use_index: resolve ``G(p|P)`` through a :class:`SelectedIndex`
+            (default) instead of the unindexed
+            ``hierarchy.closest_descendants`` scan; both produce bit-identical
+            outputs (the parity tests pin this) - the flag exists so the
+            reference path stays exercised and comparable.
 
     Returns:
         an :class:`~repro.core.base.HHHOutput` with the selected candidates.
@@ -139,15 +251,24 @@ def lattice_output(
         return counters[node].lower_bound(value) * scale
 
     selected: List[PrefixKey] = []
+    index: Optional[SelectedIndex] = SelectedIndex(hierarchy) if use_index else None
     candidates: List[HHHCandidate] = []
     for node in hierarchy.output_order():
         for value in list(counters[node]):
             prefix: PrefixKey = (node, value)
-            estimate = conditioned_frequency_estimate(
-                hierarchy, prefix, selected, lower, upper, correction
-            )
+            if index is not None:
+                closest = index.closest_descendants(prefix)
+                estimate = upper(prefix) + _pred_from_closest(
+                    hierarchy, closest, lower, upper
+                ) + correction
+            else:
+                estimate = conditioned_frequency_estimate(
+                    hierarchy, prefix, selected, lower, upper, correction
+                )
             if estimate >= threshold:
                 selected.append(prefix)
+                if index is not None:
+                    index.add(prefix)
                 candidates.append(
                     HHHCandidate(
                         prefix=hierarchy.to_prefix(prefix),

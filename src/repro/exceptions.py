@@ -29,6 +29,10 @@ class TraceFormatError(ReproError):
     """A serialized trace file is malformed or truncated."""
 
 
+class IngestError(ReproError):
+    """The overlapped ingest stage was driven incorrectly (e.g. reading a closed ring)."""
+
+
 class SwitchError(ReproError):
     """The simulated virtual switch was configured or driven incorrectly."""
 

@@ -27,7 +27,22 @@ from repro.traffic.zipf import (
 )
 from repro.traffic.caida_like import BackboneTraceGenerator, named_workload, WORKLOADS
 from repro.traffic.ddos import DDoSScenario
-from repro.traffic.trace_io import write_trace_csv, read_trace_csv, write_trace_binary, read_trace_binary
+from repro.traffic.trace_io import (
+    DEFAULT_TRACE_CHUNK,
+    TraceChunk,
+    TraceReader,
+    TraceV2Writer,
+    inspect_trace,
+    read_trace_binary,
+    read_trace_csv,
+    trace_key_array,
+    trace_key_batches,
+    trace_packet_count,
+    trace_version,
+    write_trace_binary,
+    write_trace_csv,
+    write_trace_v2,
+)
 from repro.traffic.streams import take, chunked, interleave, stream_stats, StreamStats
 
 __all__ = [
@@ -44,6 +59,16 @@ __all__ = [
     "read_trace_csv",
     "write_trace_binary",
     "read_trace_binary",
+    "write_trace_v2",
+    "TraceV2Writer",
+    "TraceReader",
+    "TraceChunk",
+    "DEFAULT_TRACE_CHUNK",
+    "trace_version",
+    "trace_packet_count",
+    "trace_key_array",
+    "trace_key_batches",
+    "inspect_trace",
     "take",
     "chunked",
     "interleave",

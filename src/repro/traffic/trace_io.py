@@ -1,10 +1,35 @@
-"""Trace serialization: a CSV format for human inspection and a packed binary format for bulk IO.
+"""Trace serialization: CSV for human inspection, and two binary formats for bulk IO.
 
-The binary format is a 16-byte header (magic, version, packet count) followed
-by one 14-byte record per packet (src, dst as 32-bit, ports as 16-bit,
-protocol as 8-bit, size as 8-bit scaled /16); it exists so large synthetic
-traces can be generated once and replayed by the benchmarks without paying
-generation cost every run.
+Three on-disk layouts share the ``RHHH`` magic:
+
+* **v1 (row binary)** - a 16-byte header followed by one packed 14-byte record
+  per packet.  Replay decodes every record into a Python
+  :class:`~repro.traffic.packet.Packet`, so the reader costs O(1) Python work
+  *per packet* - fine for small traces, hopeless for honest throughput
+  benchmarks.
+* **v2 (columnar binary)** - a 20-byte preamble followed by chunks; each chunk
+  stores its packets as six contiguous per-field columns (src, dst, src_port,
+  dst_port, protocol, size).  A v2 file is replayed through one
+  ``numpy.memmap``: the reader hands the batch engine ``(n, 2)`` key-array
+  *views* straight into the mapped file - the source and destination columns
+  are adjacent on disk precisely so a transposed reshape yields the key pairs
+  without copying - and the size column doubles as a per-packet weight
+  vector.  Zero per-packet Python objects are materialised on this path.
+* **CSV** - one packet per row with a header line, for eyeballing and
+  interchange.
+
+v2 layout, all little-endian::
+
+    preamble : magic "RHHH" | version u32 = 2 | packet_count u64 | chunk_count u32
+    chunk    : magic "CHNK" | n u32
+               src u32[n] | dst u32[n] | src_port u16[n] | dst_port u16[n]
+               | protocol u8[n] | size u16[n]
+
+Chunks bound the writer's memory (it streams from any packet iterable and
+patches the preamble counts on close) and give the reader natural replay
+batches.  Every reader entry point validates magic, version, counts and byte
+lengths eagerly and raises :class:`~repro.exceptions.TraceFormatError` - a
+truncated or corrupted file never surfaces as a bare ``struct.error``.
 """
 
 from __future__ import annotations
@@ -12,17 +37,45 @@ from __future__ import annotations
 import csv
 import struct
 from pathlib import Path
-from typing import Iterable, Iterator, List, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
-from repro.exceptions import TraceFormatError
+import numpy as np
+
+from repro.exceptions import ConfigurationError, TraceFormatError
 from repro.traffic.packet import Packet
 
 _MAGIC = b"RHHH"
-_VERSION = 1
-_HEADER = struct.Struct("<4sIQ")
-_RECORD = struct.Struct("<IIHHBB")
+_VERSION_V1 = 1
+_VERSION_V2 = 2
+_MAGIC_VERSION = struct.Struct("<4sI")
+_HEADER = struct.Struct("<4sIQ")  # v1: magic, version, packet count
+_RECORD = struct.Struct("<IIHHBB")  # v1 row: src, dst, ports, proto, size/16
+_PREAMBLE = struct.Struct("<4sIQI")  # v2: magic, version, packet count, chunk count
+_CHUNK_MAGIC = b"CHNK"
+_CHUNK_HEADER = struct.Struct("<4sI")  # v2 chunk: magic, packet count
+
+#: v2 column order and storage dtypes; src and dst are deliberately first and
+#: adjacent so the reader can view them as one ``(n, 2)`` key array in place.
+V2_FIELDS: Tuple[Tuple[str, str], ...] = (
+    ("src", "<u4"),
+    ("dst", "<u4"),
+    ("src_port", "<u2"),
+    ("dst_port", "<u2"),
+    ("protocol", "<u1"),
+    ("size", "<u2"),
+)
+_V2_ROW_BYTES = sum(np.dtype(dtype).itemsize for _, dtype in V2_FIELDS)
+
+#: Default packets per v2 chunk: large enough that per-chunk overhead
+#: vanishes, small enough that the writer's buffer stays a few MB.
+DEFAULT_TRACE_CHUNK = 65_536
 
 PathLike = Union[str, Path]
+
+
+# --------------------------------------------------------------------------- #
+# CSV
+# --------------------------------------------------------------------------- #
 
 
 def write_trace_csv(path: PathLike, packets: Iterable[Packet]) -> int:
@@ -64,8 +117,18 @@ def read_trace_csv(path: PathLike) -> List[Packet]:
     return packets
 
 
+# --------------------------------------------------------------------------- #
+# v1 row binary
+# --------------------------------------------------------------------------- #
+
+
 def write_trace_binary(path: PathLike, packets: Iterable[Packet]) -> int:
-    """Write packets to the packed binary format; returns the number of packets written."""
+    """Write packets to the v1 packed row format; returns the number written.
+
+    Kept for compatibility (and as the corruption-test fixture format); new
+    traces should use :func:`write_trace_v2`, whose columnar layout replays
+    without per-packet decoding.
+    """
     records = []
     for packet in packets:
         records.append(
@@ -79,27 +142,57 @@ def write_trace_binary(path: PathLike, packets: Iterable[Packet]) -> int:
             )
         )
     with open(path, "wb") as handle:
-        handle.write(_HEADER.pack(_MAGIC, _VERSION, len(records)))
+        handle.write(_HEADER.pack(_MAGIC, _VERSION_V1, len(records)))
         handle.write(b"".join(records))
     return len(records)
 
 
+def trace_version(path: PathLike) -> int:
+    """Return the format version of a binary trace file.
+
+    Raises:
+        TraceFormatError: when the file is shorter than the magic+version
+            prefix or does not carry the ``RHHH`` magic.
+    """
+    with open(path, "rb") as handle:
+        prefix = handle.read(_MAGIC_VERSION.size)
+    if len(prefix) != _MAGIC_VERSION.size:
+        raise TraceFormatError(f"{path}: truncated header")
+    magic, version = _MAGIC_VERSION.unpack(prefix)
+    if magic != _MAGIC:
+        raise TraceFormatError(f"{path}: bad magic {magic!r}")
+    return version
+
+
 def read_trace_binary(path: PathLike) -> Iterator[Packet]:
-    """Stream packets back from the packed binary format.
+    """Stream packets back from either binary format (version auto-detected).
+
+    The header is validated *eagerly* - a bad magic, unsupported version or
+    truncated header raises before the returned iterator is ever advanced
+    (the old lazy-generator behaviour deferred even the magic check to the
+    first ``next()``).
 
     Raises:
         TraceFormatError: on a bad magic number, unsupported version or a
-            truncated file.
+            truncated file (header or records).
     """
-    with open(path, "rb") as handle:
-        header = handle.read(_HEADER.size)
+    version = trace_version(path)
+    if version == _VERSION_V1:
+        with open(path, "rb") as handle:
+            header = handle.read(_HEADER.size)
         if len(header) != _HEADER.size:
             raise TraceFormatError(f"{path}: truncated header")
-        magic, version, count = _HEADER.unpack(header)
-        if magic != _MAGIC:
-            raise TraceFormatError(f"{path}: bad magic {magic!r}")
-        if version != _VERSION:
-            raise TraceFormatError(f"{path}: unsupported version {version}")
+        _, _, count = _HEADER.unpack(header)
+        return _iter_v1_records(path, count)
+    if version == _VERSION_V2:
+        return TraceReader(path).packets()
+    raise TraceFormatError(f"{path}: unsupported version {version}")
+
+
+def _iter_v1_records(path: PathLike, count: int) -> Iterator[Packet]:
+    """Decode v1 records one by one (the header has already been validated)."""
+    with open(path, "rb") as handle:
+        handle.seek(_HEADER.size)
         for index in range(count):
             record = handle.read(_RECORD.size)
             if len(record) != _RECORD.size:
@@ -113,3 +206,535 @@ def read_trace_binary(path: PathLike) -> Iterator[Packet]:
                 protocol=protocol,
                 size=size16 * 16,
             )
+
+
+# --------------------------------------------------------------------------- #
+# v2 columnar binary: writer
+# --------------------------------------------------------------------------- #
+
+
+def _as_column(values, dtype: str, n: int, mask: Optional[int], clip: Optional[int]) -> np.ndarray:
+    """Coerce one field to its storage column: length-checked, masked or clipped."""
+    arr = np.asarray(values)
+    if arr.shape != (n,):
+        raise ConfigurationError(f"field array must have shape ({n},), got {arr.shape}")
+    if arr.dtype.kind not in "iu":
+        arr = arr.astype(np.int64)
+    if mask is not None:
+        arr = np.bitwise_and(arr, mask)
+    if clip is not None:
+        arr = np.clip(arr, 0, clip)
+    return arr.astype(dtype)
+
+
+class TraceV2Writer:
+    """Streaming writer of the v2 columnar trace format.
+
+    Packets arrive one at a time (:meth:`write`), as iterables
+    (:meth:`write_packets`) or as whole field arrays (:meth:`write_arrays`,
+    the vectorized route the generators use); the writer re-blocks them into
+    ``chunk_size`` columnar chunks and patches the preamble counts on
+    :meth:`close`, so the total need not be known up front.  Use as a context
+    manager::
+
+        with TraceV2Writer("trace.v2", chunk_size=65536) as writer:
+            writer.write_packets(generator.packets(1_000_000))
+    """
+
+    def __init__(self, path: PathLike, *, chunk_size: int = DEFAULT_TRACE_CHUNK) -> None:
+        if chunk_size < 1:
+            raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+        self._path = Path(path)
+        self._chunk_size = chunk_size
+        self._handle = open(path, "wb")
+        self._handle.write(_PREAMBLE.pack(_MAGIC, _VERSION_V2, 0, 0))
+        self._rows: List[List[int]] = [[] for _ in V2_FIELDS]
+        self._blocks: List[Tuple[np.ndarray, ...]] = []
+        self._head = 0  # consumed rows of blocks[0]
+        self._pending = 0
+        self._count = 0
+        self._chunks = 0
+        self._closed = False
+
+    @property
+    def packets_written(self) -> int:
+        """Packets accepted so far (buffered packets included)."""
+        return self._count
+
+    @property
+    def chunks_written(self) -> int:
+        """Chunks flushed to disk so far."""
+        return self._chunks
+
+    def write(self, packet: Packet) -> None:
+        """Buffer one packet."""
+        self._check_open()
+        for values, field in zip(self._rows, (packet.src, packet.dst, packet.src_port,
+                                              packet.dst_port, packet.protocol, packet.size)):
+            values.append(field)
+        self._count += 1
+        if len(self._rows[0]) >= self._chunk_size:
+            self._seal_rows()
+            self._flush_full_chunks()
+
+    def write_packets(self, packets: Iterable[Packet]) -> int:
+        """Buffer every packet of an iterable; returns the number written."""
+        before = self._count
+        for packet in packets:
+            self.write(packet)
+        return self._count - before
+
+    def write_arrays(
+        self,
+        src,
+        dst,
+        *,
+        src_port=None,
+        dst_port=None,
+        protocol=None,
+        size=None,
+    ) -> int:
+        """Buffer a whole batch given as per-field arrays (vectorized).
+
+        ``src`` and ``dst`` are required; omitted fields take the
+        :class:`~repro.traffic.packet.Packet` defaults (ports 0, protocol 17,
+        size 64).  Addresses and ports are masked to their storage width
+        exactly like the v1 writer; sizes are clipped to the u16 range.
+
+        Returns the number of packets buffered.
+        """
+        self._check_open()
+        n = len(src)
+        if n == 0:
+            return 0
+        defaults = {"src_port": 0, "dst_port": 0, "protocol": 17, "size": 64}
+        given = {"src": src, "dst": dst, "src_port": src_port, "dst_port": dst_port,
+                 "protocol": protocol, "size": size}
+        columns = []
+        for name, dtype in V2_FIELDS:
+            values = given[name]
+            if values is None:
+                columns.append(np.full(n, defaults[name], dtype=dtype))
+                continue
+            mask = None if name == "size" else (1 << (8 * np.dtype(dtype).itemsize)) - 1
+            clip = 0xFFFF if name == "size" else None
+            columns.append(_as_column(values, dtype, n, mask, clip))
+        self._seal_rows()
+        self._blocks.append(tuple(columns))
+        self._pending += n
+        self._count += n
+        self._flush_full_chunks()
+        return n
+
+    def key_batches_from(self, batches: Iterable[np.ndarray]) -> int:
+        """Buffer an iterable of ``(n, 2)`` key arrays (src, dst pairs)."""
+        written = 0
+        for batch in batches:
+            arr = np.asarray(batch)
+            if arr.ndim != 2 or arr.shape[1] != 2:
+                raise ConfigurationError(f"key batches must be (n, 2) arrays, got shape {arr.shape}")
+            written += self.write_arrays(arr[:, 0], arr[:, 1])
+        return written
+
+    def close(self) -> None:
+        """Flush the remaining partial chunk, patch the preamble, close the file."""
+        if self._closed:
+            return
+        self._seal_rows()
+        self._flush_full_chunks()
+        if self._pending:
+            self._emit_chunk(self._take(self._pending))
+        self._handle.seek(0)
+        self._handle.write(_PREAMBLE.pack(_MAGIC, _VERSION_V2, self._count, self._chunks))
+        self._handle.close()
+        self._closed = True
+
+    def __enter__(self) -> "TraceV2Writer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # internal ---------------------------------------------------------- #
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ConfigurationError(f"writer for {self._path} is closed")
+
+    def _seal_rows(self) -> None:
+        """Convert the scalar row buffer into a columnar block."""
+        if not self._rows[0]:
+            return
+        n = len(self._rows[0])
+        columns = []
+        for values, (name, dtype) in zip(self._rows, V2_FIELDS):
+            mask = None if name == "size" else (1 << (8 * np.dtype(dtype).itemsize)) - 1
+            clip = 0xFFFF if name == "size" else None
+            columns.append(_as_column(values, dtype, n, mask, clip))
+        self._blocks.append(tuple(columns))
+        self._pending += n
+        self._rows = [[] for _ in V2_FIELDS]
+
+    def _flush_full_chunks(self) -> None:
+        while self._pending >= self._chunk_size:
+            self._emit_chunk(self._take(self._chunk_size))
+
+    def _take(self, m: int) -> List[np.ndarray]:
+        """Pop exactly ``m`` buffered rows as one column set."""
+        parts: List[List[np.ndarray]] = [[] for _ in V2_FIELDS]
+        need = m
+        while need:
+            block = self._blocks[0]
+            available = len(block[0]) - self._head
+            take = min(need, available)
+            for field, column in enumerate(block):
+                parts[field].append(column[self._head : self._head + take])
+            self._head += take
+            need -= take
+            if self._head == len(block[0]):
+                self._blocks.pop(0)
+                self._head = 0
+        self._pending -= m
+        return [part[0] if len(part) == 1 else np.concatenate(part) for part in parts]
+
+    def _emit_chunk(self, columns: Sequence[np.ndarray]) -> None:
+        n = len(columns[0])
+        self._handle.write(_CHUNK_HEADER.pack(_CHUNK_MAGIC, n))
+        for column in columns:
+            self._handle.write(np.ascontiguousarray(column).tobytes())
+        self._chunks += 1
+
+
+def write_trace_v2(
+    path: PathLike, packets: Iterable[Packet], *, chunk_size: int = DEFAULT_TRACE_CHUNK
+) -> int:
+    """Write packets to the v2 columnar format; returns the number written."""
+    with TraceV2Writer(path, chunk_size=chunk_size) as writer:
+        return writer.write_packets(packets)
+
+
+# --------------------------------------------------------------------------- #
+# v2 columnar binary: reader
+# --------------------------------------------------------------------------- #
+
+
+class TraceChunk:
+    """Zero-copy view over one chunk of a memory-mapped v2 trace.
+
+    Every column property is a numpy view straight into the mapped file; no
+    bytes are copied and no Python per-packet objects exist.
+    """
+
+    __slots__ = ("_mm", "_offset", "n")
+
+    def __init__(self, mm: np.ndarray, offset: int, n: int) -> None:
+        self._mm = mm
+        self._offset = offset
+        self.n = n
+
+    def __len__(self) -> int:
+        return self.n
+
+    def column(self, name: str) -> np.ndarray:
+        """One field column as a zero-copy view (dtype per :data:`V2_FIELDS`)."""
+        offset = self._offset
+        for field, dtype in V2_FIELDS:
+            width = np.dtype(dtype).itemsize * self.n
+            if field == name:
+                return self._mm[offset : offset + width].view(dtype)
+            offset += width
+        raise ConfigurationError(f"unknown trace field {name!r}; known: {[f for f, _ in V2_FIELDS]}")
+
+    @property
+    def src(self) -> np.ndarray:
+        return self.column("src")
+
+    @property
+    def dst(self) -> np.ndarray:
+        return self.column("dst")
+
+    @property
+    def sizes(self) -> np.ndarray:
+        """The size column - the natural per-packet weight vector."""
+        return self.column("size")
+
+    def key_array(self) -> np.ndarray:
+        """The chunk's ``(n, 2)`` (src, dst) key array as a zero-copy view.
+
+        The src and dst columns are adjacent on disk, so viewing the combined
+        8n bytes as ``(2, n)`` and transposing yields the per-packet key pairs
+        without touching the data.
+        """
+        raw = self._mm[self._offset : self._offset + 8 * self.n]
+        return raw.view("<u4").reshape(2, self.n).transpose()
+
+
+class TraceReader:
+    """Memory-mapped reader of the v2 columnar trace format.
+
+    The whole file is validated up front (preamble, every chunk header, byte
+    lengths, count consistency); after that every access path is a numpy view
+    into one shared ``np.memmap``.  The replay entry points are
+    :meth:`key_batches` (what :class:`~repro.api.session.Session` and the
+    ingest stage feed from), :meth:`key_array` (whole-trace materialisation
+    for ground truth and speed measurements) and :meth:`packets` (compat
+    iterator, per-packet cost).
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self._path = Path(path)
+        try:
+            file_bytes = self._path.stat().st_size
+        except OSError as exc:
+            raise TraceFormatError(f"{path}: cannot stat trace: {exc}") from exc
+        if file_bytes < _PREAMBLE.size:
+            raise TraceFormatError(f"{path}: truncated header")
+        with open(path, "rb") as handle:
+            preamble = handle.read(_PREAMBLE.size)
+        magic, version, count, chunk_count = _PREAMBLE.unpack(preamble)
+        if magic != _MAGIC:
+            raise TraceFormatError(f"{path}: bad magic {magic!r}")
+        if version != _VERSION_V2:
+            raise TraceFormatError(
+                f"{path}: not a v2 columnar trace (version {version}); "
+                "use read_trace_binary for v1 row traces"
+            )
+        self._mm = np.memmap(path, dtype=np.uint8, mode="r")
+        self._chunks: List[Tuple[int, int]] = []  # (payload offset, n)
+        position = _PREAMBLE.size
+        seen = 0
+        for index in range(chunk_count):
+            if position + _CHUNK_HEADER.size > file_bytes:
+                raise TraceFormatError(f"{path}: truncated header of chunk {index} of {chunk_count}")
+            chunk_magic, n = _CHUNK_HEADER.unpack(
+                bytes(self._mm[position : position + _CHUNK_HEADER.size])
+            )
+            if chunk_magic != _CHUNK_MAGIC:
+                raise TraceFormatError(f"{path}: bad chunk magic {chunk_magic!r} in chunk {index}")
+            position += _CHUNK_HEADER.size
+            payload = _V2_ROW_BYTES * n
+            if position + payload > file_bytes:
+                raise TraceFormatError(
+                    f"{path}: chunk {index} of {chunk_count} truncated "
+                    f"({file_bytes - position} of {payload} payload bytes)"
+                )
+            self._chunks.append((position, n))
+            position += payload
+            seen += n
+        if seen != count:
+            raise TraceFormatError(
+                f"{path}: preamble declares {count} packets but chunks hold {seen}"
+            )
+        if position != file_bytes:
+            raise TraceFormatError(
+                f"{path}: {file_bytes - position} trailing bytes after chunk {chunk_count}"
+            )
+        self._count = count
+
+    # metadata ---------------------------------------------------------- #
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def version(self) -> int:
+        return _VERSION_V2
+
+    @property
+    def packet_count(self) -> int:
+        """Total packets in the trace."""
+        return self._count
+
+    @property
+    def chunk_count(self) -> int:
+        return len(self._chunks)
+
+    def chunk_sizes(self) -> List[int]:
+        """Packets per chunk, in file order."""
+        return [n for _, n in self._chunks]
+
+    def __len__(self) -> int:
+        return self._count
+
+    # replay ------------------------------------------------------------ #
+
+    def chunks(self) -> Iterator[TraceChunk]:
+        """Iterate the trace chunk by chunk (zero-copy views)."""
+        for offset, n in self._chunks:
+            yield TraceChunk(self._mm, offset, n)
+
+    def key_batches(
+        self,
+        batch_size: Optional[int] = None,
+        *,
+        dimensions: int = 2,
+        limit: Optional[int] = None,
+    ) -> Iterator[np.ndarray]:
+        """Yield key arrays for the batch engine, re-chunked to ``batch_size``.
+
+        Two-dimensional replay yields ``(n, 2)`` (src, dst) views, one
+        dimensional replay the src column views.  Batches never span chunk
+        boundaries (re-chunking only slices, so every yielded array is still
+        a view into the mapped file); ``limit`` caps the total packets
+        yielded, cutting the final batch.
+        """
+        if batch_size is not None and batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+        remaining = self._count if limit is None else max(0, limit)
+        for chunk in self.chunks():
+            if remaining <= 0:
+                return
+            keys = chunk.key_array() if dimensions == 2 else chunk.src
+            if len(keys) > remaining:
+                keys = keys[:remaining]
+            step = len(keys) if batch_size is None else batch_size
+            for lo in range(0, len(keys), step):
+                yield keys[lo : lo + step]
+            remaining -= len(keys)
+
+    def key_array(self, *, dimensions: int = 2, limit: Optional[int] = None) -> np.ndarray:
+        """The whole trace's key array (a zero-copy view for single-chunk traces)."""
+        batches = list(self.key_batches(dimensions=dimensions, limit=limit))
+        if not batches:
+            shape = (0, 2) if dimensions == 2 else (0,)
+            return np.empty(shape, dtype="<u4")
+        if len(batches) == 1:
+            return batches[0]
+        return np.concatenate(batches)
+
+    def sizes(self) -> np.ndarray:
+        """The whole trace's size column - the per-packet weight vector."""
+        columns = [chunk.sizes for chunk in self.chunks()]
+        if not columns:
+            return np.empty(0, dtype="<u2")
+        return columns[0] if len(columns) == 1 else np.concatenate(columns)
+
+    def packets(self) -> Iterator[Packet]:
+        """Compat iterator materialising one :class:`Packet` per packet (slow path)."""
+        for chunk in self.chunks():
+            columns = [chunk.column(name).tolist() for name, _ in V2_FIELDS]
+            for src, dst, sport, dport, protocol, size in zip(*columns):
+                yield Packet(
+                    src=src, dst=dst, src_port=sport, dst_port=dport,
+                    protocol=protocol, size=size,
+                )
+
+
+# --------------------------------------------------------------------------- #
+# format-agnostic helpers
+# --------------------------------------------------------------------------- #
+
+
+def trace_packet_count(path: PathLike) -> int:
+    """Packet count of a binary trace (either version), from the header alone."""
+    version = trace_version(path)
+    with open(path, "rb") as handle:
+        if version == _VERSION_V1:
+            header = handle.read(_HEADER.size)
+            if len(header) != _HEADER.size:
+                raise TraceFormatError(f"{path}: truncated header")
+            return _HEADER.unpack(header)[2]
+        if version == _VERSION_V2:
+            preamble = handle.read(_PREAMBLE.size)
+            if len(preamble) != _PREAMBLE.size:
+                raise TraceFormatError(f"{path}: truncated header")
+            return _PREAMBLE.unpack(preamble)[2]
+    raise TraceFormatError(f"{path}: unsupported version {version}")
+
+
+def trace_key_batches(
+    path: PathLike,
+    *,
+    batch_size: Optional[int] = None,
+    dimensions: int = 2,
+    limit: Optional[int] = None,
+) -> Iterator[np.ndarray]:
+    """Stream a binary trace as key arrays, whatever its version.
+
+    v2 traces replay as zero-copy memmap views; v1 traces fall back to
+    per-record decoding buffered into ``batch_size`` int64 arrays (same
+    values, per-packet decode cost - convert old traces with
+    ``python -m repro.cli trace convert`` to drop it).
+    """
+    version = trace_version(path)
+    if version == _VERSION_V2:
+        yield from TraceReader(path).key_batches(
+            batch_size, dimensions=dimensions, limit=limit
+        )
+        return
+    step = batch_size if batch_size is not None else DEFAULT_TRACE_CHUNK
+    if step < 1:
+        raise ConfigurationError(f"batch_size must be >= 1, got {step}")
+    buffer: List = []
+    remaining = limit
+    for packet in read_trace_binary(path):
+        if remaining is not None:
+            if remaining <= 0:
+                break
+            remaining -= 1
+        buffer.append((packet.src, packet.dst) if dimensions == 2 else packet.src)
+        if len(buffer) >= step:
+            yield np.asarray(buffer, dtype=np.int64)
+            buffer = []
+    if buffer:
+        yield np.asarray(buffer, dtype=np.int64)
+
+
+def trace_key_array(
+    path: PathLike,
+    *,
+    dimensions: int = 2,
+    limit: Optional[int] = None,
+) -> np.ndarray:
+    """Materialise a binary trace's whole key stream as one array.
+
+    The whole-trace counterpart of :func:`trace_key_batches` (same version
+    dispatch, same column semantics): ``(n, 2)`` for two-dimensional replay,
+    1-D src otherwise.  Single-chunk v2 traces come back as a zero-copy view;
+    anything else is one vectorized concatenation.
+    """
+    batches = list(trace_key_batches(path, dimensions=dimensions, limit=limit))
+    if not batches:
+        return np.empty((0, 2) if dimensions == 2 else (0,), dtype=np.int64)
+    return batches[0] if len(batches) == 1 else np.concatenate(batches)
+
+
+def inspect_trace(path: PathLike) -> Dict[str, object]:
+    """Summarise a binary trace: format, version, packets, chunks, bytes.
+
+    Validates the whole layout for v2 files (the reader walks every chunk
+    header) and returns a plain dict the CLI renders.
+    """
+    version = trace_version(path)
+    file_bytes = Path(path).stat().st_size
+    if version == _VERSION_V1:
+        count = trace_packet_count(path)
+        expected = _HEADER.size + count * _RECORD.size
+        if file_bytes < expected:
+            raise TraceFormatError(
+                f"{path}: v1 trace declares {count} packets "
+                f"({expected} bytes) but file holds {file_bytes}"
+            )
+        return {
+            "path": str(path),
+            "format": "v1-rows",
+            "version": version,
+            "packets": count,
+            "bytes": file_bytes,
+            "bytes_per_packet": file_bytes / count if count else 0.0,
+        }
+    if version == _VERSION_V2:
+        reader = TraceReader(path)
+        sizes = reader.chunk_sizes()
+        return {
+            "path": str(path),
+            "format": "v2-columnar",
+            "version": version,
+            "packets": reader.packet_count,
+            "chunks": reader.chunk_count,
+            "chunk_packets": sizes,
+            "bytes": file_bytes,
+            "bytes_per_packet": file_bytes / reader.packet_count if reader.packet_count else 0.0,
+        }
+    raise TraceFormatError(f"{path}: unsupported version {version}")

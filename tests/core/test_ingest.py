@@ -1,0 +1,395 @@
+"""Differential ingest-parity suite: ring-buffered feeds vs inline feeds.
+
+The contract under test: routing trace batches through the bounded
+ring-buffer ingest stage (reader on a producer thread) leaves the algorithm
+in a state *bit-identical* to feeding the same batches inline - for RHHH,
+MST and the sharded RHHH engine, on seeded Zipf and DDoS traces - including
+the shutdown paths (early close, exception in the producer).  Plus the
+acceptance check that v2 trace replay materialises zero per-packet Python
+objects.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import AlgorithmSpec, ExperimentSpec, Session
+from repro.core.ingest import DEFAULT_RING_DEPTH, RingBufferIngest, rechunk_batches
+from repro.exceptions import ConfigurationError, IngestError
+from repro.traffic.ddos import DDoSScenario
+from repro.traffic.packet import Packet
+from repro.traffic.trace_io import TraceV2Writer, trace_key_batches
+from repro.traffic.zipf import ZipfFlowGenerator
+
+PACKETS = 12_000
+TRACE_CHUNK = 5_000  # deliberately not a multiple of the feed batch sizes
+THETA = 0.1
+
+
+@pytest.fixture(scope="module")
+def zipf_trace(tmp_path_factory):
+    path = tmp_path_factory.mktemp("traces") / "zipf.v2"
+    generator = ZipfFlowGenerator(num_flows=200, skew=1.1, seed=5)
+    with TraceV2Writer(path, chunk_size=TRACE_CHUNK) as writer:
+        writer.key_batches_from(generator.key_batches(PACKETS, 4_000))
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def ddos_trace(tmp_path_factory):
+    path = tmp_path_factory.mktemp("traces") / "ddos.v2"
+    scenario = DDoSScenario(
+        [("42.13.7.0", 24), ("99.5.0.0", 16)],
+        "10.0.0.1",
+        attack_fraction=0.3,
+        hosts_per_subnet=64,
+        seed=9,
+    )
+    with TraceV2Writer(path, chunk_size=TRACE_CHUNK) as writer:
+        writer.key_batches_from(scenario.key_batches(PACKETS, 4_000))
+    return str(path)
+
+
+def _spec(algorithm: AlgorithmSpec, trace: str, *, ingest, hierarchy="2d-bytes",
+          batch_size=2_048, shards=None) -> ExperimentSpec:
+    return ExperimentSpec(
+        algorithm=algorithm,
+        hierarchy=hierarchy,
+        trace=trace,
+        ingest=ingest,
+        packets=PACKETS,
+        batch_size=batch_size,
+        theta=THETA,
+        shards=shards,
+        shard_parallel=False,  # deterministic in-process shard replicas
+    )
+
+
+def _counter_state(algorithm):
+    if hasattr(algorithm, "merged_counters"):  # ShardedHHH
+        counters, total = algorithm.merged_counters()
+    else:
+        counters = [algorithm.node_counter(node) for node in range(algorithm.hierarchy.size)]
+        total = algorithm.total
+    return total, [
+        sorted((key, counter.estimate(key), counter.lower_bound(key)) for key in counter)
+        for counter in counters
+    ]
+
+
+def _output_state(algorithm, theta=THETA):
+    return [
+        (c.prefix.node, c.prefix.value, c.lower_bound, c.upper_bound, c.conditioned_estimate)
+        for c in algorithm.output(theta)
+    ]
+
+
+def _run_pair(algorithm_spec, trace, **kwargs):
+    """Run the same spec inline and ring-buffered; return both sessions."""
+    inline = Session(_spec(algorithm_spec, trace, ingest=None, **kwargs))
+    ring = Session(_spec(algorithm_spec, trace, ingest=3, **kwargs))
+    with inline, ring:
+        fed_inline = inline.feed_trace()
+        fed_ring = ring.feed_trace()
+        assert fed_inline == fed_ring == PACKETS
+        yield_state = (_counter_state(inline.algorithm), _counter_state(ring.algorithm))
+        outputs = (_output_state(inline.algorithm), _output_state(ring.algorithm))
+    return yield_state, outputs
+
+
+RHHH_SPEC = AlgorithmSpec(name="rhhh", epsilon=0.05, delta=0.1, seed=11)
+MST_SPEC = AlgorithmSpec(name="mst", epsilon=0.05)
+
+
+class TestDifferentialParity:
+    @pytest.mark.parametrize("trace_fixture", ["zipf_trace", "ddos_trace"])
+    @pytest.mark.parametrize(
+        "algorithm_spec,shards",
+        [(RHHH_SPEC, None), (MST_SPEC, None), (RHHH_SPEC, 2)],
+        ids=["rhhh", "mst", "sharded-rhhh"],
+    )
+    def test_ring_feed_bit_identical_to_inline(
+        self, request, trace_fixture, algorithm_spec, shards
+    ):
+        trace = request.getfixturevalue(trace_fixture)
+        states, outputs = _run_pair(algorithm_spec, trace, shards=shards)
+        assert states[0] == states[1]
+        assert outputs[0] == outputs[1]
+
+    def test_parity_on_one_dimensional_hierarchy(self, zipf_trace):
+        states, outputs = _run_pair(RHHH_SPEC, zipf_trace, hierarchy="1d-bytes")
+        assert states[0] == states[1]
+        assert outputs[0] == outputs[1]
+
+    def test_parity_with_batch_size_cutting_chunks(self, zipf_trace):
+        # A batch size that never divides the trace chunk exercises the
+        # re-chunker on both paths.
+        states, outputs = _run_pair(RHHH_SPEC, zipf_trace, batch_size=1_777)
+        assert states[0] == states[1]
+        assert outputs[0] == outputs[1]
+
+    def test_session_run_parity(self, ddos_trace):
+        with Session(_spec(RHHH_SPEC, ddos_trace, ingest=None)) as inline, \
+             Session(_spec(RHHH_SPEC, ddos_trace, ingest=4)) as ring:
+            result_inline = inline.run()
+            result_ring = ring.run()
+        assert result_inline.packets == result_ring.packets == PACKETS
+        a = [(c.prefix.node, c.prefix.value, c.lower_bound, c.upper_bound) for c in result_inline.output]
+        b = [(c.prefix.node, c.prefix.value, c.lower_bound, c.upper_bound) for c in result_ring.output]
+        assert a == b
+
+    def test_packets_cap_applies_to_both_paths(self, zipf_trace):
+        cap = 7_001
+        inline = Session(
+            ExperimentSpec(
+                algorithm=RHHH_SPEC, hierarchy="2d-bytes", trace=zipf_trace,
+                packets=cap, batch_size=2_048, theta=THETA,
+            )
+        )
+        ring = Session(
+            ExperimentSpec(
+                algorithm=RHHH_SPEC, hierarchy="2d-bytes", trace=zipf_trace,
+                packets=cap, batch_size=2_048, theta=THETA, ingest=2,
+            )
+        )
+        with inline, ring:
+            assert inline.feed_trace() == cap
+            assert ring.feed_trace() == cap
+            assert _counter_state(inline.algorithm) == _counter_state(ring.algorithm)
+
+    def test_producer_exception_leaves_prefix_state(self, zipf_trace):
+        """A producer that dies mid-stream delivers the prefix, then the error.
+
+        The algorithm state after the failure must equal an inline feed of
+        exactly the batches that made it through - no torn or duplicated
+        batch.
+        """
+        batches = list(
+            rechunk_batches(trace_key_batches(zipf_trace, dimensions=2), 2_048)
+        )
+        good = 3
+
+        def failing_source():
+            for batch in batches[:good]:
+                yield batch
+            raise RuntimeError("reader died")
+
+        ring_session = Session(_spec(RHHH_SPEC, zipf_trace, ingest=None))
+        with pytest.raises(RuntimeError, match="reader died"):
+            with RingBufferIngest(failing_source(), depth=2) as ring:
+                ring_session.feed_batches(ring)
+
+        inline_session = Session(_spec(RHHH_SPEC, zipf_trace, ingest=None))
+        inline_session.feed_batches(iter(batches[:good]))
+        assert _counter_state(ring_session.algorithm) == _counter_state(inline_session.algorithm)
+
+
+class TestRingBufferMechanics:
+    def test_delivers_in_order(self):
+        items = [np.arange(i, i + 4) for i in range(25)]
+        with RingBufferIngest(iter(items), depth=3) as ring:
+            received = list(ring)
+        assert len(received) == 25
+        assert all(np.array_equal(a, b) for a, b in zip(items, received))
+        assert ring.produced == ring.consumed == 25
+
+    def test_backpressure_bounds_in_flight_batches(self):
+        produced_log = []
+
+        def source():
+            for i in range(50):
+                produced_log.append(i)
+                yield i
+
+        ring = RingBufferIngest(source(), depth=2)
+        try:
+            seen = 0
+            for _ in ring:
+                seen += 1
+                time.sleep(0.001)  # slow consumer: producer must block, not race ahead
+                assert ring.produced - ring.consumed <= 2
+            assert seen == 50
+        finally:
+            ring.close()
+
+    def test_early_close_stops_producer_and_joins_thread(self):
+        def endless():
+            i = 0
+            while True:
+                yield i
+                i += 1
+
+        ring = RingBufferIngest(endless(), depth=2)
+        assert next(ring) == 0
+        ring.close()
+        assert not ring._thread.is_alive()
+        assert ring.closed
+
+    def test_reading_after_early_close_raises(self):
+        ring = RingBufferIngest(iter(range(100)), depth=2)
+        next(ring)
+        ring.close()
+        with pytest.raises(IngestError):
+            next(ring)
+
+    def test_close_is_idempotent_and_safe_after_drain(self):
+        ring = RingBufferIngest(iter(range(3)), depth=2)
+        assert list(ring) == [0, 1, 2]
+        ring.close()
+        ring.close()
+        assert not ring._thread.is_alive()
+
+    def test_context_manager_closes_on_exception(self):
+        with pytest.raises(ValueError, match="consumer bailed"):
+            with RingBufferIngest(iter(range(1000)), depth=2) as ring:
+                next(ring)
+                raise ValueError("consumer bailed")
+        assert ring.closed
+        assert not ring._thread.is_alive()
+
+    def test_producer_error_raised_after_buffered_items(self):
+        def source():
+            yield 1
+            yield 2
+            raise OSError("disk gone")
+
+        ring = RingBufferIngest(source(), depth=4)
+        time.sleep(0.05)  # let the producer run to the error
+        got = []
+        with pytest.raises(OSError, match="disk gone"):
+            for item in ring:
+                got.append(item)
+        assert got == [1, 2]
+        ring.close()
+
+    def test_producer_error_persists_on_repeat_reads(self):
+        def source():
+            raise RuntimeError("immediately dead")
+            yield  # pragma: no cover
+
+        ring = RingBufferIngest(source(), depth=2)
+        for _ in range(3):
+            with pytest.raises(RuntimeError, match="immediately dead"):
+                next(ring)
+        ring.close()
+
+    def test_empty_source(self):
+        with RingBufferIngest(iter(()), depth=1) as ring:
+            assert list(ring) == []
+
+    def test_depth_validation(self):
+        with pytest.raises(ConfigurationError):
+            RingBufferIngest(iter(()), depth=0)
+
+    def test_default_depth_exported(self):
+        assert DEFAULT_RING_DEPTH >= 1
+
+    def test_threads_do_not_leak(self):
+        before = threading.active_count()
+        for _ in range(10):
+            with RingBufferIngest(iter(range(5)), depth=2) as ring:
+                list(ring)
+        assert threading.active_count() <= before + 1
+
+
+class TestRechunk:
+    def test_slices_within_batches_only(self):
+        batches = [np.arange(10), np.arange(7), np.arange(3)]
+        out = list(rechunk_batches(iter(batches), 4))
+        assert [len(b) for b in out] == [4, 4, 2, 4, 3, 3]
+
+    def test_none_passes_through(self):
+        batches = [np.arange(5), np.arange(2)]
+        out = list(rechunk_batches(iter(batches), None))
+        assert len(out) == 2 and out[0] is batches[0]
+
+    def test_yields_views_not_copies(self):
+        batch = np.arange(100)
+        out = list(rechunk_batches(iter([batch]), 30))
+        assert all(piece.base is batch for piece in out)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ConfigurationError):
+            list(rechunk_batches(iter([np.arange(3)]), 0))
+
+
+class TestSessionTraceWiring:
+    def test_feed_trace_requires_batch_size(self, zipf_trace):
+        spec = ExperimentSpec(
+            algorithm=RHHH_SPEC, hierarchy="2d-bytes", trace=zipf_trace, theta=THETA
+        )
+        with Session(spec) as session:
+            with pytest.raises(ConfigurationError, match="batch_size"):
+                session.feed_trace()
+
+    def test_feed_trace_requires_a_path(self):
+        with Session(ExperimentSpec(algorithm=RHHH_SPEC, batch_size=64)) as session:
+            with pytest.raises(ConfigurationError, match="path"):
+                session.feed_trace()
+
+    def test_streamed_run_rejects_checkpoints(self, zipf_trace):
+        with Session(_spec(RHHH_SPEC, zipf_trace, ingest=None)) as session:
+            with pytest.raises(ConfigurationError, match="checkpoints"):
+                session.run(checkpoints=[1_000])
+
+    def test_progress_hooks_fire_per_batch(self, zipf_trace):
+        calls = []
+        with Session(_spec(RHHH_SPEC, zipf_trace, ingest=2)) as session:
+            session.add_progress_hook(lambda s, done, total: calls.append((done, total)))
+            session.feed_trace()
+        assert calls[-1] == (PACKETS, PACKETS)
+        assert [done for done, _ in calls] == sorted(done for done, _ in calls)
+
+    def test_keys_materialises_trace_for_batch_specs(self, zipf_trace):
+        with Session(_spec(RHHH_SPEC, zipf_trace, ingest=None)) as session:
+            keys = session.keys()
+        assert isinstance(keys, np.ndarray)
+        assert keys.shape == (PACKETS, 2)
+
+    def test_keys_materialises_python_keys_per_packet(self, zipf_trace):
+        spec = ExperimentSpec(
+            algorithm=RHHH_SPEC, hierarchy="2d-bytes", trace=zipf_trace,
+            packets=500, theta=THETA,
+        )
+        with Session(spec) as session:
+            keys = session.keys()
+        assert isinstance(keys, list) and len(keys) == 500
+        assert isinstance(keys[0], tuple)
+
+    def test_v2_replay_materialises_no_packet_objects(self, zipf_trace, monkeypatch):
+        """The acceptance criterion: zero per-packet Python objects on replay."""
+
+        def forbidden(self, *args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("Packet materialised on the zero-copy replay path")
+
+        monkeypatch.setattr(Packet, "__init__", forbidden)
+        with Session(_spec(RHHH_SPEC, zipf_trace, ingest=2)) as session:
+            result = session.run()
+        assert result.packets == PACKETS
+        assert len(result.output) > 0
+
+
+class TestSpecValidation:
+    def test_ingest_requires_trace(self):
+        with pytest.raises(ConfigurationError, match="trace"):
+            ExperimentSpec(ingest=4, batch_size=64)
+
+    def test_ingest_requires_batch_size(self):
+        with pytest.raises(ConfigurationError, match="batch_size"):
+            ExperimentSpec(trace="t.v2", ingest=4)
+
+    def test_ingest_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentSpec(trace="t.v2", batch_size=64, ingest=0)
+
+    def test_trace_must_be_non_empty(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentSpec(trace="")
+
+    def test_trace_spec_round_trips_through_json(self):
+        spec = ExperimentSpec(trace="traces/a.v2", ingest=4, batch_size=8_192)
+        assert ExperimentSpec.from_json(spec.to_json()) == spec

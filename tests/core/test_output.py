@@ -2,9 +2,16 @@
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
-from repro.core.output import calc_pred, conditioned_frequency_estimate, lattice_output
+from repro.core.output import (
+    SelectedIndex,
+    calc_pred,
+    conditioned_frequency_estimate,
+    lattice_output,
+)
 from repro.hh.exact_counter import ExactCounter
 from repro.hierarchy.ip import ipv4_to_int
 from repro.hierarchy.onedim import ipv4_byte_hierarchy
@@ -171,3 +178,114 @@ class TestLatticeOutput:
         output = lattice_output(hierarchy, counters, theta=0.9, total=10)
         assert len(output) == len(list(output))
         assert output.prefixes() == [c.prefix for c in output]
+
+
+def _random_prefixes(hierarchy, rng, count):
+    """Random (node, value) prefixes of the hierarchy, duplicates removed."""
+    prefixes = []
+    for _ in range(count):
+        node = rng.randrange(hierarchy.size)
+        if hierarchy.dimensions == 2:
+            key = (rng.randrange(1 << 32), rng.randrange(1 << 32))
+        else:
+            key = rng.randrange(1 << 32)
+        prefixes.append((node, hierarchy.generalize(key, node)))
+    unique = []
+    for prefix in prefixes:
+        if prefix not in unique:
+            unique.append(prefix)
+    return unique
+
+
+class TestSelectedIndex:
+    """The sorted-candidate index must agree exactly with the unindexed scan."""
+
+    @pytest.mark.parametrize("make_hierarchy", [ipv4_byte_hierarchy, ipv4_two_dim_byte_hierarchy],
+                             ids=["1d", "2d"])
+    def test_matches_reference_on_random_prefix_sets(self, make_hierarchy):
+        hierarchy = make_hierarchy()
+        rng = random.Random(42)
+        for trial in range(30):
+            # Cluster the keys so ancestor relations actually occur.
+            base_src = rng.randrange(1 << 16) << 16
+            base_dst = rng.randrange(1 << 16) << 16
+            selected = []
+            index = SelectedIndex(hierarchy)
+            for _ in range(rng.randrange(1, 25)):
+                node = rng.randrange(hierarchy.size)
+                if hierarchy.dimensions == 2:
+                    key = (base_src | rng.randrange(1 << 16), base_dst | rng.randrange(1 << 16))
+                else:
+                    key = base_src | rng.randrange(1 << 16)
+                prefix = (node, hierarchy.generalize(key, node))
+                if prefix in selected:
+                    continue
+                # Query BEFORE adding, exactly like the Output procedure does.
+                assert index.closest_descendants(prefix) == hierarchy.closest_descendants(
+                    prefix, selected
+                ), f"trial {trial}: mismatch for {prefix} against {selected}"
+                selected.append(prefix)
+                index.add(prefix)
+
+    def test_incremental_add_keeps_lazy_buckets_fresh(self):
+        hierarchy = ipv4_byte_hierarchy()
+        key = ipv4_to_int("10.20.30.40")
+        index = SelectedIndex(hierarchy)
+        slash16 = (2, hierarchy.generalize(key, 2))
+        # Build the lazy buckets for the /16 query while nothing matches...
+        index.add((0, ipv4_to_int("200.1.1.1")))
+        assert index.closest_descendants(slash16) == []
+        # ...then add matching descendants and re-query: both must appear,
+        # with the /24 shadowing the fully specified key.
+        index.add((0, key))
+        index.add((1, hierarchy.generalize(key, 1)))
+        assert index.closest_descendants(slash16) == [(1, hierarchy.generalize(key, 1))]
+
+    def test_len_counts_insertions(self):
+        hierarchy = ipv4_byte_hierarchy()
+        index = SelectedIndex(hierarchy)
+        assert len(index) == 0
+        index.add((0, 1))
+        index.add((1, 0))
+        assert len(index) == 2
+
+
+class TestLatticeOutputIndexParity:
+    """lattice_output(use_index=True) is bit-identical to the unindexed reference."""
+
+    def _signature(self, output):
+        return [
+            (c.prefix.node, c.prefix.value, c.lower_bound, c.upper_bound, c.conditioned_estimate)
+            for c in output
+        ]
+
+    @pytest.mark.parametrize("theta", [0.01, 0.03, 0.1])
+    def test_small_theta_parity_one_dimension(self, theta):
+        hierarchy = ipv4_byte_hierarchy()
+        rng = random.Random(7)
+        keys = [
+            (rng.choice([10, 20, 30]) << 24) | (rng.choice([1, 2]) << 16) | rng.randrange(1 << 16)
+            for _ in range(4_000)
+        ]
+        counters = _exact_lattice_counters(hierarchy, keys)
+        indexed = lattice_output(hierarchy, counters, theta, len(keys), use_index=True)
+        reference = lattice_output(hierarchy, counters, theta, len(keys), use_index=False)
+        assert self._signature(indexed) == self._signature(reference)
+        assert len(indexed) > 0  # the parity must be exercised on a non-trivial set
+
+    @pytest.mark.parametrize("theta", [0.02, 0.05])
+    def test_small_theta_parity_two_dimensions(self, theta):
+        hierarchy = ipv4_two_dim_byte_hierarchy()
+        rng = random.Random(13)
+        keys = [
+            (
+                (rng.choice([10, 20]) << 24) | rng.randrange(1 << 20),
+                (rng.choice([40, 50]) << 24) | rng.randrange(1 << 20),
+            )
+            for _ in range(1_500)
+        ]
+        counters = _exact_lattice_counters(hierarchy, keys)
+        indexed = lattice_output(hierarchy, counters, theta, len(keys), use_index=True)
+        reference = lattice_output(hierarchy, counters, theta, len(keys), use_index=False)
+        assert self._signature(indexed) == self._signature(reference)
+        assert len(indexed) > 0

@@ -2,10 +2,18 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import FIGURES, HIERARCHIES, main
-from repro.traffic.trace_io import write_trace_binary
+from repro.traffic.trace_io import (
+    TraceReader,
+    read_trace_csv,
+    trace_version,
+    write_trace_binary,
+    write_trace_v2,
+)
 from repro.traffic.zipf import ZipfFlowGenerator
 
 
@@ -163,6 +171,63 @@ class TestDetect:
         assert exit_code == 0
         assert "HHH prefixes" in capsys.readouterr().out
 
+    def test_detect_from_v2_trace_with_batch_and_ingest(self, tmp_path, capsys):
+        path = tmp_path / "trace.v2"
+        write_trace_v2(path, ZipfFlowGenerator(num_flows=50, skew=1.3, seed=1).packets(2_000))
+        exit_code = main(
+            [
+                "detect",
+                "--trace",
+                str(path),
+                "--packets",
+                "2000",
+                "--batch-size",
+                "512",
+                "--ingest",
+                "3",
+                "--theta",
+                "0.2",
+                "--algorithm",
+                "mst",
+            ]
+        )
+        assert exit_code == 0
+        assert "HHH prefixes" in capsys.readouterr().out
+
+    def test_print_spec_carries_trace_and_ingest(self, capsys):
+        exit_code = main(
+            [
+                "detect",
+                "--trace",
+                "some/trace.v2",
+                "--batch-size",
+                "4096",
+                "--ingest",
+                "4",
+                "--print-spec",
+            ]
+        )
+        assert exit_code == 0
+        spec = json.loads(capsys.readouterr().out)
+        assert spec["trace"] == "some/trace.v2"
+        assert spec["ingest"] == 4
+
+    def test_ingest_without_trace_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["detect", "--packets", "100", "--batch-size", "64", "--ingest", "2"])
+
+    def test_compare_rejects_ingest(self, tmp_path):
+        # compare materialises the stream once and shares it, so there is no
+        # streaming feed to overlap; accepting --ingest would silently report
+        # non-overlapped numbers as overlapped.
+        trace = tmp_path / "t.v2"
+        write_trace_v2(trace, ZipfFlowGenerator(num_flows=30, seed=1).packets(500))
+        with pytest.raises(SystemExit, match="ingest"):
+            main(
+                ["compare", "--trace", str(trace), "--batch-size", "128",
+                 "--ingest", "2", "--algorithms", "rhhh"]
+            )
+
 
 class TestCompare:
     def test_compare_prints_table(self, capsys):
@@ -219,6 +284,121 @@ class TestCompare:
                     "0",
                 ]
             )
+
+
+class TestTraceCommand:
+    def test_generate_v2(self, tmp_path, capsys):
+        out = tmp_path / "gen.v2"
+        exit_code = main(
+            [
+                "trace", "generate", str(out),
+                "--workload", "sanjose13",
+                "--packets", "3000",
+                "--num-flows", "200",
+                "--chunk-size", "1024",
+            ]
+        )
+        assert exit_code == 0
+        assert "3,000 packets" in capsys.readouterr().out
+        reader = TraceReader(out)
+        assert reader.packet_count == 3000
+        assert reader.chunk_sizes() == [1024, 1024, 952]
+
+    def test_generate_is_reproducible(self, tmp_path):
+        a, b = tmp_path / "a.v2", tmp_path / "b.v2"
+        for out in (a, b):
+            assert main(
+                ["trace", "generate", str(out), "--workload", "sanjose13",
+                 "--packets", "1000", "--num-flows", "100"]
+            ) == 0
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_convert_v1_to_v2_and_back(self, tmp_path, capsys):
+        v1 = tmp_path / "a.v1"
+        packets = list(ZipfFlowGenerator(num_flows=30, skew=1.0, seed=3).packets(500))
+        write_trace_binary(v1, packets)
+        v2 = tmp_path / "a.v2"
+        assert main(["trace", "convert", str(v1), str(v2)]) == 0
+        assert trace_version(v2) == 2
+        back = tmp_path / "b.v1"
+        assert main(["trace", "convert", str(v2), str(back), "--format", "v1"]) == 0
+        assert back.read_bytes() == v1.read_bytes()
+
+    def test_convert_csv_input(self, tmp_path):
+        csv_path = tmp_path / "a.csv"
+        csv_path.write_text("src,dst\n1,2\n3,4\n")
+        v2 = tmp_path / "a.v2"
+        assert main(["trace", "convert", str(csv_path), str(v2)]) == 0
+        assert TraceReader(v2).packet_count == 2
+
+    def test_convert_to_csv(self, tmp_path):
+        v2 = tmp_path / "a.v2"
+        packets = list(ZipfFlowGenerator(num_flows=30, skew=1.0, seed=3).packets(100))
+        write_trace_v2(v2, packets)
+        out = tmp_path / "out.csv"
+        assert main(["trace", "convert", str(v2), str(out), "--format", "csv"]) == 0
+        assert read_trace_csv(out) == packets
+
+    def test_inspect_prints_layout(self, tmp_path, capsys):
+        v2 = tmp_path / "a.v2"
+        write_trace_v2(v2, ZipfFlowGenerator(num_flows=30, seed=3).packets(100), chunk_size=40)
+        assert main(["trace", "inspect", str(v2)]) == 0
+        out = capsys.readouterr().out
+        assert "v2-columnar" in out
+        assert "100" in out
+
+    def test_inspect_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["trace", "inspect", str(tmp_path / "nope.v2")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_convert_garbage_input_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad"
+        bad.write_bytes(b"\x00\x01\x02")
+        assert main(["trace", "convert", str(bad), str(tmp_path / "out.v2")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_convert_in_place_is_refused(self, tmp_path, capsys):
+        # Regression: the reader memory-maps the input while the writer
+        # truncates the output; converting a trace onto itself used to
+        # SIGBUS and destroy the file.
+        v2 = tmp_path / "a.v2"
+        packets = list(ZipfFlowGenerator(num_flows=30, skew=1.0, seed=3).packets(100))
+        write_trace_v2(v2, packets)
+        before = v2.read_bytes()
+        assert main(["trace", "convert", str(v2), str(v2)]) == 1
+        assert "same file" in capsys.readouterr().err
+        assert v2.read_bytes() == before  # the trace survives untouched
+
+    def test_convert_truncated_binary_reports_real_error(self, tmp_path, capsys):
+        # Regression: a corrupt *binary* trace must surface its truncation
+        # error, not fall back to the CSV parser (which used to crash with
+        # UnicodeDecodeError on binary bytes).
+        v2 = tmp_path / "a.v2"
+        write_trace_v2(v2, ZipfFlowGenerator(num_flows=30, skew=1.0, seed=3).packets(500))
+        v2.write_bytes(v2.read_bytes()[:-20])
+        assert main(["trace", "convert", str(v2), str(tmp_path / "out.v2")]) == 1
+        err = capsys.readouterr().err
+        assert "truncated" in err or "declares" in err
+
+
+class TestRunCommand:
+    def test_run_spec_with_trace_and_ingest_overrides(self, tmp_path, capsys):
+        trace = tmp_path / "t.v2"
+        write_trace_v2(trace, ZipfFlowGenerator(num_flows=40, skew=1.2, seed=6).packets(2_000))
+        spec_path = tmp_path / "spec.json"
+        assert main(
+            ["detect", "--packets", "2000", "--batch-size", "512",
+             "--hierarchy", "2d-bytes", "--theta", "0.2", "--algorithm", "mst",
+             "--print-spec"]
+        ) == 0
+        spec_path.write_text(capsys.readouterr().out)
+        exit_code = main(
+            ["run", "--spec", str(spec_path), "--trace", str(trace), "--ingest", "2"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "HHH prefixes" in out
+        assert "2,000 packets" in out
 
 
 class TestFigure:

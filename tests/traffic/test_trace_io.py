@@ -1,18 +1,47 @@
-"""Unit tests for the trace serialization formats."""
+"""Unit, property and golden-file tests for the trace serialization formats.
+
+The golden files in ``data/`` pin the on-disk byte layouts: if either format
+ever drifts (field order, widths, header packing), the byte-compare tests
+fail before any deployed trace silently misreads.
+"""
 
 from __future__ import annotations
 
+from pathlib import Path
+
+import numpy as np
 import pytest
 
-from repro.exceptions import TraceFormatError
+from repro.exceptions import ConfigurationError, TraceFormatError
 from repro.traffic.packet import Packet
 from repro.traffic.trace_io import (
+    TraceReader,
+    TraceV2Writer,
+    inspect_trace,
     read_trace_binary,
     read_trace_csv,
+    trace_key_batches,
+    trace_packet_count,
+    trace_version,
     write_trace_binary,
     write_trace_csv,
+    write_trace_v2,
 )
 from repro.traffic.zipf import ZipfFlowGenerator
+
+DATA_DIR = Path(__file__).parent / "data"
+
+#: The packets behind both golden files.  Sizes are multiples of 16 and at
+#: most 4080 so the v1 row format (which stores size/16 in a byte) round-trips
+#: them exactly; the values exercise the full field widths (all-ones address,
+#: port 65535, protocol 255).
+GOLDEN_PACKETS = [
+    Packet(src=0x0A000001, dst=0xC0A80101, src_port=1234, dst_port=80, protocol=6, size=1504),
+    Packet(src=0x0A000002, dst=0xC0A80102, src_port=4321, dst_port=443, protocol=6, size=64),
+    Packet(src=0xAC100101, dst=0x08080808, src_port=5353, dst_port=53, protocol=17, size=512),
+    Packet(src=0xC0A80001, dst=0xE0000001, src_port=0, dst_port=0, protocol=1, size=96),
+    Packet(src=0xFFFFFFFF, dst=0x00000000, src_port=65535, dst_port=1, protocol=255, size=4080),
+]
 
 
 @pytest.fixture
@@ -73,8 +102,327 @@ class TestBinary:
         with pytest.raises(TraceFormatError):
             list(read_trace_binary(path))
 
+    def test_truncated_final_record_rejected(self, tmp_path, sample_packets):
+        # Regression: a trace cut mid-way through its *last* record must
+        # surface as TraceFormatError, never as a bare struct.error.
+        path = tmp_path / "trunc_last.bin"
+        write_trace_binary(path, sample_packets)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 1])
+        with pytest.raises(TraceFormatError, match="truncated at record"):
+            list(read_trace_binary(path))
+
     def test_truncated_header_rejected(self, tmp_path):
         path = tmp_path / "header.bin"
         path.write_bytes(b"RH")
         with pytest.raises(TraceFormatError):
             list(read_trace_binary(path))
+
+    def test_header_errors_raise_eagerly(self, tmp_path):
+        # Regression: read_trace_binary used to be a lazy generator, so a bad
+        # magic surfaced only at the first next().  The call itself must
+        # validate now.
+        path = tmp_path / "bad_eager.bin"
+        path.write_bytes(b"NOPE" + b"\x00" * 16)
+        with pytest.raises(TraceFormatError):
+            read_trace_binary(path)
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        import struct
+
+        path = tmp_path / "v9.bin"
+        path.write_bytes(struct.pack("<4sIQ", b"RHHH", 9, 0))
+        with pytest.raises(TraceFormatError, match="version"):
+            read_trace_binary(path)
+
+    def test_every_truncation_raises_trace_format_error(self, tmp_path, sample_packets):
+        # Property: no prefix of a valid v1 file, of any length, may escape
+        # as anything but TraceFormatError (or parse as a valid shorter
+        # trace, which only the 16-byte empty-header prefix can).
+        path = tmp_path / "full.bin"
+        write_trace_binary(path, sample_packets[:20])
+        data = path.read_bytes()
+        cut = tmp_path / "cut.bin"
+        for length in range(len(data)):
+            cut.write_bytes(data[:length])
+            try:
+                list(read_trace_binary(cut))
+            except TraceFormatError:
+                continue
+            pytest.fail(f"truncation to {length} bytes did not raise TraceFormatError")
+
+
+class TestV2RoundTrip:
+    def test_packets_round_trip(self, tmp_path, sample_packets):
+        path = tmp_path / "trace.v2"
+        written = write_trace_v2(path, sample_packets, chunk_size=64)
+        assert written == len(sample_packets)
+        restored = list(read_trace_binary(path))
+        assert restored == sample_packets  # generator sizes are 64: lossless
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.v2"
+        assert write_trace_v2(path, []) == 0
+        reader = TraceReader(path)
+        assert reader.packet_count == 0
+        assert reader.chunk_count == 0
+        assert list(reader.packets()) == []
+        assert reader.key_array().shape == (0, 2)
+
+    def test_chunk_layout(self, tmp_path, sample_packets):
+        path = tmp_path / "trace.v2"
+        write_trace_v2(path, sample_packets, chunk_size=64)
+        reader = TraceReader(path)
+        assert reader.chunk_sizes() == [64, 64, 64, 8]
+        assert reader.packet_count == 200
+
+    def test_key_array_matches_packets(self, tmp_path, sample_packets):
+        path = tmp_path / "trace.v2"
+        write_trace_v2(path, sample_packets, chunk_size=64)
+        reader = TraceReader(path)
+        keys = reader.key_array()
+        assert keys.shape == (200, 2)
+        expected = np.asarray([[p.src, p.dst] for p in sample_packets])
+        assert np.array_equal(keys, expected)
+        assert np.array_equal(
+            reader.key_array(dimensions=1), expected[:, 0]
+        )
+
+    def test_key_batches_are_zero_copy_views(self, tmp_path, sample_packets):
+        path = tmp_path / "trace.v2"
+        write_trace_v2(path, sample_packets, chunk_size=128)
+        reader = TraceReader(path)
+        for batch in reader.key_batches(50):
+            assert batch.base is not None  # a view into the memmap, not a copy
+
+    def test_key_batches_respect_limit_and_chunks(self, tmp_path, sample_packets):
+        path = tmp_path / "trace.v2"
+        write_trace_v2(path, sample_packets, chunk_size=64)
+        batches = list(TraceReader(path).key_batches(50, limit=150))
+        # batches never span the 64-packet chunks: 50,14 | 50,14 | 22
+        assert [len(b) for b in batches] == [50, 14, 50, 14, 22]
+        assert sum(len(b) for b in batches) == 150
+
+    def test_sizes_column_is_weight_vector(self, tmp_path):
+        packets = [Packet(src=1, dst=2, size=s) for s in (64, 1500, 9000)]
+        path = tmp_path / "sizes.v2"
+        write_trace_v2(path, packets)
+        sizes = TraceReader(path).sizes()
+        assert sizes.tolist() == [64, 1500, 9000]
+
+    def test_write_arrays_round_trip(self, tmp_path):
+        path = tmp_path / "arrays.v2"
+        src = np.asarray([10, 20, 30], dtype=np.int64)
+        dst = np.asarray([1, 2, 3], dtype=np.int64)
+        with TraceV2Writer(path, chunk_size=2) as writer:
+            writer.write_arrays(src, dst, size=np.asarray([100, 200, 300]))
+        reader = TraceReader(path)
+        assert reader.chunk_sizes() == [2, 1]
+        assert np.array_equal(reader.key_array(), np.stack([src, dst], axis=1))
+        assert reader.sizes().tolist() == [100, 200, 300]
+        # omitted fields take the Packet defaults
+        first = next(reader.packets())
+        assert (first.src_port, first.dst_port, first.protocol) == (0, 0, 17)
+
+    def test_mixed_scalar_and_array_writes_keep_order(self, tmp_path, sample_packets):
+        path = tmp_path / "mixed.v2"
+        with TraceV2Writer(path, chunk_size=16) as writer:
+            writer.write_packets(sample_packets[:10])
+            writer.write_arrays(
+                np.asarray([p.src for p in sample_packets[10:50]]),
+                np.asarray([p.dst for p in sample_packets[10:50]]),
+            )
+            writer.write_packets(sample_packets[50:60])
+        keys = TraceReader(path).key_array()
+        expected = np.asarray([[p.src, p.dst] for p in sample_packets[:60]])
+        assert np.array_equal(keys, expected)
+
+    def test_field_masking_matches_v1(self, tmp_path):
+        # Out-of-width values must wrap exactly like the v1 writer's masks.
+        packet = Packet(src=(1 << 40) | 7, dst=5, src_port=70000, dst_port=2, protocol=300, size=100_000)
+        v2 = tmp_path / "wide.v2"
+        write_trace_v2(v2, [packet])
+        restored = next(TraceReader(v2).packets())
+        assert restored.src == 7
+        assert restored.src_port == 70000 & 0xFFFF
+        assert restored.protocol == 300 & 0xFF
+        assert restored.size == 0xFFFF  # sizes clip rather than wrap
+
+    def test_version_and_count_helpers(self, tmp_path, sample_packets):
+        v1 = tmp_path / "a.v1"
+        v2 = tmp_path / "a.v2"
+        write_trace_binary(v1, sample_packets)
+        write_trace_v2(v2, sample_packets)
+        assert trace_version(v1) == 1
+        assert trace_version(v2) == 2
+        assert trace_packet_count(v1) == 200
+        assert trace_packet_count(v2) == 200
+
+
+class TestFormatConversionChains:
+    def test_csv_v1_v2_chain_round_trips(self, tmp_path):
+        # Golden packets survive csv -> v1 -> v2 -> csv unchanged (their
+        # sizes are v1-representable by construction).
+        csv1 = tmp_path / "a.csv"
+        v1 = tmp_path / "a.v1"
+        v2 = tmp_path / "a.v2"
+        csv2 = tmp_path / "b.csv"
+        write_trace_csv(csv1, GOLDEN_PACKETS)
+        write_trace_binary(v1, read_trace_csv(csv1))
+        write_trace_v2(v2, read_trace_binary(v1), chunk_size=2)
+        write_trace_csv(csv2, read_trace_binary(v2))
+        assert read_trace_csv(csv2) == GOLDEN_PACKETS
+        assert csv1.read_bytes() == csv2.read_bytes()
+
+    def test_v2_v1_v2_preserves_bytes(self, tmp_path):
+        first = tmp_path / "a.v2"
+        v1 = tmp_path / "a.v1"
+        second = tmp_path / "b.v2"
+        write_trace_v2(first, GOLDEN_PACKETS, chunk_size=2)
+        write_trace_binary(v1, read_trace_binary(first))
+        write_trace_v2(second, read_trace_binary(v1), chunk_size=2)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_trace_key_batches_agree_across_formats(self, tmp_path, sample_packets):
+        v1 = tmp_path / "a.v1"
+        v2 = tmp_path / "a.v2"
+        write_trace_binary(v1, sample_packets)
+        write_trace_v2(v2, sample_packets, chunk_size=64)
+        from_v1 = np.concatenate(list(trace_key_batches(v1, batch_size=64)))
+        from_v2 = np.concatenate(list(trace_key_batches(v2, batch_size=64)))
+        assert np.array_equal(from_v1, from_v2)
+        one_dim = np.concatenate(list(trace_key_batches(v2, batch_size=64, dimensions=1)))
+        assert np.array_equal(one_dim, from_v1[:, 0])
+
+
+class TestGoldenFiles:
+    """The checked-in byte layouts can never silently drift."""
+
+    def test_v1_golden_reads_back(self):
+        restored = list(read_trace_binary(DATA_DIR / "golden_v1.bin"))
+        assert restored == GOLDEN_PACKETS
+
+    def test_v1_golden_bytes_stable(self, tmp_path):
+        rewritten = tmp_path / "golden_v1.bin"
+        write_trace_binary(rewritten, GOLDEN_PACKETS)
+        assert rewritten.read_bytes() == (DATA_DIR / "golden_v1.bin").read_bytes()
+
+    def test_v2_golden_reads_back(self):
+        reader = TraceReader(DATA_DIR / "golden_v2.bin")
+        assert list(reader.packets()) == GOLDEN_PACKETS
+        assert reader.chunk_sizes() == [2, 2, 1]
+
+    def test_v2_golden_bytes_stable(self, tmp_path):
+        rewritten = tmp_path / "golden_v2.bin"
+        write_trace_v2(rewritten, GOLDEN_PACKETS, chunk_size=2)
+        assert rewritten.read_bytes() == (DATA_DIR / "golden_v2.bin").read_bytes()
+
+
+class TestV2Corruption:
+    @pytest.fixture
+    def valid(self, tmp_path, sample_packets):
+        path = tmp_path / "valid.v2"
+        write_trace_v2(path, sample_packets, chunk_size=64)
+        return path
+
+    def test_bad_magic(self, tmp_path, valid):
+        data = bytearray(valid.read_bytes())
+        data[:4] = b"NOPE"
+        bad = tmp_path / "magic.v2"
+        bad.write_bytes(bytes(data))
+        with pytest.raises(TraceFormatError, match="bad magic"):
+            TraceReader(bad)
+
+    def test_version_mismatch(self, tmp_path, valid):
+        data = bytearray(valid.read_bytes())
+        data[4] = 7  # version little-endian low byte
+        bad = tmp_path / "version.v2"
+        bad.write_bytes(bytes(data))
+        with pytest.raises(TraceFormatError, match="version"):
+            TraceReader(bad)
+
+    def test_truncated_preamble(self, tmp_path):
+        bad = tmp_path / "preamble.v2"
+        bad.write_bytes(b"RHHH\x02\x00")
+        with pytest.raises(TraceFormatError, match="truncated"):
+            TraceReader(bad)
+
+    def test_truncated_chunk_payload(self, tmp_path, valid):
+        data = valid.read_bytes()
+        bad = tmp_path / "payload.v2"
+        bad.write_bytes(data[:-10])
+        with pytest.raises(TraceFormatError, match="truncated"):
+            TraceReader(bad)
+
+    def test_bad_chunk_magic(self, tmp_path, valid):
+        data = bytearray(valid.read_bytes())
+        data[20:24] = b"XXXX"  # first chunk header sits right after the preamble
+        bad = tmp_path / "chunkmagic.v2"
+        bad.write_bytes(bytes(data))
+        with pytest.raises(TraceFormatError, match="chunk magic"):
+            TraceReader(bad)
+
+    def test_count_mismatch(self, tmp_path, valid):
+        data = bytearray(valid.read_bytes())
+        data[8] ^= 0xFF  # packet_count low byte
+        bad = tmp_path / "count.v2"
+        bad.write_bytes(bytes(data))
+        with pytest.raises(TraceFormatError, match="declares"):
+            TraceReader(bad)
+
+    def test_trailing_garbage(self, tmp_path, valid):
+        bad = tmp_path / "trailing.v2"
+        bad.write_bytes(valid.read_bytes() + b"\x00" * 7)
+        with pytest.raises(TraceFormatError, match="trailing"):
+            TraceReader(bad)
+
+    def test_every_truncation_raises_trace_format_error(self, tmp_path, sample_packets):
+        path = tmp_path / "full.v2"
+        write_trace_v2(path, sample_packets[:20], chunk_size=8)
+        data = path.read_bytes()
+        cut = tmp_path / "cut.v2"
+        for length in range(len(data)):
+            cut.write_bytes(data[:length])
+            try:
+                TraceReader(cut)
+            except TraceFormatError:
+                continue
+            pytest.fail(f"truncation to {length} bytes did not raise TraceFormatError")
+
+
+class TestInspect:
+    def test_inspect_v1_and_v2(self, tmp_path, sample_packets):
+        v1 = tmp_path / "a.v1"
+        v2 = tmp_path / "a.v2"
+        write_trace_binary(v1, sample_packets)
+        write_trace_v2(v2, sample_packets, chunk_size=64)
+        info1 = inspect_trace(v1)
+        assert info1["format"] == "v1-rows"
+        assert info1["packets"] == 200
+        info2 = inspect_trace(v2)
+        assert info2["format"] == "v2-columnar"
+        assert info2["packets"] == 200
+        assert info2["chunks"] == 4
+
+    def test_inspect_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "garbage"
+        bad.write_bytes(b"definitely not a trace")
+        with pytest.raises(TraceFormatError):
+            inspect_trace(bad)
+
+
+class TestWriterValidation:
+    def test_bad_chunk_size(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            TraceV2Writer(tmp_path / "x.v2", chunk_size=0)
+
+    def test_write_after_close_rejected(self, tmp_path):
+        writer = TraceV2Writer(tmp_path / "x.v2")
+        writer.close()
+        with pytest.raises(ConfigurationError):
+            writer.write(Packet(src=1, dst=2))
+
+    def test_mismatched_array_lengths_rejected(self, tmp_path):
+        with TraceV2Writer(tmp_path / "x.v2") as writer:
+            with pytest.raises(ConfigurationError):
+                writer.write_arrays(np.arange(3), np.arange(4))
