@@ -9,6 +9,11 @@ settings (sanjose14 backbone workload, 2D-bytes lattice by default):
                             Space Saving counter, fed ``--batch-size`` chunks;
 * ``update_batch[array]`` - the same batch engine over the struct-of-arrays
                             ``array_space_saving`` counter backend;
+* ``update_batch[ckpt]``   (with ``--checkpoint-every N``) - the batch engine
+                            plus a durable checkpoint of the full runtime
+                            state every N packets, bounding the
+                            fault-tolerance layer's overhead
+                            (``--max-checkpoint-overhead`` gates it);
 * ``update_batch[sharded]`` (with ``--shards N``) - the hash-partitioned
                             process-pool engine: N worker shards each running
                             the vectorized batch path on their own sub-stream,
@@ -121,6 +126,14 @@ def _parse_args(argv=None) -> argparse.Namespace:
                         help="fail (exit 1) if the sharded-engine throughput over the "
                         "single-process batch path is below this (needs as many free "
                         "cores as shards to mean anything)")
+    parser.add_argument("--checkpoint-every", type=int, default=None,
+                        help="also measure the batch feed with a durable checkpoint "
+                        "(atomic write of the full runtime state) every this many "
+                        "packets, and report the overhead vs the plain batch feed")
+    parser.add_argument("--max-checkpoint-overhead", type=float, default=None,
+                        help="fail (exit 1) if the checkpointed feed's median overhead "
+                        "over the plain batch feed exceeds this percentage "
+                        "(needs --checkpoint-every)")
     parser.add_argument("--json", default=None, help="write results to this JSON file")
     parser.add_argument("--smoke", action="store_true",
                         help="CI smoke preset: a small stream, one timing repeat, no "
@@ -435,6 +448,40 @@ def main(argv=None) -> int:
             elapsed = time.perf_counter() - start
         return elapsed
 
+    def run_batch_checkpointed() -> float:
+        # The plain batch feed plus a durable checkpoint (atomic temp-file
+        # write of the full runtime state) every --checkpoint-every packets:
+        # the number that bounds the fault-tolerance layer's overhead.
+        import os
+        import tempfile
+
+        from repro.core.checkpoint import save_checkpoint, snapshot_algorithm
+
+        algorithm = _make(args, hierarchy)
+        update_batch = algorithm.update_batch
+        handle, path = tempfile.mkstemp(suffix=".rckp")
+        os.close(handle)
+        next_mark = args.checkpoint_every
+        try:
+            start = time.perf_counter()
+            for lo in range(0, len(batch_keys), args.batch_size):
+                update_batch(batch_keys[lo : lo + args.batch_size])
+                fed = min(lo + args.batch_size, len(batch_keys))
+                if fed >= next_mark:
+                    save_checkpoint(
+                        path,
+                        {
+                            "format": "bench",
+                            "position": fed,
+                            "algorithm": snapshot_algorithm(algorithm, copy_state=False),
+                        },
+                    )
+                    next_mark = fed + args.checkpoint_every
+            elapsed = time.perf_counter() - start
+        finally:
+            os.unlink(path)
+        return elapsed
+
     variants = {
         "update": run_update,
         "update_fast": run_update_fast,
@@ -443,6 +490,8 @@ def main(argv=None) -> int:
         "mst_update": run_mst_update,
         "mst_update_batch": run_mst_batch,
     }
+    if args.checkpoint_every is not None:
+        variants[f"update_batch[ckpt every {args.checkpoint_every}]"] = run_batch_checkpointed
     if args.trace:
         variants["trace_inline"] = run_trace_inline
         variants[f"trace_ingest[depth={args.ingest_depth}]"] = run_trace_ingest
@@ -494,6 +543,14 @@ def main(argv=None) -> int:
                 f"{args.packets / sharded_trace / 1e3:,.0f} kpps "
                 f"({args.shards} shards + reader thread)"
             )
+    checkpoint_overhead = None
+    if args.checkpoint_every is not None:
+        checkpointed = medians[f"update_batch[ckpt every {args.checkpoint_every}]"]
+        checkpoint_overhead = (checkpointed / medians["update_batch"] - 1.0) * 100.0
+        print(
+            f"checkpoint overhead over plain batch feed:        "
+            f"{checkpoint_overhead:+.2f}% (every {args.checkpoint_every:,} packets)"
+        )
     shard_speedup = None
     if args.shards >= 2:
         import os
@@ -519,6 +576,7 @@ def main(argv=None) -> int:
             "mst_batch_speedup": mst_speedup,
             "shard_batch_speedup": shard_speedup,
             "ingest_overlap_speedup": ingest_speedup,
+            "checkpoint_overhead_percent": checkpoint_overhead,
         }
         with open(args.json, "w") as handle:
             json.dump(payload, handle, indent=2)
@@ -538,6 +596,20 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         failed = True
+    if args.max_checkpoint_overhead is not None:
+        if checkpoint_overhead is None:
+            print(
+                "FAIL: --max-checkpoint-overhead needs --checkpoint-every to measure",
+                file=sys.stderr,
+            )
+            failed = True
+        elif checkpoint_overhead > args.max_checkpoint_overhead:
+            print(
+                f"FAIL: checkpoint overhead {checkpoint_overhead:.2f}% above allowed "
+                f"{args.max_checkpoint_overhead:.2f}%",
+                file=sys.stderr,
+            )
+            failed = True
     if args.min_shard_speedup is not None and (
         shard_speedup is None or shard_speedup < args.min_shard_speedup
     ):

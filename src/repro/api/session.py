@@ -38,16 +38,23 @@ from __future__ import annotations
 import time
 import warnings
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, List, Optional, Sequence, Union
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.api.registry import build_algorithm, make_hierarchy
 from repro.api.specs import ExperimentSpec
 from repro.core.base import HHHAlgorithm, HHHOutput
+from repro.core.checkpoint import (
+    load_checkpoint,
+    restore_algorithm,
+    save_checkpoint,
+    snapshot_algorithm,
+)
 from repro.core.ingest import RingBufferIngest, rechunk_batches
 from repro.core.output import validate_theta
-from repro.exceptions import ConfigurationError, ConfigurationWarning
+from repro.exceptions import CheckpointError, ConfigurationError, ConfigurationWarning
 from repro.hierarchy.base import Hierarchy
 from repro.traffic.caida_like import named_workload
 from repro.traffic.trace_io import trace_key_array, trace_key_batches, trace_packet_count
@@ -108,6 +115,17 @@ class Session:
         progress_chunk: progress-hook granularity of the per-packet feed path
             (default :data:`PER_PACKET_PROGRESS_CHUNK`); batch runs fire at
             ``batch_size`` granularity regardless.
+        checkpoint_every: override of ``spec.checkpoint_every`` - write a
+            durable session checkpoint after roughly this many fed packets
+            (the write lands on the next chunk boundary at or past the mark).
+        checkpoint_path: override of ``spec.checkpoint_path`` - where the
+            periodic checkpoint file lives; each write atomically replaces
+            the previous one.
+        fault_plan: optional :class:`~repro.core.faults.FaultPlan` threaded
+            into the sharded worker pool (``kill``/``delay`` events), the
+            trace reader (``trace_error``) and the ingest ring
+            (``ingest_error``) - the deterministic fault-injection hook the
+            recovery tests drive.
     """
 
     def __init__(
@@ -118,6 +136,9 @@ class Session:
         algorithm: Optional[HHHAlgorithm] = None,
         keys: Optional[Keys] = None,
         progress_chunk: Optional[int] = None,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_path: Optional[Union[str, Path]] = None,
+        fault_plan=None,
     ) -> None:
         if not isinstance(spec, ExperimentSpec):
             raise ConfigurationError(f"spec must be an ExperimentSpec, got {type(spec).__name__}")
@@ -131,6 +152,7 @@ class Session:
             # Late import: repro.core.shard builds algorithms through this
             # package's registry.
             from repro.core.shard import ShardedHHH
+            from repro.core.supervise import SupervisorPolicy
 
             if spec.batch_size is None and spec.shard_parallel:
                 warnings.warn(
@@ -151,6 +173,10 @@ class Session:
                 hierarchy if hierarchy is not None else spec.hierarchy,
                 spec.shards,
                 parallel=spec.shard_parallel,
+                supervisor=SupervisorPolicy(
+                    policy=spec.shard_policy, timeout=float(spec.shard_timeout)
+                ),
+                fault_plan=fault_plan,
             )
         else:
             self._algorithm = build_algorithm(spec.algorithm, self._hierarchy)
@@ -160,6 +186,35 @@ class Session:
         )
         self._progress_hooks: List[ProgressHook] = []
         self._measurement_hooks: List[MeasurementHook] = []
+        self._fault_plan = fault_plan
+        self._checkpoint_every = (
+            checkpoint_every if checkpoint_every is not None else spec.checkpoint_every
+        )
+        self._checkpoint_path = (
+            str(checkpoint_path) if checkpoint_path is not None else spec.checkpoint_path
+        )
+        if self._checkpoint_every is not None:
+            if (
+                isinstance(self._checkpoint_every, bool)
+                or not isinstance(self._checkpoint_every, int)
+                or self._checkpoint_every < 1
+            ):
+                raise ConfigurationError(
+                    f"checkpoint_every must be a positive int, got {self._checkpoint_every!r}"
+                )
+            if self._checkpoint_path is None:
+                raise ConfigurationError(
+                    "checkpoint_every needs a checkpoint_path to write to"
+                )
+        #: Packets fed through the run protocol so far (absolute stream
+        #: position, including any packets skipped by a resume).
+        self._stream_position = 0
+        #: Stream position recorded by the checkpoint this session resumed
+        #: from; 0 for fresh sessions.
+        self._resume_position = 0
+        self._next_checkpoint = (
+            self._checkpoint_every if self._checkpoint_every is not None else None
+        )
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -252,7 +307,13 @@ class Session:
     # the feed loop
     # ------------------------------------------------------------------ #
 
-    def feed(self, keys: Optional[Keys] = None, *, checkpoints: Sequence[int] = ()) -> List[Any]:
+    def feed(
+        self,
+        keys: Optional[Keys] = None,
+        *,
+        checkpoints: Sequence[int] = (),
+        start: int = 0,
+    ) -> List[Any]:
         """Drive the whole stream through the algorithm.
 
         Args:
@@ -264,6 +325,9 @@ class Session:
                 chunk boundaries relative to an uncheckpointed run.  With no
                 checkpoints the batch path is bit-identical to the manual
                 ``keys[i : i + batch_size]`` loop.
+            start: stream position to begin feeding from - ``keys[:start]``
+                is assumed already applied (this is how a resumed session
+                skips the prefix its checkpoint covers).
 
         Returns:
             the non-None records produced by the measurement hooks.
@@ -271,15 +335,17 @@ class Session:
         if keys is None:
             keys = self.keys()
         total = len(keys)
+        if not 0 <= start <= total:
+            raise ConfigurationError(f"start must lie in [0, {total}], got {start}")
         marks = sorted(set(int(c) for c in checkpoints))
-        if marks and (marks[0] < 1 or marks[-1] > total):
+        if marks and (marks[0] <= start or marks[-1] > total):
             raise ConfigurationError(
-                f"checkpoints must lie in [1, {total}], got {marks[0]}..{marks[-1]}"
+                f"checkpoints must lie in ({start}, {total}], got {marks[0]}..{marks[-1]}"
             )
         measurements: List[Any] = []
         marks_set = set(marks)
         cuts = marks + ([total] if not marks or marks[-1] != total else [])
-        position = 0
+        position = start
         for cut in cuts:
             self._feed_segment(keys, position, cut, total)
             position = cut
@@ -307,12 +373,17 @@ class Session:
                 chunk_stop = min(chunk_start + step, stop)
                 for key in HHHAlgorithm._iter_batch_keys(keys[chunk_start:chunk_stop]):
                     update(key)
+                self._stream_position = chunk_stop
                 self._fire_progress(chunk_stop, total)
+                self._maybe_checkpoint()
             return
         update_batch = self._algorithm.update_batch
         for chunk_start in range(start, stop, batch_size):
-            update_batch(keys[chunk_start : min(chunk_start + batch_size, stop)])
-            self._fire_progress(min(chunk_start + batch_size, stop), total)
+            chunk_stop = min(chunk_start + batch_size, stop)
+            update_batch(keys[chunk_start:chunk_stop])
+            self._stream_position = chunk_stop
+            self._fire_progress(chunk_stop, total)
+            self._maybe_checkpoint()
 
     def _fire_progress(self, processed: int, total: int) -> None:
         for hook in self._progress_hooks:
@@ -347,10 +418,18 @@ class Session:
                 continue
             update_batch(batch)
             fed += n
+            self._stream_position += n
             self._fire_progress(fed, total if total is not None else fed)
+            self._maybe_checkpoint()
         return fed
 
-    def feed_trace(self, path: Optional[str] = None, *, ingest: Optional[int] = None) -> int:
+    def feed_trace(
+        self,
+        path: Optional[str] = None,
+        *,
+        ingest: Optional[int] = None,
+        skip: Optional[int] = None,
+    ) -> int:
         """Stream a serialized trace through the batch engine; returns packets fed.
 
         v2 columnar traces replay as zero-copy memmap views re-chunked to the
@@ -365,6 +444,12 @@ class Session:
             path: trace file; defaults to ``spec.trace``.
             ingest: ring depth override; ``None`` uses ``spec.ingest``
                 (inline when that is also ``None``).
+            skip: packets to drop from the front of the stream before
+                feeding; defaults to the resume position of a session built
+                by :meth:`resume` (0 for fresh sessions).  Periodic
+                checkpoints always land on batch boundaries, so a resumed
+                skip drops whole batches; a ``skip`` that would split a
+                batch raises :class:`~repro.exceptions.CheckpointError`.
 
         Raises:
             ConfigurationError: when no trace path is available or the spec
@@ -381,6 +466,8 @@ class Session:
                 "spec (per-packet trace runs use run()/feed(), which "
                 "materialise the keys)"
             )
+        if skip is None:
+            skip = self._resume_position
         depth = ingest if ingest is not None else self._spec.ingest
         total = min(trace_packet_count(path), self._spec.packets)
         batches = rechunk_batches(
@@ -388,13 +475,100 @@ class Session:
                 path,
                 dimensions=self._hierarchy.dimensions,
                 limit=self._spec.packets,
+                fault_plan=self._fault_plan,
             ),
             self._spec.batch_size,
         )
+        if skip:
+            batches = _skip_batches(batches, skip)
         if depth is None:
             return self.feed_batches(batches, total=total)
-        with RingBufferIngest(batches, depth=depth) as ring:
+        with RingBufferIngest(batches, depth=depth, fault_plan=self._fault_plan) as ring:
             return self.feed_batches(ring, total=total)
+
+    # ------------------------------------------------------------------ #
+    # checkpoint / resume
+    # ------------------------------------------------------------------ #
+
+    @property
+    def stream_position(self) -> int:
+        """Absolute stream position fed so far (includes a resume's skipped prefix)."""
+        return self._stream_position
+
+    @property
+    def resume_position(self) -> int:
+        """Stream position of the checkpoint this session resumed from (0 if fresh)."""
+        return self._resume_position
+
+    def checkpoint(self, path: Optional[Union[str, Path]] = None) -> Path:
+        """Write a durable session checkpoint; returns the path written.
+
+        The file is written atomically (temp file + rename) with a
+        checksummed header, and captures everything a :meth:`resume` needs:
+        the spec, the absolute stream position, and the algorithm's full
+        runtime state (counters, totals and RNG states - per shard for the
+        sharded engine).  The stream itself is *not* stored; resuming replays
+        the same deterministic source from the recorded position.
+
+        Args:
+            path: target file; defaults to the session's configured
+                ``checkpoint_path``.
+        """
+        target = path if path is not None else self._checkpoint_path
+        if target is None:
+            raise ConfigurationError(
+                "checkpoint() needs a path (argument, checkpoint_path kwarg, "
+                "or spec.checkpoint_path)"
+            )
+        payload = {
+            "format": "session",
+            "spec": self._spec.to_dict(),
+            "position": int(self._stream_position),
+            # copy_state=False: the snapshot is pickled by save_checkpoint
+            # before the algorithm processes another packet.
+            "algorithm": snapshot_algorithm(self._algorithm, copy_state=False),
+        }
+        return save_checkpoint(target, payload)
+
+    def _maybe_checkpoint(self) -> None:
+        """Write the periodic checkpoint when the stream position crosses the mark."""
+        if self._next_checkpoint is None or self._stream_position < self._next_checkpoint:
+            return
+        self.checkpoint()
+        self._next_checkpoint = self._stream_position + self._checkpoint_every
+
+    @classmethod
+    def resume(cls, path: Union[str, Path], **session_kwargs: Any) -> "Session":
+        """Rebuild a session from a checkpoint file written by :meth:`checkpoint`.
+
+        The spec is restored from the checkpoint, the algorithm is rebuilt
+        and its runtime state restored bit-for-bit, and the stream position
+        is remembered so :meth:`run`, :meth:`feed` and :meth:`feed_trace`
+        skip the already-applied prefix.  Sessions whose stream came from an
+        explicit ``keys=`` argument must pass the same keys again.
+
+        Args:
+            path: checkpoint file.
+            **session_kwargs: forwarded to the constructor
+              (``checkpoint_path`` defaults to ``path`` so periodic
+              checkpointing keeps overwriting the same file).
+        """
+        payload = load_checkpoint(path)
+        if payload.get("format") != "session":
+            raise CheckpointError(
+                f"{path} is not a session checkpoint "
+                f"(format={payload.get('format')!r})"
+            )
+        spec = ExperimentSpec.from_dict(payload["spec"])
+        session_kwargs.setdefault("checkpoint_path", str(path))
+        session = cls(spec, **session_kwargs)
+        restore_algorithm(session._algorithm, payload["algorithm"])
+        position = int(payload.get("position", 0))
+        session._stream_position = position
+        session._resume_position = position
+        if session._next_checkpoint is not None:
+            session._next_checkpoint = position + session._checkpoint_every
+        return session
 
     # ------------------------------------------------------------------ #
     # queries and runs
@@ -434,13 +608,15 @@ class Session:
             return SessionResult(
                 spec=self._spec,
                 output=self.output(theta),
-                packets=fed,
+                packets=fed + self._resume_position,
                 seconds=seconds,
                 measurements=[],
             )
         keys = self.keys()
         start = time.perf_counter()
-        measurements = self.feed(keys, checkpoints=checkpoints)
+        measurements = self.feed(
+            keys, checkpoints=checkpoints, start=min(self._resume_position, len(keys))
+        )
         seconds = time.perf_counter() - start
         return SessionResult(
             spec=self._spec,
@@ -514,6 +690,34 @@ class Session:
         return (
             f"Session(algorithm={self._spec.algorithm.name!r}, "
             f"hierarchy={self._spec.hierarchy!r}, processed={self.processed})"
+        )
+
+
+def _skip_batches(batches: Iterable[Keys], skip: int) -> Iterator[Keys]:
+    """Drop whole batches until exactly ``skip`` packets have been consumed.
+
+    Periodic session checkpoints fire on batch boundaries, so a resume
+    position always lands between batches of the deterministic re-chunked
+    stream; a ``skip`` that would split a batch means the checkpoint does not
+    belong to this stream/batch-size combination and raises.
+    """
+    skipped = 0
+    for batch in batches:
+        if skipped < skip:
+            n = len(batch)
+            if skipped + n > skip:
+                raise CheckpointError(
+                    f"resume position {skip} is not on a batch boundary "
+                    f"(next batch spans {skipped}..{skipped + n}); was the "
+                    f"checkpoint written with a different batch_size or trace?"
+                )
+            skipped += n
+            continue
+        yield batch
+    if skipped < skip:
+        raise CheckpointError(
+            f"resume position {skip} lies beyond the end of the stream "
+            f"({skipped} packets)"
         )
 
 

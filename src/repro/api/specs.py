@@ -287,6 +287,20 @@ class ExperimentSpec(_SpecBase):
         shard_parallel: give each shard a worker process (default); ``False``
             runs the shard replicas in-process, with identical results -
             the deterministic mode the lockstep tests pin.
+        shard_policy: how parallel shard-worker failure is handled
+            (:class:`~repro.core.supervise.SupervisorPolicy` policy name):
+            ``"fail"`` raises a typed ``ShardFailure``, ``"restart"``
+            respawns from the last supervision checkpoint and replays the
+            delta (bit-identical to a failure-free run), ``"degrade"``
+            continues on the survivors with widened error bounds and a
+            ``failed_shards`` report on the output.
+        shard_timeout: IPC timeout in seconds before an unresponsive worker
+            counts as hung.
+        checkpoint_every: take a durable session checkpoint every this many
+            packets during ``run()``/``feed_trace()`` (requires
+            ``checkpoint_path``); ``None`` disables periodic checkpoints.
+        checkpoint_path: file the periodic checkpoints are (atomically)
+            written to - the path ``Session.resume`` restarts from.
         label: free-form tag recorded in results.
     """
 
@@ -301,6 +315,10 @@ class ExperimentSpec(_SpecBase):
     batch_size: Optional[int] = None
     shards: Optional[int] = None
     shard_parallel: bool = True
+    shard_policy: str = "fail"
+    shard_timeout: float = 30.0
+    checkpoint_every: Optional[int] = None
+    checkpoint_path: Optional[str] = None
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -329,6 +347,27 @@ class ExperimentSpec(_SpecBase):
         if not isinstance(self.shard_parallel, bool):
             raise ConfigurationError(
                 f"shard_parallel must be a bool, got {self.shard_parallel!r}"
+            )
+        if self.shard_policy not in ("fail", "restart", "degrade"):
+            raise ConfigurationError(
+                f"shard_policy must be 'fail', 'restart' or 'degrade', got {self.shard_policy!r}"
+            )
+        if not isinstance(self.shard_timeout, (int, float)) or isinstance(
+            self.shard_timeout, bool
+        ) or self.shard_timeout <= 0:
+            raise ConfigurationError(
+                f"shard_timeout must be a positive number, got {self.shard_timeout!r}"
+            )
+        _check_positive_int("checkpoint_every", self.checkpoint_every)
+        if self.checkpoint_path is not None and (
+            not self.checkpoint_path or not isinstance(self.checkpoint_path, str)
+        ):
+            raise ConfigurationError(
+                f"checkpoint_path must be a non-empty path string, got {self.checkpoint_path!r}"
+            )
+        if self.checkpoint_every is not None and self.checkpoint_path is None:
+            raise ConfigurationError(
+                "checkpoint_every needs somewhere to write; set checkpoint_path alongside it"
             )
 
 

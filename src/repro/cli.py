@@ -100,7 +100,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     run = subparsers.add_parser("run", help="execute a JSON experiment spec")
-    run.add_argument("--spec", required=True, help="path to an ExperimentSpec JSON file ('-' for stdin)")
+    run.add_argument("--spec", default=None, help="path to an ExperimentSpec JSON file ('-' for stdin)")
+    run.add_argument(
+        "--resume",
+        default=None,
+        metavar="CHECKPOINT",
+        help="resume a run from a session checkpoint file instead of starting "
+        "from a spec (mutually exclusive with --spec; the spec is restored "
+        "from the checkpoint)",
+    )
     run.add_argument("--theta", type=float, default=None, help="override the spec's theta")
     run.add_argument("--trace", default=None, help="override the spec's trace file")
     run.add_argument(
@@ -109,6 +117,20 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="override the spec's ingest ring depth (overlap trace reading "
         "with the batch engine)",
+    )
+    run.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        help="override the spec's checkpoint cadence: write a session "
+        "checkpoint roughly every this many fed packets (requires "
+        "--checkpoint-path or a spec-level checkpoint path)",
+    )
+    run.add_argument(
+        "--checkpoint-path",
+        default=None,
+        help="override the file the periodic session checkpoint is "
+        "(atomically) written to; resume with `repro run --resume PATH`",
     )
 
     compare = subparsers.add_parser("compare", help="compare several algorithms on the same stream")
@@ -203,6 +225,35 @@ def _add_stream_arguments(parser: argparse.ArgumentParser) -> None:
         "shards and merge their counter summaries at output time "
         "(default: unsharded)",
     )
+    parser.add_argument(
+        "--shard-policy",
+        default="fail",
+        choices=("fail", "restart", "degrade"),
+        help="supervision policy when a shard worker crashes or hangs: fail "
+        "(raise), restart (respawn from its last checkpoint and replay - "
+        "bit-identical recovery), degrade (continue with survivors and "
+        "widen the error bounds)",
+    )
+    parser.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=30.0,
+        help="seconds to wait for a shard worker's reply before declaring "
+        "it hung (default: 30)",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        help="write a session checkpoint roughly every this many fed packets "
+        "(requires --checkpoint-path)",
+    )
+    parser.add_argument(
+        "--checkpoint-path",
+        default=None,
+        help="file the periodic session checkpoint is (atomically) written to; "
+        "resume with `repro run --resume PATH`",
+    )
 
 
 def _spec_from_args(args: argparse.Namespace, algorithm: str, theta: float) -> ExperimentSpec:
@@ -226,6 +277,10 @@ def _spec_from_args(args: argparse.Namespace, algorithm: str, theta: float) -> E
             theta=theta,
             batch_size=args.batch_size,
             shards=args.shards,
+            shard_policy=getattr(args, "shard_policy", "fail"),
+            shard_timeout=getattr(args, "shard_timeout", 30.0),
+            checkpoint_every=getattr(args, "checkpoint_every", None),
+            checkpoint_path=getattr(args, "checkpoint_path", None),
         )
     except ReproError as exc:
         raise SystemExit(str(exc)) from None
@@ -272,21 +327,47 @@ def _command_detect(args: argparse.Namespace) -> int:
 
 
 def _command_run(args: argparse.Namespace) -> int:
+    if (args.spec is None) == (args.resume is None):
+        print("error: pass exactly one of --spec or --resume", file=sys.stderr)
+        return 1
     try:
-        if args.spec == "-":
-            text = sys.stdin.read()
+        if args.resume is not None:
+            if args.trace is not None or args.ingest is not None:
+                print(
+                    "error: --trace/--ingest overrides do not apply to --resume "
+                    "(the checkpointed spec must replay the original stream)",
+                    file=sys.stderr,
+                )
+                return 1
+            if args.checkpoint_every is not None or args.checkpoint_path is not None:
+                print(
+                    "error: --checkpoint-every/--checkpoint-path overrides do "
+                    "not apply to --resume (the resumed session keeps the "
+                    "checkpointed cadence and path)",
+                    file=sys.stderr,
+                )
+                return 1
+            with Session.resume(args.resume) as session:
+                spec = session.spec
+                result = session.run(theta=args.theta)
         else:
-            with open(args.spec) as handle:
-                text = handle.read()
-        spec = ExperimentSpec.from_json(text)
-        if args.trace is not None or args.ingest is not None:
-            spec = dataclasses.replace(
-                spec,
-                trace=args.trace if args.trace is not None else spec.trace,
-                ingest=args.ingest if args.ingest is not None else spec.ingest,
-            )
-        with Session(spec) as session:
-            result = session.run(theta=args.theta)
+            if args.spec == "-":
+                text = sys.stdin.read()
+            else:
+                with open(args.spec) as handle:
+                    text = handle.read()
+            spec = ExperimentSpec.from_json(text)
+            overrides = {
+                "trace": args.trace,
+                "ingest": args.ingest,
+                "checkpoint_every": args.checkpoint_every,
+                "checkpoint_path": args.checkpoint_path,
+            }
+            applied = {key: value for key, value in overrides.items() if value is not None}
+            if applied:
+                spec = dataclasses.replace(spec, **applied)
+            with Session(spec) as session:
+                result = session.run(theta=args.theta)
     except OSError as exc:
         print(f"error: cannot read spec: {exc}", file=sys.stderr)
         return 1

@@ -58,11 +58,16 @@ class HHHOutput:
             (most specific levels first).
         total: stream length ``N`` at the time of the call.
         threshold: the absolute frequency threshold ``theta * N`` used.
+        failed_shards: per-shard loss reports
+            (:class:`repro.core.supervise.ShardLoss`) when a sharded engine
+            served this output degraded; empty for healthy runs and
+            unsharded algorithms.
     """
 
     candidates: List[HHHCandidate] = field(default_factory=list)
     total: int = 0
     threshold: float = 0.0
+    failed_shards: List = field(default_factory=list)
 
     def prefixes(self) -> List[Prefix]:
         """Return just the reported prefixes."""
@@ -88,6 +93,13 @@ class HHHAlgorithm(abc.ABC):
     def __init__(self, hierarchy: Hierarchy) -> None:
         self._hierarchy = hierarchy
         self._total = 0
+        #: Extra stream-level weight added to every conditioned estimate by
+        #: :meth:`output` - zero in normal operation.  A degraded sharded
+        #: engine sets it to the lost shards' unaccounted packet weight, so
+        #: the coverage guarantee survives the loss: any prefix the missing
+        #: packets could have pushed over ``theta * N`` still clears the
+        #: threshold test.
+        self.extra_correction: float = 0.0
 
     @property
     def hierarchy(self) -> Hierarchy:

@@ -1,0 +1,202 @@
+"""Deterministic fault injection: seeded schedules of crashes, hangs and read errors.
+
+Fault-tolerance code is only trustworthy if its failure paths are exercised
+deterministically, so this module expresses failures as *data*: a
+:class:`FaultPlan` is a schedule of :class:`FaultEvent`\\ s pinned to batch
+indices, either written out explicitly in a test or drawn reproducibly from
+a seed with :meth:`FaultPlan.random`.  The execution layers consume the plan
+at well-defined points:
+
+* the shard supervisor (:mod:`repro.core.supervise`) fires ``kill`` events
+  (SIGKILL of a worker process) and ``delay`` events (the worker sleeps
+  before acknowledging, simulating a slow or hung pipe) at the start of the
+  scheduled batch, *before* that batch is dispatched;
+* :class:`repro.core.ingest.RingBufferIngest` raises scheduled
+  ``ingest_error`` events from its producer;
+* :meth:`repro.traffic.trace_io.TraceReader.key_batches` raises scheduled
+  ``trace_error`` events, simulating a bad read mid-replay.
+
+Every event fires exactly once; a plan is single-use state (build a fresh
+one per engine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, FaultInjectionError
+
+#: Supported fault kinds and the layer that fires them.
+FAULT_KINDS = ("kill", "delay", "ingest_error", "trace_error")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    Attributes:
+        kind: one of :data:`FAULT_KINDS`.
+        at_batch: 0-based batch index at which the event fires.
+        shard: target shard for ``kill``/``delay`` events.
+        seconds: sleep duration for ``delay`` events.
+        message: text carried by injected ``*_error`` exceptions.
+    """
+
+    kind: str
+    at_batch: int
+    shard: Optional[int] = None
+    seconds: float = 0.0
+    message: str = "injected fault"
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if not isinstance(self.at_batch, int) or isinstance(self.at_batch, bool) or self.at_batch < 0:
+            raise ConfigurationError(f"at_batch must be a non-negative int, got {self.at_batch!r}")
+        if self.kind in ("kill", "delay") and (self.shard is None or self.shard < 0):
+            raise ConfigurationError(f"{self.kind!r} events need a non-negative shard index")
+        if self.kind == "delay" and self.seconds <= 0:
+            raise ConfigurationError(f"delay events need seconds > 0, got {self.seconds!r}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "at_batch": self.at_batch,
+            "shard": self.shard,
+            "seconds": self.seconds,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultEvent":
+        return cls(**data)
+
+
+class FaultPlan:
+    """A deterministic schedule of faults, consumed by the execution layers.
+
+    Args:
+        events: the scheduled :class:`FaultEvent`\\ s (any order).
+    """
+
+    def __init__(self, events: Sequence[FaultEvent] = ()) -> None:
+        for event in events:
+            if not isinstance(event, FaultEvent):
+                raise ConfigurationError(
+                    f"FaultPlan takes FaultEvent instances, got {type(event).__name__}"
+                )
+        self._events: Tuple[FaultEvent, ...] = tuple(
+            sorted(events, key=lambda e: (e.at_batch, e.kind, e.shard or 0))
+        )
+        self._fired: set = set()
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        *,
+        batches: int,
+        shards: int,
+        kills: int = 1,
+        delays: int = 0,
+        ingest_errors: int = 0,
+        trace_errors: int = 0,
+        max_delay: float = 0.5,
+    ) -> "FaultPlan":
+        """Draw a reproducible schedule: same arguments, same plan.
+
+        Batch indices are drawn without replacement across the whole plan so
+        no two events collide on the same batch (keeps recovery assertions
+        unambiguous); shard targets are drawn uniformly.
+        """
+        if batches < 1:
+            raise ConfigurationError(f"batches must be >= 1, got {batches}")
+        if shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {shards}")
+        count = kills + delays + ingest_errors + trace_errors
+        if count > batches:
+            raise ConfigurationError(
+                f"cannot schedule {count} events across only {batches} batches"
+            )
+        rng = np.random.default_rng(seed)
+        slots = rng.choice(batches, size=count, replace=False)
+        events: List[FaultEvent] = []
+        cursor = 0
+        for _ in range(kills):
+            events.append(
+                FaultEvent("kill", int(slots[cursor]), shard=int(rng.integers(shards)))
+            )
+            cursor += 1
+        for _ in range(delays):
+            events.append(
+                FaultEvent(
+                    "delay",
+                    int(slots[cursor]),
+                    shard=int(rng.integers(shards)),
+                    seconds=float(rng.uniform(0.01, max_delay)),
+                )
+            )
+            cursor += 1
+        for _ in range(ingest_errors):
+            events.append(FaultEvent("ingest_error", int(slots[cursor]), message="injected ingest fault"))
+            cursor += 1
+        for _ in range(trace_errors):
+            events.append(FaultEvent("trace_error", int(slots[cursor]), message="injected trace fault"))
+            cursor += 1
+        return cls(events)
+
+    @property
+    def events(self) -> Tuple[FaultEvent, ...]:
+        """The full schedule, sorted by batch index."""
+        return self._events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events_at(self, batch_index: int, kind: str) -> List[FaultEvent]:
+        """Pop the not-yet-fired events of ``kind`` scheduled at ``batch_index``."""
+        matched: List[FaultEvent] = []
+        for position, event in enumerate(self._events):
+            if position in self._fired or event.kind != kind or event.at_batch != batch_index:
+                continue
+            self._fired.add(position)
+            matched.append(event)
+        return matched
+
+    def kills_at(self, batch_index: int) -> List[int]:
+        """Shards whose workers must be SIGKILLed before this batch."""
+        return [event.shard for event in self.events_at(batch_index, "kill")]
+
+    def delays_at(self, batch_index: int) -> List[Tuple[int, float]]:
+        """``(shard, seconds)`` delay injections scheduled before this batch."""
+        return [(event.shard, event.seconds) for event in self.events_at(batch_index, "delay")]
+
+    def wrap_batches(self, batches: Iterable, kind: str = "ingest_error") -> Iterator:
+        """Pass a batch iterator through, raising the scheduled ``kind`` events.
+
+        An event at index ``i`` raises *before* batch ``i`` is yielded, so a
+        consumer sees exactly the ``i``-batch prefix - the deterministic
+        "read error after N good batches" shape the recovery tests need.
+        """
+        index = 0
+        for batch in batches:
+            for event in self.events_at(index, kind):
+                raise FaultInjectionError(f"{event.message} (batch {index})")
+            yield batch
+            index += 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize the schedule (not the fired-state) as plain data."""
+        return {"events": [event.to_dict() for event in self._events]}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        return cls([FaultEvent.from_dict(entry) for entry in data.get("events", [])])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan({len(self._events)} events, {len(self._fired)} fired)"

@@ -77,15 +77,29 @@ class RingBufferIngest(Generic[T]):
             starts immediately (prefetch begins before the first ``next``).
         depth: ring capacity in batches; the producer blocks when the ring is
             full (backpressure).
+        fault_plan: optional :class:`~repro.core.faults.FaultPlan` whose
+            ``ingest_error`` events fire inside the producer at their
+            scheduled batch indices - the prefix produced before the event
+            is still delivered in order, then the injected
+            :class:`~repro.exceptions.FaultInjectionError` re-raises in the
+            consumer, exercising exactly the producer-error shutdown path.
 
     Iterate the instance to consume; use it as a context manager (or call
     :meth:`close`) to guarantee the producer thread is stopped and joined
     even when the consumer abandons the stream early.
     """
 
-    def __init__(self, source: Iterable[T], *, depth: int = DEFAULT_RING_DEPTH) -> None:
+    def __init__(
+        self,
+        source: Iterable[T],
+        *,
+        depth: int = DEFAULT_RING_DEPTH,
+        fault_plan=None,
+    ) -> None:
         if depth < 1:
             raise ConfigurationError(f"ring depth must be >= 1, got {depth}")
+        if fault_plan is not None:
+            source = fault_plan.wrap_batches(source, kind="ingest_error")
         self._depth = depth
         self._slots: list = [None] * depth
         self._head = 0

@@ -258,7 +258,7 @@ class RHHH(HHHAlgorithm):
             coverage_correction(self._total * self._r, self._v, self._config.delta) / self._r
             if self._total > 0
             else 0.0
-        )
+        ) + self.extra_correction
         return lattice_output(
             self._hierarchy,
             self._counters,

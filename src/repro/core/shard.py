@@ -21,6 +21,20 @@ Two execution modes share identical semantics:
   live state crosses the fork boundary) and overlaps the per-shard batch
   work across cores.
 
+Parallel workers run under a :class:`~repro.core.supervise.ShardSupervisor`:
+every wait is bounded by an IPC timeout with liveness checks, and the
+supervisor's :class:`~repro.core.supervise.SupervisorPolicy` decides what a
+worker death means - ``fail`` raises a typed
+:class:`~repro.exceptions.ShardFailure` naming the shard and exitcode,
+``restart`` respawns the shard from its last supervision checkpoint and
+replays the journaled delta (bit-identical to a failure-free run), and
+``degrade`` continues on the survivors, merging the lost shard's
+checkpointed contribution and widening the output's error bounds by exactly
+the unaccounted weight (reported via ``HHHOutput.failed_shards``).  The
+whole engine state also snapshots/restores through
+:meth:`ShardedHHH.snapshot_state`/:meth:`ShardedHHH.restore_state`, which is
+what ``Session`` checkpointing builds on.
+
 Each *key* is routed to exactly one shard (multiplicative hashing on the
 packed key), so at the fully-specified lattice node the shard summaries see
 disjoint key sets and the reduction uses ``merge(..., disjoint=True)``: the
@@ -46,8 +60,6 @@ from __future__ import annotations
 
 import copy
 import dataclasses
-import multiprocessing
-import traceback
 from typing import Hashable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -55,7 +67,9 @@ import numpy as np
 from repro.api.specs import AlgorithmSpec
 from repro.core.base import HHHAlgorithm, HHHOutput
 from repro.core.batch import coerce_key_array, coerce_weights
-from repro.exceptions import AlgorithmError, ConfigurationError
+from repro.core.checkpoint import apply_runtime_state, capture_runtime_state
+from repro.core.supervise import ShardLoss, ShardSupervisor, SupervisorPolicy
+from repro.exceptions import AlgorithmError, CheckpointError, ConfigurationError
 from repro.hh.base import FrequencyEstimator
 from repro.hierarchy.base import Hierarchy
 
@@ -148,59 +162,6 @@ def shard_assignments(keys: Sequence, shards: int) -> Optional[np.ndarray]:
 
 
 # --------------------------------------------------------------------------- #
-# worker process
-# --------------------------------------------------------------------------- #
-
-
-def _shard_worker(conn, hierarchy_payload, spec_dict: dict) -> None:
-    """One shard's process loop: build the replica, then serve commands.
-
-    Spawn-safe by construction: everything the worker needs arrives as
-    picklable data (a registry hierarchy name or a plain-data hierarchy
-    instance, and the shard's ``AlgorithmSpec`` as a dict) and the replica
-    is built inside the worker.  Replies are ``("ok", payload)`` or
-    ``("error", traceback_text)``; the parent re-raises the latter.
-    """
-    from repro.api.registry import build_algorithm, make_hierarchy
-
-    try:
-        hierarchy = (
-            make_hierarchy(hierarchy_payload)
-            if isinstance(hierarchy_payload, str)
-            else hierarchy_payload
-        )
-        algorithm = build_algorithm(AlgorithmSpec.from_dict(spec_dict), hierarchy)
-        conn.send(("ok", None))
-    except Exception:
-        conn.send(("error", traceback.format_exc()))
-        conn.close()
-        return
-    while True:
-        try:
-            message = conn.recv()
-        except EOFError:
-            break
-        command = message[0]
-        try:
-            if command == "update_batch":
-                algorithm.update_batch(message[1], message[2])
-                conn.send(("ok", None))
-            elif command == "update":
-                algorithm.update(message[1], message[2])
-                conn.send(("ok", None))
-            elif command == "snapshot":
-                conn.send(("ok", (algorithm.total, algorithm._counters)))
-            elif command == "close":
-                conn.send(("ok", None))
-                break
-            else:
-                conn.send(("error", f"unknown shard command {command!r}"))
-        except Exception:
-            conn.send(("error", traceback.format_exc()))
-    conn.close()
-
-
-# --------------------------------------------------------------------------- #
 # the sharded engine
 # --------------------------------------------------------------------------- #
 
@@ -223,6 +184,13 @@ class ShardedHHH(HHHAlgorithm):
         start_method: multiprocessing start method for the worker pool
             (default ``"spawn"``, the method that works on every platform
             and never inherits live state).
+        supervisor: failure handling for the worker pool - a
+            :class:`~repro.core.supervise.SupervisorPolicy`, a bare policy
+            name (``"fail"``/``"restart"``/``"degrade"``), or ``None`` for
+            the default fail-fast policy.
+        fault_plan: optional :class:`~repro.core.faults.FaultPlan` firing
+            deterministic worker kills/delays at scheduled batch indices
+            (``parallel=True`` only; the fault-injection test hook).
     """
 
     name = "sharded"
@@ -235,6 +203,8 @@ class ShardedHHH(HHHAlgorithm):
         *,
         parallel: bool = True,
         start_method: str = "spawn",
+        supervisor: Union[SupervisorPolicy, str, None] = None,
+        fault_plan=None,
     ) -> None:
         from repro.api.registry import build_algorithm, make_hierarchy
 
@@ -245,12 +215,26 @@ class ShardedHHH(HHHAlgorithm):
             )
         if not isinstance(shards, int) or isinstance(shards, bool) or shards < 1:
             raise ConfigurationError(f"shards must be a positive integer, got {shards!r}")
+        if isinstance(supervisor, str):
+            supervisor = SupervisorPolicy(policy=supervisor)
+        elif supervisor is None:
+            supervisor = SupervisorPolicy()
+        elif not isinstance(supervisor, SupervisorPolicy):
+            raise ConfigurationError(
+                f"supervisor must be a SupervisorPolicy or policy name, "
+                f"got {type(supervisor).__name__}"
+            )
+        if fault_plan is not None and not parallel:
+            raise ConfigurationError(
+                "fault_plan injects worker kills/delays and requires parallel=True"
+            )
         hierarchy_obj = make_hierarchy(hierarchy) if isinstance(hierarchy, str) else hierarchy
         super().__init__(hierarchy_obj)
         self._spec = spec
         self._shards = shards
         self._parallel = bool(parallel)
         self._start_method = start_method
+        self._policy = supervisor
         self._seeds = spawn_shard_seeds(spec.seed, shards)
         self._shard_specs = [
             per_shard_algorithm_spec(spec, seed, shards) for seed in self._seeds
@@ -282,10 +266,18 @@ class ShardedHHH(HHHAlgorithm):
             hierarchy_obj.node_level(node) == 0 for node in range(hierarchy_obj.size)
         ]
         self._replicas: List[HHHAlgorithm] = []
-        self._workers: List[Tuple] = []
+        self._supervisor: Optional[ShardSupervisor] = None
+        self._batch_index = 0
         self._closed = False
         if self._parallel:
-            self._start_workers(hierarchy if isinstance(hierarchy, str) else hierarchy_obj)
+            self._supervisor = ShardSupervisor(
+                self._shard_specs,
+                hierarchy if isinstance(hierarchy, str) else hierarchy_obj,
+                supervisor,
+                start_method=start_method,
+                fault_plan=fault_plan,
+            )
+            self._supervisor.start()
         else:
             self._replicas = [
                 build_algorithm(shard_spec, hierarchy_obj) for shard_spec in self._shard_specs
@@ -295,58 +287,30 @@ class ShardedHHH(HHHAlgorithm):
     # worker lifecycle
     # ------------------------------------------------------------------ #
 
-    def _start_workers(self, hierarchy_payload) -> None:
-        context = multiprocessing.get_context(self._start_method)
-        for shard_spec in self._shard_specs:
-            parent_conn, child_conn = context.Pipe()
-            process = context.Process(
-                target=_shard_worker,
-                args=(child_conn, hierarchy_payload, shard_spec.to_dict()),
-                daemon=True,
-            )
-            process.start()
-            child_conn.close()
-            self._workers.append((process, parent_conn))
-        for _, conn in self._workers:
-            self._expect_ok(conn)
+    def close(self, raise_errors: bool = True) -> None:
+        """Shut the worker pool down (idempotent; serial mode is a no-op).
 
-    @staticmethod
-    def _expect_ok(conn):
-        try:
-            status, payload = conn.recv()
-        except EOFError:
-            raise AlgorithmError("a shard worker died before replying") from None
-        if status != "ok":
-            raise AlgorithmError(f"shard worker failed:\n{payload}")
-        return payload
-
-    def close(self) -> None:
-        """Shut the worker pool down (idempotent; serial mode is a no-op)."""
+        The supervisor collects close-time failures of shards not already
+        reported and raises them as one error naming each shard and
+        exitcode; ``raise_errors=False`` (the GC/unwind path) still cleans
+        every process up but swallows the report.
+        """
         if self._closed:
             return
         self._closed = True
-        for process, conn in self._workers:
-            try:
-                conn.send(("close", None))
-                self._expect_ok(conn)
-            except (OSError, EOFError, AlgorithmError):
-                pass
-            finally:
-                conn.close()
-            process.join(timeout=5)
-            if process.is_alive():  # pragma: no cover - defensive
-                process.terminate()
-        self._workers = []
+        if self._supervisor is not None:
+            self._supervisor.close(raise_errors=raise_errors)
 
     def __enter__(self) -> "ShardedHHH":
         return self
 
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+    def __exit__(self, exc_type, exc_value, exc_tb) -> None:
+        # Do not mask an in-flight exception with close-time failures.
+        self.close(raise_errors=exc_type is None)
 
     def __del__(self) -> None:  # pragma: no cover - GC timing dependent
         try:
-            self.close()
+            self.close(raise_errors=False)
         except Exception:
             pass
 
@@ -355,15 +319,24 @@ class ShardedHHH(HHHAlgorithm):
     # ------------------------------------------------------------------ #
 
     def update(self, key: Hashable, weight: int = 1) -> None:
-        """Route one packet to the shard owning its key."""
+        """Route one packet to the shard owning its key.
+
+        ``self._total`` moves only after the owning shard acknowledged (or
+        the supervisor recovered/degraded the failure), so a dispatch
+        failure never leaves the recorded total ahead of the shard state.
+        """
         shard = shard_of_key(key, self._shards)
-        self._total += weight
         if self._parallel:
-            _, conn = self._workers[shard]
-            conn.send(("update", key, weight))
-            self._expect_ok(conn)
+            batch = self._batch_index
+            self._supervisor.begin_batch(batch)
+            if self._supervisor.send_update(shard, ("update", key, weight), weight, batch):
+                self._supervisor.collect_acks([shard], batch)
+            self._supervisor.maybe_checkpoint(batch)
+            self._batch_index += 1
         else:
             self._replicas[shard].update(key, weight)
+            self._batch_index += 1
+        self._total += weight
 
     def update_batch(
         self, keys: Sequence[Hashable], weights: Optional[Sequence[int]] = None
@@ -374,28 +347,38 @@ class ShardedHHH(HHHAlgorithm):
         any acknowledgement is collected, so the per-shard vectorized engines
         run concurrently; serial mode applies them in shard order.  Either
         way each shard sees exactly the sub-stream of keys it owns, in stream
-        order - the property the lockstep suite pins.
+        order - the property the lockstep suite pins.  The recorded total
+        only moves once every touched shard acknowledged (or its failure was
+        recovered/degraded), keeping ``total`` consistent with shard state
+        when a dispatch fails.
         """
         n = len(keys)
         if n == 0:
             return
         weights_arr, total_weight = coerce_weights(weights, n)
-        self._total += total_weight
         parts = self._partition(keys, weights_arr, n)
         if self._parallel:
+            batch = self._batch_index
+            self._supervisor.begin_batch(batch)
             touched = []
             for shard, (sub_keys, sub_weights) in enumerate(parts):
                 if len(sub_keys) == 0:
                     continue
-                _, conn = self._workers[shard]
-                conn.send(("update_batch", sub_keys, sub_weights))
-                touched.append(conn)
-            for conn in touched:
-                self._expect_ok(conn)
+                sub_weight = (
+                    int(sub_weights.sum()) if sub_weights is not None else len(sub_keys)
+                )
+                message = ("update_batch", sub_keys, sub_weights)
+                if self._supervisor.send_update(shard, message, sub_weight, batch):
+                    touched.append(shard)
+            self._supervisor.collect_acks(touched, batch)
+            self._supervisor.maybe_checkpoint(batch)
+            self._batch_index += 1
         else:
             for shard, (sub_keys, sub_weights) in enumerate(parts):
                 if len(sub_keys):
                     self._replicas[shard].update_batch(sub_keys, sub_weights)
+            self._batch_index += 1
+        self._total += total_weight
 
     def _partition(
         self, keys: Sequence, weights_arr: Optional[np.ndarray], n: int
@@ -436,20 +419,75 @@ class ShardedHHH(HHHAlgorithm):
         return parts
 
     # ------------------------------------------------------------------ #
+    # checkpoint/restore of the whole engine
+    # ------------------------------------------------------------------ #
+
+    def snapshot_state(self) -> dict:
+        """Full engine snapshot: per-shard runtime states + engine bookkeeping.
+
+        Plain picklable data, suitable for
+        :func:`repro.core.checkpoint.save_checkpoint`.  Raises
+        :class:`~repro.exceptions.CheckpointError` on a degraded engine
+        (lost shards have no state left to snapshot).
+        """
+        if self._parallel:
+            shard_states = self._supervisor.runtime_states()
+        else:
+            shard_states = [capture_runtime_state(replica) for replica in self._replicas]
+        return {
+            "engine": "sharded",
+            "shards": self._shards,
+            "seeds": list(self._seeds),
+            "total": self._total,
+            "batch_index": self._batch_index,
+            "shard_states": shard_states,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Apply a :meth:`snapshot_state` snapshot to this (freshly built) engine.
+
+        The engine must have been built from the same spec: shard count and
+        spawned seeds are verified, so a checkpoint can never be silently
+        replayed onto a differently-partitioned engine.  In parallel mode
+        the restored states also become the supervisor's recovery baseline.
+        """
+        if state.get("engine") != "sharded":
+            raise CheckpointError(
+                f"checkpoint holds {state.get('engine')!r} state, expected 'sharded'"
+            )
+        if state.get("shards") != self._shards:
+            raise CheckpointError(
+                f"checkpoint was taken with {state.get('shards')} shards, engine has {self._shards}"
+            )
+        if list(state.get("seeds", [])) != list(self._seeds):
+            raise CheckpointError(
+                "checkpoint shard seeds do not match this engine's spawned seeds "
+                "(different root seed or shard count)"
+            )
+        shard_states = state["shard_states"]
+        if self._parallel:
+            self._supervisor.restore_states(shard_states)
+        else:
+            for replica, shard_state in zip(self._replicas, shard_states):
+                apply_runtime_state(replica, shard_state)
+        self._total = int(state["total"])
+        self._batch_index = int(state["batch_index"])
+
+    # ------------------------------------------------------------------ #
     # the merge reduction and queries
     # ------------------------------------------------------------------ #
 
     def _shard_states(self) -> List[Tuple[int, List]]:
         """Collect ``(total, counters)`` from every shard.
 
-        Parallel snapshots arrive as fresh pickled copies; the serial path
-        deep-copies shard 0 (the merge target) and hands the rest over
-        read-only - ``merge`` never mutates its argument.
+        Parallel snapshots arrive as fresh pickled copies via the
+        supervisor, which substitutes the last supervision checkpoint for a
+        degraded shard; the serial path deep-copies shard 0 (the merge
+        target) and hands the rest over read-only - ``merge`` never mutates
+        its argument.
         """
         if self._parallel:
-            for _, conn in self._workers:
-                conn.send(("snapshot", None))
-            return [self._expect_ok(conn) for _, conn in self._workers]
+            return self._supervisor.merge_states()
         states = []
         for shard, replica in enumerate(self._replicas):
             counters = replica._counters
@@ -463,9 +501,17 @@ class ShardedHHH(HHHAlgorithm):
 
         Returns ``(counters, total)``: the merge of every shard's per-node
         summaries (key-disjoint at the fully-specified node, generic
-        summed-bound elsewhere) and the summed shard totals.
+        summed-bound elsewhere) and the summed shard totals.  Under the
+        degrade policy a lost shard contributes its last checkpointed
+        summary, so the returned total *excludes* the packets reported in
+        the supervisor's loss report.
         """
         states = self._shard_states()
+        if not states:
+            raise AlgorithmError(
+                "no shard state survives the failures: every shard was lost "
+                "before its first supervision checkpoint"
+            )
         merged = list(states[0][1])
         total = states[0][0]
         for shard_total, counters in states[1:]:
@@ -480,12 +526,32 @@ class ShardedHHH(HHHAlgorithm):
         The delegate instance supplies the algorithm-specific scaling and
         sampling correction (``V`` and the ``2 Z sqrt(NV)`` term for RHHH,
         the plain lattice output for MST), computed against the *combined*
-        stream length.
+        stream length.  Under the degrade policy the lost packets (weight
+        dispatched to dead shards that no surviving or checkpointed state
+        accounts for) widen the bounds conservatively: ``N`` still counts
+        them, every conditioned estimate gains the full lost weight (so no
+        prefix that could have reached the threshold is dropped) and every
+        candidate's upper bound is stretched by it; the per-shard
+        :class:`~repro.core.supervise.ShardLoss` reports ride along on
+        ``failed_shards``.
         """
-        merged, total = self.merged_counters()
+        merged, merged_total = self.merged_counters()
+        lost = self._supervisor.lost_packets() if self._supervisor is not None else 0
+        losses = self._supervisor.losses() if self._supervisor is not None else []
         self._template._counters = merged
-        self._template._total = total
-        return self._template.output(theta)
+        self._template._total = merged_total + lost
+        self._template.extra_correction = float(lost)
+        try:
+            result = self._template.output(theta)
+        finally:
+            self._template.extra_correction = 0.0
+        if lost:
+            result.candidates = [
+                dataclasses.replace(candidate, upper_bound=candidate.upper_bound + lost)
+                for candidate in result.candidates
+            ]
+        result.failed_shards = list(losses)
+        return result
 
     def counters(self) -> int:
         if self._parallel:
@@ -507,6 +573,26 @@ class ShardedHHH(HHHAlgorithm):
         return self._parallel
 
     @property
+    def supervisor(self) -> Optional[ShardSupervisor]:
+        """The worker-pool supervisor (``None`` in serial mode)."""
+        return self._supervisor
+
+    @property
+    def supervisor_policy(self) -> SupervisorPolicy:
+        """The failure policy in force."""
+        return self._policy
+
+    @property
+    def failed_shards(self) -> List[ShardLoss]:
+        """Loss reports of shards abandoned under the degrade policy."""
+        return self._supervisor.losses() if self._supervisor is not None else []
+
+    @property
+    def batch_index(self) -> int:
+        """Number of update/update_batch dispatch steps performed so far."""
+        return self._batch_index
+
+    @property
     def shard_seeds(self) -> List[int]:
         """The per-shard RNG seeds spawned from the root seed."""
         return list(self._seeds)
@@ -515,6 +601,12 @@ class ShardedHHH(HHHAlgorithm):
     def shard_specs(self) -> List[AlgorithmSpec]:
         """The per-shard algorithm specs (own seed, divided memory budget)."""
         return list(self._shard_specs)
+
+    def worker_pids(self) -> dict:
+        """Pid of every live worker keyed by shard (parallel mode only)."""
+        if self._supervisor is None:
+            return {}
+        return self._supervisor.worker_pids()
 
     def shard_algorithm(self, shard: int) -> HHHAlgorithm:
         """The live replica of ``shard`` (serial mode only; for tests)."""

@@ -25,6 +25,40 @@ class AlgorithmError(ReproError):
     """An algorithm was driven incorrectly (e.g. querying before any update)."""
 
 
+class ShardFailure(AlgorithmError):
+    """A shard worker process died, hung, or lost its pipe.
+
+    Distinct from a worker-*reported* error (which stays a plain
+    :class:`AlgorithmError`: the worker is alive and the failure is
+    data-dependent): a ``ShardFailure`` means the worker itself is gone and
+    the supervisor's policy (fail / restart / degrade) decides what happens
+    next.
+
+    Attributes:
+        shard: index of the failed shard.
+        exitcode: the worker process's exitcode if it terminated
+            (``-signal`` for signal deaths, e.g. ``-9`` for SIGKILL), or
+            ``None`` when the worker was still alive (a hang/timeout).
+    """
+
+    def __init__(self, message: str, *, shard: int = -1, exitcode=None) -> None:
+        super().__init__(message)
+        self.shard = shard
+        self.exitcode = exitcode
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file is corrupt, incompatible, or cannot be applied."""
+
+
+class FaultInjectionError(ReproError):
+    """A fault deliberately injected by a :class:`repro.core.faults.FaultPlan`.
+
+    Raised by the ingest/trace hooks so tests can tell an injected failure
+    apart from a real one.
+    """
+
+
 class TraceFormatError(ReproError):
     """A serialized trace file is malformed or truncated."""
 

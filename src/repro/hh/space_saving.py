@@ -390,6 +390,11 @@ class SpaceSaving(CounterAlgorithm):
             "total": self._total,
             "buckets": buckets,
             "absent_floor": self._absent_floor,
+            # _rebuild reinserts keys in bucket order; record the monitored
+            # dict's own insertion order so a pickle round trip (checkpoint,
+            # worker restart) preserves __iter__ order - and with it the
+            # output's candidate order - bit-for-bit.
+            "order": list(self._where),
         }
 
     def __setstate__(self, state: dict) -> None:
@@ -400,4 +405,7 @@ class SpaceSaving(CounterAlgorithm):
             for key, error in items
         ]
         self._rebuild(entries, state["total"])
+        order = state.get("order")
+        if order is not None:
+            self._where = {key: self._where[key] for key in order}
         self._absent_floor = state["absent_floor"]

@@ -114,7 +114,9 @@ class MST(HHHAlgorithm):
 
     def output(self, theta: float) -> HHHOutput:
         theta = validate_theta(theta)
-        return lattice_output(self._hierarchy, self._counters, theta, self._total)
+        return lattice_output(
+            self._hierarchy, self._counters, theta, self._total, correction=self.extra_correction
+        )
 
     def frequency_estimate(self, key: Hashable, node: int = 0) -> float:
         """Estimate the frequency of ``key`` masked to lattice node ``node``."""

@@ -189,7 +189,9 @@ class SampledMST(HHHAlgorithm):
     def output(self, theta: float) -> HHHOutput:
         theta = validate_theta(theta)
         scale = 1.0 / self._p
-        correction = coverage_correction(self._total, scale, self._delta) if self._total else 0.0
+        correction = (
+            coverage_correction(self._total, scale, self._delta) if self._total else 0.0
+        ) + self.extra_correction
         return lattice_output(
             self._hierarchy, self._counters, theta, self._total, scale=scale, correction=correction
         )

@@ -570,6 +570,7 @@ class TraceReader:
         *,
         dimensions: int = 2,
         limit: Optional[int] = None,
+        fault_plan=None,
     ) -> Iterator[np.ndarray]:
         """Yield key arrays for the batch engine, re-chunked to ``batch_size``.
 
@@ -577,10 +578,25 @@ class TraceReader:
         dimensional replay the src column views.  Batches never span chunk
         boundaries (re-chunking only slices, so every yielded array is still
         a view into the mapped file); ``limit`` caps the total packets
-        yielded, cutting the final batch.
+        yielded, cutting the final batch.  A
+        :class:`~repro.core.faults.FaultPlan` with ``trace_error`` events
+        raises at the scheduled batch indices, simulating a bad read
+        mid-replay after a clean prefix.
         """
         if batch_size is not None and batch_size < 1:
             raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+        batches = self._key_batches(batch_size, dimensions=dimensions, limit=limit)
+        if fault_plan is not None:
+            batches = fault_plan.wrap_batches(batches, kind="trace_error")
+        yield from batches
+
+    def _key_batches(
+        self,
+        batch_size: Optional[int],
+        *,
+        dimensions: int,
+        limit: Optional[int],
+    ) -> Iterator[np.ndarray]:
         remaining = self._count if limit is None else max(0, limit)
         for chunk in self.chunks():
             if remaining <= 0:
@@ -649,20 +665,35 @@ def trace_key_batches(
     batch_size: Optional[int] = None,
     dimensions: int = 2,
     limit: Optional[int] = None,
+    fault_plan=None,
 ) -> Iterator[np.ndarray]:
     """Stream a binary trace as key arrays, whatever its version.
 
     v2 traces replay as zero-copy memmap views; v1 traces fall back to
     per-record decoding buffered into ``batch_size`` int64 arrays (same
     values, per-packet decode cost - convert old traces with
-    ``python -m repro.cli trace convert`` to drop it).
+    ``python -m repro.cli trace convert`` to drop it).  ``fault_plan``
+    injects scheduled ``trace_error`` events into either path.
     """
     version = trace_version(path)
     if version == _VERSION_V2:
         yield from TraceReader(path).key_batches(
-            batch_size, dimensions=dimensions, limit=limit
+            batch_size, dimensions=dimensions, limit=limit, fault_plan=fault_plan
         )
         return
+    batches = _v1_key_batches(path, batch_size=batch_size, dimensions=dimensions, limit=limit)
+    if fault_plan is not None:
+        batches = fault_plan.wrap_batches(batches, kind="trace_error")
+    yield from batches
+
+
+def _v1_key_batches(
+    path: PathLike,
+    *,
+    batch_size: Optional[int],
+    dimensions: int,
+    limit: Optional[int],
+) -> Iterator[np.ndarray]:
     step = batch_size if batch_size is not None else DEFAULT_TRACE_CHUNK
     if step < 1:
         raise ConfigurationError(f"batch_size must be >= 1, got {step}")
