@@ -39,12 +39,19 @@ from repro.api.registry import (
     unregister_counter,
 )
 from repro.api.session import Session, SessionResult, run_experiment
-from repro.api.specs import DEFAULT_MIN_EPSILON, AlgorithmSpec, CounterSpec, ExperimentSpec
+from repro.api.specs import (
+    DEFAULT_MIN_EPSILON,
+    AlgorithmSpec,
+    CounterSpec,
+    DistribSpec,
+    ExperimentSpec,
+)
 
 __all__ = [
     # specs
     "AlgorithmSpec",
     "CounterSpec",
+    "DistribSpec",
     "ExperimentSpec",
     "DEFAULT_MIN_EPSILON",
     # registries

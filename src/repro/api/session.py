@@ -148,6 +148,14 @@ class Session:
         self._hierarchy = hierarchy if hierarchy is not None else make_hierarchy(spec.hierarchy)
         if algorithm is not None:
             self._algorithm = algorithm
+        elif spec.distrib is not None:
+            # Late import: the distrib package builds its switch sessions
+            # through this module.
+            from repro.distrib.cluster import DistributedCluster
+
+            self._algorithm = DistributedCluster(
+                spec, hierarchy=self._hierarchy, fault_plan=fault_plan
+            )
         elif spec.shards is not None and spec.shards > 1:
             # Late import: repro.core.shard builds algorithms through this
             # package's registry.

@@ -254,6 +254,49 @@ class AlgorithmSpec(_SpecBase):
 
 
 @dataclass(frozen=True)
+class DistribSpec(_SpecBase):
+    """Declarative description of the distributed aggregation tier.
+
+    Attributes:
+        switches: number of simulated switches the stream is partitioned
+            across; each runs a proportionally-sized replica of the
+            algorithm and ships its counter state to the aggregator.
+        epoch_batches: emit one wire message per switch every this many
+            ingested batches (the epoch length, in batches).
+        top_k: lossy compression - ship only the ``top_k`` heaviest entries
+            per lattice node, folding the residual into the error bracket
+            (see :mod:`repro.distrib.compress`); ``None`` ships losslessly.
+        delta: delta-encode emissions against the last acknowledged epoch
+            when possible (Space Saving state only; sketches always ship
+            whole snapshots).
+        transport: ``"loopback"`` (reliable, ordered - the lockstep
+            reference) or ``"simulated"`` (lossy queue driven by the
+            session's network :class:`~repro.core.faults.FaultPlan`).
+        byte_budget: per-switch total shipped-bytes budget; the cluster's
+            bandwidth report flags switches exceeding it (the bench gate).
+    """
+
+    switches: int = 4
+    epoch_batches: int = 1
+    top_k: Optional[int] = None
+    delta: bool = True
+    transport: str = "loopback"
+    byte_budget: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _check_positive_int("switches", self.switches)
+        _check_positive_int("epoch_batches", self.epoch_batches)
+        _check_positive_int("top_k", self.top_k)
+        _check_positive_int("byte_budget", self.byte_budget)
+        if not isinstance(self.delta, bool):
+            raise ConfigurationError(f"delta must be a bool, got {self.delta!r}")
+        if self.transport not in ("loopback", "simulated"):
+            raise ConfigurationError(
+                f"transport must be 'loopback' or 'simulated', got {self.transport!r}"
+            )
+
+
+@dataclass(frozen=True)
 class ExperimentSpec(_SpecBase):
     """Declarative description of one full experiment run.
 
@@ -301,6 +344,12 @@ class ExperimentSpec(_SpecBase):
             ``checkpoint_path``); ``None`` disables periodic checkpoints.
         checkpoint_path: file the periodic checkpoints are (atomically)
             written to - the path ``Session.resume`` restarts from.
+        distrib: run the stream through the distributed aggregation tier
+            (:class:`~repro.distrib.cluster.DistributedCluster`): the stream
+            is partitioned across ``distrib.switches`` switch nodes whose
+            shipped counter state an aggregator merges into the global
+            answer.  Requires ``batch_size``; mutually exclusive with
+            ``shards`` and with periodic checkpointing.
         label: free-form tag recorded in results.
     """
 
@@ -319,6 +368,7 @@ class ExperimentSpec(_SpecBase):
     shard_timeout: float = 30.0
     checkpoint_every: Optional[int] = None
     checkpoint_path: Optional[str] = None
+    distrib: Optional[DistribSpec] = None
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -369,10 +419,30 @@ class ExperimentSpec(_SpecBase):
             raise ConfigurationError(
                 "checkpoint_every needs somewhere to write; set checkpoint_path alongside it"
             )
+        if self.distrib is not None:
+            if not isinstance(self.distrib, DistribSpec):
+                raise ConfigurationError(
+                    f"distrib must be a DistribSpec, got {type(self.distrib).__name__}"
+                )
+            if self.batch_size is None:
+                raise ConfigurationError(
+                    "the distributed tier partitions batches; set batch_size alongside distrib"
+                )
+            if self.shards is not None and self.shards > 1:
+                raise ConfigurationError(
+                    "distrib and shards are mutually exclusive; the distributed tier "
+                    "does its own partitioning (each switch is a replica)"
+                )
+            if self.checkpoint_every is not None:
+                raise ConfigurationError(
+                    "periodic checkpointing is not supported for distributed runs; "
+                    "drop checkpoint_every or distrib"
+                )
 
 
 #: Which spec fields hold nested specs, for ``from_dict`` reconstruction.
 _NESTED_SPEC_FIELDS: Dict[tuple, type] = {
     ("AlgorithmSpec", "counter"): CounterSpec,
     ("ExperimentSpec", "algorithm"): AlgorithmSpec,
+    ("ExperimentSpec", "distrib"): DistribSpec,
 }

@@ -20,11 +20,17 @@ Five sub-commands cover the common workflows without writing any Python:
 
 ``trace``
     manage serialized traces: ``generate`` a v2 columnar trace from a named
-    workload, ``convert`` between csv/v1/v2, ``inspect`` a file's layout.
+    workload, ``convert`` between csv/v1/v2, ``inspect`` a file's layout;
+
+``distrib``
+    simulate the distributed aggregation tier: the stream partitioned across
+    N switch nodes shipping compressed counter state to one aggregator, with
+    the global HHH prefixes and a per-switch bandwidth table printed.
 
 Examples::
 
     python -m repro.cli detect --workload chicago16 --packets 200000 --theta 0.05
+    python -m repro.cli distrib --switches 16 --packets 500000 --batch-size 8192 --top-k 64
     python -m repro.cli detect --print-spec > experiment.json
     python -m repro.cli run --spec experiment.json
     python -m repro.cli compare --algorithms rhhh mst --packets 50000
@@ -49,8 +55,9 @@ from typing import Optional, Sequence
 
 from repro.api.registry import algorithm_names, counter_names, hierarchy_names, make_hierarchy
 from repro.api.session import Session, SessionResult
-from repro.api.specs import AlgorithmSpec, CounterSpec, ExperimentSpec
+from repro.api.specs import AlgorithmSpec, CounterSpec, DistribSpec, ExperimentSpec
 from repro.core.base import HHHAlgorithm
+from repro.core.faults import FaultPlan
 from repro.eval import figures as figure_module
 from repro.eval.ground_truth import GroundTruth
 from repro.eval.metrics import evaluate_output
@@ -183,6 +190,55 @@ def _build_parser() -> argparse.ArgumentParser:
 
     inspect = trace_commands.add_parser("inspect", help="print a binary trace's layout summary")
     inspect.add_argument("path", help="trace file to inspect")
+
+    distrib = subparsers.add_parser(
+        "distrib", help="simulate the many-switch aggregation tier over one stream"
+    )
+    _add_stream_arguments(distrib)
+    distrib.add_argument("--algorithm", default="rhhh", choices=algorithm_names())
+    distrib.add_argument("--theta", type=float, default=0.05, help="HHH threshold fraction")
+    distrib.add_argument("--switches", type=int, default=4, help="number of simulated switches")
+    distrib.add_argument(
+        "--epoch-batches",
+        type=int,
+        default=1,
+        help="emit one wire message per switch every this many batches",
+    )
+    distrib.add_argument(
+        "--top-k",
+        type=int,
+        default=None,
+        help="ship only the top-k entries per lattice node (lossy, "
+        "error-bounded; default: lossless)",
+    )
+    distrib.add_argument(
+        "--no-delta",
+        action="store_true",
+        help="always ship full snapshots instead of deltas against the last "
+        "acked epoch",
+    )
+    distrib.add_argument(
+        "--transport",
+        default="loopback",
+        choices=("loopback", "simulated"),
+        help="loopback is reliable/ordered; simulated adds seeded loss, "
+        "delay and reordering driven by --drops/--net-delays/--reorders",
+    )
+    distrib.add_argument(
+        "--byte-budget",
+        type=int,
+        default=None,
+        help="per-switch shipped-bytes budget flagged in the bandwidth report",
+    )
+    distrib.add_argument(
+        "--drops", type=int, default=0, help="messages dropped by the simulated transport"
+    )
+    distrib.add_argument(
+        "--net-delays", type=int, default=0, help="messages delayed by the simulated transport"
+    )
+    distrib.add_argument(
+        "--reorders", type=int, default=0, help="messages reordered by the simulated transport"
+    )
 
     return parser
 
@@ -439,6 +495,90 @@ def _command_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_distrib(args: argparse.Namespace) -> int:
+    if args.batch_size is None:
+        args.batch_size = 8192  # the tier is batch-first; give it a sane default
+    base = _spec_from_args(args, args.algorithm, args.theta)
+    try:
+        spec = dataclasses.replace(
+            base,
+            shards=None,
+            distrib=DistribSpec(
+                switches=args.switches,
+                epoch_batches=args.epoch_batches,
+                top_k=args.top_k,
+                delta=not args.no_delta,
+                transport=args.transport,
+                byte_budget=args.byte_budget,
+            ),
+        )
+    except ReproError as exc:
+        raise SystemExit(str(exc)) from None
+    fault_plan = None
+    faults = args.drops + args.net_delays + args.reorders
+    if faults:
+        if args.transport != "simulated":
+            raise SystemExit(
+                "--drops/--net-delays/--reorders need --transport simulated "
+                "(loopback never loses messages)"
+            )
+        # Roughly one message per switch per epoch over the whole run.
+        messages = max(faults, (spec.packets // (args.batch_size * args.epoch_batches)) + 1)
+        fault_plan = FaultPlan.random_network(
+            args.seed,
+            messages=messages,
+            switches=args.switches,
+            drops=args.drops,
+            delays=args.net_delays,
+            reorders=args.reorders,
+        )
+    try:
+        with Session(spec, fault_plan=fault_plan) as session:
+            result = session.run()
+            cluster = session.algorithm
+            report = cluster.bandwidth_report()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    _print_detection(
+        result, algorithm=spec.algorithm.name, hierarchy=spec.hierarchy, theta=spec.theta
+    )
+    if result.output.failed_shards:
+        print("\nquantified loss:")
+        for loss in result.output.failed_shards:
+            print(f"  switch {loss.shard}: {loss.lost_packets:,} packets ({loss.reason})")
+    rows = [
+        {
+            "switch": entry["switch"],
+            "messages": entry["messages"],
+            "bytes": entry["bytes"],
+            "bytes_per_epoch": entry["bytes_per_epoch"],
+            "snapshots": entry["snapshots"],
+            "deltas": entry["deltas"],
+            "dropped": entry["dropped"],
+        }
+        for entry in report["per_switch"]
+    ]
+    budget = report["budget_per_switch"]
+    print(
+        "\n"
+        + format_table(
+            rows,
+            title=(
+                f"bandwidth: {report['total_bytes']:,} bytes total over "
+                f"{report['epochs']} epochs, max switch "
+                f"{report['max_switch_bytes']:,} bytes"
+                + (f" (budget {budget:,})" if budget is not None else "")
+            ),
+            float_format="{:,.0f}",
+        )
+    )
+    if report["over_budget"]:
+        print(f"over budget: switches {report['over_budget']}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _command_figure(args: argparse.Namespace) -> int:
     result = FIGURES[args.name]()
     print(result.table())
@@ -527,6 +667,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_figure(args)
     if args.command == "trace":
         return _command_trace(args)
+    if args.command == "distrib":
+        return _command_distrib(args)
     return 2  # unreachable: argparse enforces the choices
 
 

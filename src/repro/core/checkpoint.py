@@ -141,6 +141,62 @@ def restore_algorithm(algorithm, snapshot: Dict[str, Any]) -> None:
 # --------------------------------------------------------------------------- #
 
 
+def pack_payload(payload: Dict[str, Any], *, label: str = "checkpoint") -> bytes:
+    """Frame ``payload`` as the versioned, checksummed ``RCKP`` container.
+
+    The in-memory half of the durability container: pickled payload behind a
+    header carrying the magic, format version, payload length and SHA-256
+    digest.  :func:`save_checkpoint` writes these bytes to disk; the
+    distributed wire layer (:mod:`repro.distrib.wire`) ships them over a
+    transport - one integrity format for both.
+    """
+    try:
+        body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise CheckpointError(f"{label} payload is not picklable: {exc}") from exc
+    header = _HEADER.pack(
+        CHECKPOINT_MAGIC, CHECKPOINT_VERSION, len(body), hashlib.sha256(body).digest()
+    )
+    return header + body
+
+
+def unpack_payload(raw: bytes, *, label: str = "checkpoint") -> Dict[str, Any]:
+    """Verify and unpickle a :func:`pack_payload` container.
+
+    Raises:
+        CheckpointError: the bytes are truncated, have the wrong magic or
+            version, or the payload fails the checksum.  ``label`` names the
+            artefact (a checkpoint path, a wire message) in the error text.
+    """
+    if len(raw) < _HEADER.size:
+        raise CheckpointError(f"{label} is truncated (no complete header)")
+    magic, version, length, digest = _HEADER.unpack_from(raw)
+    if magic != CHECKPOINT_MAGIC:
+        raise CheckpointError(f"{label} has bad magic {magic!r}")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"{label} has unsupported format version {version} "
+            f"(this build reads version {CHECKPOINT_VERSION})"
+        )
+    body = raw[_HEADER.size :]
+    if len(body) != length:
+        raise CheckpointError(
+            f"{label} is truncated: header promises {length} payload bytes, "
+            f"found {len(body)}"
+        )
+    if hashlib.sha256(body).digest() != digest:
+        raise CheckpointError(f"{label} failed its SHA-256 integrity check")
+    try:
+        payload = pickle.loads(body)
+    except Exception as exc:
+        raise CheckpointError(f"{label} payload does not unpickle: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise CheckpointError(
+            f"{label} payload is {type(payload).__name__}, expected a dict"
+        )
+    return payload
+
+
 def save_checkpoint(path: Union[str, Path], payload: Dict[str, Any]) -> Path:
     """Atomically write ``payload`` as a checksummed checkpoint file.
 
@@ -150,18 +206,11 @@ def save_checkpoint(path: Union[str, Path], payload: Dict[str, Any]) -> Path:
     checkpoint.  Returns the final path.
     """
     path = Path(path)
-    try:
-        body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-    except Exception as exc:
-        raise CheckpointError(f"checkpoint payload is not picklable: {exc}") from exc
-    header = _HEADER.pack(
-        CHECKPOINT_MAGIC, CHECKPOINT_VERSION, len(body), hashlib.sha256(body).digest()
-    )
+    framed = pack_payload(payload, label=f"checkpoint {path}")
     tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
     try:
         with open(tmp, "wb") as handle:
-            handle.write(header)
-            handle.write(body)
+            handle.write(framed)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp, path)
@@ -186,30 +235,4 @@ def load_checkpoint(path: Union[str, Path]) -> Dict[str, Any]:
         raw = path.read_bytes()
     except OSError as exc:
         raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
-    if len(raw) < _HEADER.size:
-        raise CheckpointError(f"checkpoint {path} is truncated (no complete header)")
-    magic, version, length, digest = _HEADER.unpack_from(raw)
-    if magic != CHECKPOINT_MAGIC:
-        raise CheckpointError(f"checkpoint {path} has bad magic {magic!r}")
-    if version != CHECKPOINT_VERSION:
-        raise CheckpointError(
-            f"checkpoint {path} has unsupported format version {version} "
-            f"(this build reads version {CHECKPOINT_VERSION})"
-        )
-    body = raw[_HEADER.size :]
-    if len(body) != length:
-        raise CheckpointError(
-            f"checkpoint {path} is truncated: header promises {length} payload bytes, "
-            f"found {len(body)}"
-        )
-    if hashlib.sha256(body).digest() != digest:
-        raise CheckpointError(f"checkpoint {path} failed its SHA-256 integrity check")
-    try:
-        payload = pickle.loads(body)
-    except Exception as exc:
-        raise CheckpointError(f"checkpoint {path} payload does not unpickle: {exc}") from exc
-    if not isinstance(payload, dict):
-        raise CheckpointError(
-            f"checkpoint {path} payload is {type(payload).__name__}, expected a dict"
-        )
-    return payload
+    return unpack_payload(raw, label=f"checkpoint {path}")

@@ -14,7 +14,12 @@ at well-defined points:
 * :class:`repro.core.ingest.RingBufferIngest` raises scheduled
   ``ingest_error`` events from its producer;
 * :meth:`repro.traffic.trace_io.TraceReader.key_batches` raises scheduled
-  ``trace_error`` events, simulating a bad read mid-replay.
+  ``trace_error`` events, simulating a bad read mid-replay;
+* the distributed transports (:mod:`repro.distrib.transport`) consume
+  ``net_drop``/``net_delay``/``net_reorder`` events: ``at_batch`` is the
+  per-switch *message* index, ``shard`` the emitting switch, and for
+  ``net_delay`` the ``seconds`` field carries the number of delivery epochs
+  the message is held back.
 
 Every event fires exactly once; a plan is single-use state (build a fresh
 one per engine).
@@ -30,7 +35,19 @@ import numpy as np
 from repro.exceptions import ConfigurationError, FaultInjectionError
 
 #: Supported fault kinds and the layer that fires them.
-FAULT_KINDS = ("kill", "delay", "ingest_error", "trace_error")
+FAULT_KINDS = (
+    "kill",
+    "delay",
+    "ingest_error",
+    "trace_error",
+    "net_drop",
+    "net_delay",
+    "net_reorder",
+)
+
+#: The kinds consumed by the distributed transports: ``shard`` is the
+#: emitting switch, ``at_batch`` that switch's 0-based message index.
+NETWORK_FAULT_KINDS = ("net_drop", "net_delay", "net_reorder")
 
 
 @dataclass(frozen=True)
@@ -58,10 +75,12 @@ class FaultEvent:
             )
         if not isinstance(self.at_batch, int) or isinstance(self.at_batch, bool) or self.at_batch < 0:
             raise ConfigurationError(f"at_batch must be a non-negative int, got {self.at_batch!r}")
-        if self.kind in ("kill", "delay") and (self.shard is None or self.shard < 0):
+        if self.kind in ("kill", "delay") + NETWORK_FAULT_KINDS and (
+            self.shard is None or self.shard < 0
+        ):
             raise ConfigurationError(f"{self.kind!r} events need a non-negative shard index")
-        if self.kind == "delay" and self.seconds <= 0:
-            raise ConfigurationError(f"delay events need seconds > 0, got {self.seconds!r}")
+        if self.kind in ("delay", "net_delay") and self.seconds <= 0:
+            raise ConfigurationError(f"{self.kind} events need seconds > 0, got {self.seconds!r}")
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -150,6 +169,64 @@ class FaultPlan:
             cursor += 1
         return cls(events)
 
+    @classmethod
+    def random_network(
+        cls,
+        seed: int,
+        *,
+        messages: int,
+        switches: int,
+        drops: int = 1,
+        delays: int = 0,
+        reorders: int = 0,
+        max_delay_epochs: int = 3,
+    ) -> "FaultPlan":
+        """Draw a reproducible *network* schedule for the distributed transports.
+
+        The analogue of :meth:`random` over the wire: ``messages`` is the
+        per-switch message-index space, event targets are drawn uniformly
+        over the ``switches``, and message indices are drawn without
+        replacement across the whole plan so no two events collide on the
+        same (conceptual) message slot.  ``net_delay`` events hold a message
+        back 1..``max_delay_epochs`` delivery epochs.
+        """
+        if messages < 1:
+            raise ConfigurationError(f"messages must be >= 1, got {messages}")
+        if switches < 1:
+            raise ConfigurationError(f"switches must be >= 1, got {switches}")
+        if max_delay_epochs < 1:
+            raise ConfigurationError(f"max_delay_epochs must be >= 1, got {max_delay_epochs}")
+        count = drops + delays + reorders
+        if count > messages:
+            raise ConfigurationError(
+                f"cannot schedule {count} events across only {messages} message slots"
+            )
+        rng = np.random.default_rng(seed)
+        slots = rng.choice(messages, size=count, replace=False)
+        events: List[FaultEvent] = []
+        cursor = 0
+        for _ in range(drops):
+            events.append(
+                FaultEvent("net_drop", int(slots[cursor]), shard=int(rng.integers(switches)))
+            )
+            cursor += 1
+        for _ in range(delays):
+            events.append(
+                FaultEvent(
+                    "net_delay",
+                    int(slots[cursor]),
+                    shard=int(rng.integers(switches)),
+                    seconds=float(rng.integers(1, max_delay_epochs + 1)),
+                )
+            )
+            cursor += 1
+        for _ in range(reorders):
+            events.append(
+                FaultEvent("net_reorder", int(slots[cursor]), shard=int(rng.integers(switches)))
+            )
+            cursor += 1
+        return cls(events)
+
     @property
     def events(self) -> Tuple[FaultEvent, ...]:
         """The full schedule, sorted by batch index."""
@@ -158,11 +235,20 @@ class FaultPlan:
     def __len__(self) -> int:
         return len(self._events)
 
-    def events_at(self, batch_index: int, kind: str) -> List[FaultEvent]:
-        """Pop the not-yet-fired events of ``kind`` scheduled at ``batch_index``."""
+    def events_at(
+        self, batch_index: int, kind: str, shard: Optional[int] = None
+    ) -> List[FaultEvent]:
+        """Pop the not-yet-fired events of ``kind`` scheduled at ``batch_index``.
+
+        ``shard`` restricts the match to events targeting that shard/switch
+        (the per-switch transports consume one shared plan this way);
+        ``None`` matches any target, the original behaviour.
+        """
         matched: List[FaultEvent] = []
         for position, event in enumerate(self._events):
             if position in self._fired or event.kind != kind or event.at_batch != batch_index:
+                continue
+            if shard is not None and event.shard != shard:
                 continue
             self._fired.add(position)
             matched.append(event)

@@ -1,0 +1,130 @@
+"""Error-bounded lossy compression of shipped counter state.
+
+Two orthogonal reductions keep per-switch bandwidth bounded:
+
+**Top-k truncation** (lossy, error-bounded).  A shipped Space Saving summary
+keeps only its ``top_k`` heaviest entries; the dropped tail is folded into
+the summary's absent-key floor, so any key the truncation discards is still
+charged at least its true count when the aggregator later queries or merges
+the summary.  The subtlety is soundness under *merge*: Space Saving's merge
+charges absent keys the summary's ``min_count`` (the smallest kept count when
+the summary is full, ``0`` otherwise).  A truncated summary with its original
+capacity would not be "full" and would under-charge absent keys.  Truncation
+therefore also *shrinks the shipped capacity to* ``top_k``: the summary
+arrives full, its ``min_count`` is the smallest kept count, which is >= the
+largest dropped count, which is >= every dropped key's true count - every
+merge path stays an upper bound.  The cost is the usual Space Saving
+overestimate growing by at most the largest dropped count per merge, which is
+exactly the residual the aggregator's error bracket already absorbs (counter
+upper bounds widen, lower bounds never exceed truth).
+
+**Delta encoding** (lossless w.r.t. the truncated summary).  After the
+aggregator acknowledges an epoch, the switch remembers the compressed state
+it shipped; the next emission sends only the entries that changed and the
+keys that fell out, typically a small fraction of ``top_k`` for a skewed
+workload in steady state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.exceptions import WireFormatError
+
+
+def truncate_counter_state(state: Dict[str, Any], top_k: Optional[int]) -> Dict[str, Any]:
+    """Truncate one encoded Space Saving state to its ``top_k`` heaviest entries.
+
+    Returns the state unchanged when ``top_k`` is ``None``, the codec is not
+    truncatable (pickle-shipped sketches), or the capacity already fits the
+    budget - so lossless shipping stays bit-identical to no compression at
+    all.  Otherwise the shipped capacity shrinks to ``top_k`` and the floor
+    absorbs the largest dropped count (the soundness rule in the module
+    docstring).
+    """
+    if top_k is None or state.get("codec") != "space_saving":
+        return state
+    capacity = int(state["capacity"])
+    if capacity <= top_k:
+        return state
+    entries = state["entries"]
+    # canonical heaviness order: count descending, key ascending for ties -
+    # the same tiebreak the merge protocol uses, so every switch truncates
+    # identically.
+    ranked = sorted(entries, key=lambda entry: (-entry[1], entry[0] if entry[0] is not None else 0))
+    kept = ranked[: int(top_k)]
+    dropped = ranked[int(top_k) :]
+    floor = int(state["absent_floor"])
+    if dropped:
+        floor = max(floor, max(int(count) for _, count, _ in dropped))
+    kept_ascending = list(reversed(kept))
+    kept_keys = {key for key, _, _ in kept}
+    return {
+        "codec": "space_saving",
+        "capacity": int(top_k),
+        "total": int(state["total"]),
+        "entries": kept_ascending,
+        "absent_floor": floor,
+        "order": [key for key in state.get("order", []) if key in kept_keys],
+    }
+
+
+def is_delta_capable(states: List[Dict[str, Any]]) -> bool:
+    """Delta encoding needs every node on the entries codec."""
+    return all(state.get("codec") == "space_saving" for state in states)
+
+
+def delta_encode(
+    state: Dict[str, Any], base: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Encode one node's state as changes against the last acked state.
+
+    Lossless with respect to the (already truncated) snapshot: applying the
+    delta to ``base`` with :func:`delta_decode` reproduces ``state``'s
+    entries, floor and total exactly.  Internal bucket order is *not*
+    shipped; the aggregator's merge canonicalises entry order anyway, so the
+    reconstruction sorts entries by ``(count, key)`` ascending.
+    """
+    if state.get("codec") != "space_saving" or base.get("codec") != "space_saving":
+        raise WireFormatError("delta encoding needs the space_saving codec on both sides")
+    base_map = {key: (int(count), int(error)) for key, count, error in base["entries"]}
+    changed: List[Tuple[Any, int, int]] = []
+    current_keys = set()
+    for key, count, error in state["entries"]:
+        current_keys.add(key)
+        if base_map.get(key) != (int(count), int(error)):
+            changed.append((key, int(count), int(error)))
+    removed = [key for key in base_map if key not in current_keys]
+    return {
+        "codec": "ss_delta",
+        "capacity": int(state["capacity"]),
+        "total": int(state["total"]),
+        "absent_floor": int(state["absent_floor"]),
+        "changed": changed,
+        "removed": removed,
+    }
+
+
+def delta_decode(delta: Dict[str, Any], base: Dict[str, Any]) -> Dict[str, Any]:
+    """Apply a delta to the last acked state, reproducing the full snapshot."""
+    if delta.get("codec") != "ss_delta":
+        raise WireFormatError(f"expected an ss_delta state, got codec {delta.get('codec')!r}")
+    if base.get("codec") != "space_saving":
+        raise WireFormatError("delta messages need a space_saving base state to apply against")
+    merged = {key: (int(count), int(error)) for key, count, error in base["entries"]}
+    for key in delta["removed"]:
+        merged.pop(key, None)
+    for key, count, error in delta["changed"]:
+        merged[key] = (int(count), int(error))
+    entries = sorted(
+        ((key, count, error) for key, (count, error) in merged.items()),
+        key=lambda entry: (entry[1], entry[0] if entry[0] is not None else 0),
+    )
+    return {
+        "codec": "space_saving",
+        "capacity": int(delta["capacity"]),
+        "total": int(delta["total"]),
+        "entries": entries,
+        "absent_floor": int(delta["absent_floor"]),
+        "order": [key for key, _, _ in entries],
+    }

@@ -1,0 +1,113 @@
+"""Transports carrying wire messages from switches to the aggregator.
+
+Two simulated transports share one interface: :meth:`Transport.send` accepts
+framed wire bytes, :meth:`Transport.tick` advances one delivery epoch and
+returns the payloads that arrive in it.  Both count messages and bytes, so
+the cluster's bandwidth report reads straight off the transport.
+
+:class:`LoopbackTransport` is the reliable in-process reference: every
+message sent during an epoch is delivered, in order, on the next tick.  The
+lockstep guarantee (loopback aggregate bit-identical to a single merged
+engine) is proved against it.
+
+:class:`SimulatedTransport` models a lossy queue/socket: a shared, seeded
+:class:`~repro.core.faults.FaultPlan` is consulted per send using the
+per-switch *message index* - ``net_drop`` discards the message, ``net_delay``
+holds it back a scheduled number of delivery epochs, ``net_reorder`` nudges
+it behind the next message in the same delivery epoch.  The same plan drives
+every switch's transport (events are matched on their ``shard`` field), so
+one seed reproduces an entire cluster's loss pattern.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+from repro.core.faults import FaultPlan
+
+
+class Transport:
+    """Base transport: counters plus the send/tick interface."""
+
+    def __init__(self) -> None:
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self.messages_dropped = 0
+        self.messages_delivered = 0
+
+    def send(self, payload: bytes) -> None:
+        raise NotImplementedError
+
+    def tick(self) -> List[bytes]:
+        """Advance one delivery epoch; return the payloads arriving in it."""
+        raise NotImplementedError
+
+    @property
+    def in_flight(self) -> int:
+        """Messages accepted but not yet delivered (nor dropped)."""
+        return self.messages_sent - self.messages_delivered - self.messages_dropped
+
+
+class LoopbackTransport(Transport):
+    """Reliable, ordered, in-process delivery: sent this epoch, delivered next tick."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._queue: List[bytes] = []
+
+    def send(self, payload: bytes) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += len(payload)
+        self._queue.append(payload)
+
+    def tick(self) -> List[bytes]:
+        due, self._queue = self._queue, []
+        self.messages_delivered += len(due)
+        return due
+
+
+class SimulatedTransport(Transport):
+    """A lossy, delaying, reordering queue driven by a seeded fault plan.
+
+    Args:
+        switch: the emitting switch's id; plan events are matched on it.
+        plan: the shared network :class:`FaultPlan` (``None`` degrades to
+            reliable delivery, with the counters still live).
+    """
+
+    def __init__(self, *, switch: int, plan: Optional[FaultPlan] = None) -> None:
+        super().__init__()
+        self._switch = int(switch)
+        self._plan = plan
+        self._now = 0
+        self._message_index = 0
+        # (deliver_at_epoch, sequence, payload); sequence keeps heap order
+        # deterministic and is what a reorder event perturbs.
+        self._heap: List[Tuple[int, float, bytes]] = []
+
+    def send(self, payload: bytes) -> None:
+        index = self._message_index
+        self._message_index += 1
+        self.messages_sent += 1
+        self.bytes_sent += len(payload)
+        deliver_at = self._now + 1
+        sequence = float(index)
+        if self._plan is not None:
+            if self._plan.events_at(index, "net_drop", shard=self._switch):
+                self.messages_dropped += 1
+                return
+            for event in self._plan.events_at(index, "net_delay", shard=self._switch):
+                deliver_at += max(1, int(event.seconds))
+            if self._plan.events_at(index, "net_reorder", shard=self._switch):
+                # swap behind the next message of the same delivery epoch.
+                sequence = float(index) + 1.5
+        heapq.heappush(self._heap, (deliver_at, sequence, payload))
+
+    def tick(self) -> List[bytes]:
+        self._now += 1
+        due: List[bytes] = []
+        while self._heap and self._heap[0][0] <= self._now:
+            due.append(heapq.heappop(self._heap)[2])
+        self.messages_delivered += len(due)
+        return due

@@ -59,6 +59,33 @@ class FaultInjectionError(ReproError):
     """
 
 
+class WireFormatError(ReproError):
+    """A distributed wire message is corrupt, truncated, or not a wire message.
+
+    The byte-level twin of :class:`CheckpointError`: the container framing
+    (magic, length, checksum) or the message schema inside it is broken, so
+    the payload cannot be trusted at all.
+    """
+
+
+class WireCompatibilityError(WireFormatError):
+    """A well-formed wire message describes an incompatible peer.
+
+    The message decoded cleanly but its geometry (hierarchy shape, counter
+    backend, capacities, compression policy) or protocol version does not
+    match what the aggregator was built for.  Merging it anyway would
+    silently adopt the wrong error guarantee, so the aggregator rejects it
+    with this typed error instead.
+
+    Attributes:
+        mismatches: the differing geometry fields, ``{field: (expected, got)}``.
+    """
+
+    def __init__(self, message: str, *, mismatches=None) -> None:
+        super().__init__(message)
+        self.mismatches = dict(mismatches or {})
+
+
 class TraceFormatError(ReproError):
     """A serialized trace file is malformed or truncated."""
 

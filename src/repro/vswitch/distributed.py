@@ -13,9 +13,11 @@ counter update on each.
 from __future__ import annotations
 
 import random
-from typing import Hashable, Iterable, Optional
+from typing import Hashable, Iterable, Optional, Sequence
 
-from repro.core.base import HHHOutput
+import numpy as np
+
+from repro.core.base import HHHAlgorithm, HHHOutput
 from repro.core.rhhh import RHHH
 from repro.exceptions import SwitchError
 from repro.traffic.packet import Packet
@@ -26,18 +28,20 @@ from repro.vswitch.moongen import LINE_RATE_64B_MPPS
 class MeasurementVM:
     """The measurement virtual machine of the distributed deployment.
 
-    It receives the sampled packets and performs one (uniformly random among
-    the ``H`` levels) counter update per received packet - i.e. it runs the
-    inner loop of RHHH with ``V = H`` over the pre-sampled sub-stream.
+    It receives the sampled packets and performs one counter update per
+    received packet.  Any spec-built lattice algorithm can sit on the VM side
+    (a sharded engine, an array-backed RHHH, MST); a *plain* RHHH must be
+    configured with ``V = H``, because the ``V > H`` sampling already
+    happened at the switch and sampling twice would double-discount the
+    stream.
 
     Args:
-        algorithm: the RHHH instance owned by the VM.  It must be configured
-            with ``V = H`` because the sampling already happened at the switch.
+        algorithm: the algorithm owned by the VM.
         cost_model: cycle costs used to model the VM's own processing rate.
     """
 
-    def __init__(self, algorithm: RHHH, cost_model: Optional[CostModel] = None) -> None:
-        if algorithm.v != algorithm.hierarchy.size:
+    def __init__(self, algorithm: HHHAlgorithm, cost_model: Optional[CostModel] = None) -> None:
+        if isinstance(algorithm, RHHH) and algorithm.v != algorithm.hierarchy.size:
             raise SwitchError(
                 "the VM-side RHHH must use V = H; the switch performs the V > H sampling"
             )
@@ -46,8 +50,8 @@ class MeasurementVM:
         self._received = 0
 
     @property
-    def algorithm(self) -> RHHH:
-        """The VM-side RHHH instance."""
+    def algorithm(self) -> HHHAlgorithm:
+        """The VM-side algorithm instance."""
         return self._algorithm
 
     @property
@@ -59,6 +63,13 @@ class MeasurementVM:
         """Process one forwarded packet."""
         self._received += 1
         self._algorithm.update(key)
+
+    def receive_batch(self, keys: Sequence) -> None:
+        """Process a batch of forwarded packets in one vectorized update."""
+        if len(keys) == 0:
+            return
+        self._received += len(keys)
+        self._algorithm.update_batch(keys)
 
     def output(self, theta: float) -> HHHOutput:
         """Query the VM-side algorithm."""
@@ -102,6 +113,10 @@ class DistributedMeasurement:
         self._cost = cost_model or CostModel()
         self._dimensions = dimensions
         self._rng = random.Random(seed)
+        # Separate numpy stream for the vectorized batch path (the same
+        # dual-RNG arrangement RHHH uses: the scalar and batch paths own
+        # independent generators, each internally reproducible).
+        self._batch_rng = np.random.default_rng(seed)
         self._seen = 0
         self._forwarded = 0
 
@@ -144,6 +159,62 @@ class DistributedMeasurement:
         """Run a batch of packets through the sampling path (without a full switch model)."""
         for packet in packets:
             self(packet)
+
+    # ------------------------------------------------------------------ #
+    # vectorized batch path
+    # ------------------------------------------------------------------ #
+
+    def _key_array(self, packets: Sequence[Packet]) -> np.ndarray:
+        """Extract the batch's keys as the numpy array the VM's engine expects."""
+        if self._dimensions == 1:
+            return np.fromiter(
+                (packet.src for packet in packets), dtype=np.int64, count=len(packets)
+            )
+        return np.array([(packet.src, packet.dst) for packet in packets], dtype=np.int64)
+
+    def process_batch(self, packets: Sequence[Packet]) -> float:
+        """Vectorized sampling path: pre-drawn mask, one batched VM forward.
+
+        Semantically the batch twin of :meth:`process`: every packet costs
+        one RNG draw, the drawn ones are forwarded - but the draws come as
+        one vectorized block from the batch RNG stream and the forwarded
+        keys reach the VM as a single ``update_batch`` call.  Returns the
+        switch-side cycles spent on the batch.
+        """
+        n = len(packets)
+        if n == 0:
+            return 0.0
+        draws = self._batch_rng.integers(0, self._v, size=n)
+        mask = draws < self._h
+        forwarded = int(np.count_nonzero(mask))
+        self._seen += n
+        self._forwarded += forwarded
+        if forwarded:
+            self._vm.receive_batch(self._key_array(packets)[mask])
+        return n * self._cost.rng_cycles + forwarded * self._cost.forward_to_vm_cycles
+
+    def process_batch_reference(self, packets: Sequence[Packet]) -> float:
+        """Scalar twin of :meth:`process_batch`, for parity testing.
+
+        Consumes the *same* pre-drawn RNG block and forwards the same keys
+        in the same order (accumulated, then one batched VM forward), but
+        walks the packets one by one in Python - so a same-seeded instance
+        driven through this path ends bit-identical to the vectorized one.
+        """
+        n = len(packets)
+        if n == 0:
+            return 0.0
+        draws = self._batch_rng.integers(0, self._v, size=n)
+        keys = self._key_array(packets)
+        picked = []
+        for i in range(n):
+            self._seen += 1
+            if draws[i] < self._h:
+                self._forwarded += 1
+                picked.append(i)
+        if picked:
+            self._vm.receive_batch(keys[np.asarray(picked, dtype=np.int64)])
+        return n * self._cost.rng_cycles + len(picked) * self._cost.forward_to_vm_cycles
 
     # ------------------------------------------------------------------ #
     # throughput model

@@ -1,0 +1,131 @@
+"""The ISSUE acceptance gate: 100 switches, one answer, bounded bandwidth.
+
+A 100-switch cluster over seeded Zipf and DDoS traffic - with top-k + delta
+compression on and one switch killed mid-stream - must still clear the same
+Student-t (epsilon, delta) precision/recall thresholds the serial engines
+are held to, while every switch's shipped bytes stay under the configured
+budget and every reported bracket stays sound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api.registry import make_hierarchy
+from repro.api.specs import AlgorithmSpec, DistribSpec, ExperimentSpec
+from repro.core.faults import FaultEvent, FaultPlan
+from repro.distrib.cluster import DistributedCluster
+from repro.eval.confidence import mean_confidence_interval
+from repro.eval.ground_truth import GroundTruth
+from repro.eval.metrics import evaluate_output
+from repro.traffic.ddos import DDoSScenario
+from repro.traffic.zipf import ZipfFlowGenerator
+
+SWITCHES = 100
+EPSILON = 0.05
+DELTA = 0.1
+THETA = 0.05
+PACKETS = 60_000
+BATCH = 8_192
+SEEDS = range(3)
+KILLED_SWITCH = 17
+
+#: Per-switch shipped-bytes ceiling for the Zipf runs (top_k=32, deltas on).
+#: Observed maxima sit well below this; a regression that bloats the wire
+#: format or stops delta-encoding blows straight through it.
+BYTE_BUDGET = 120_000
+
+MIN_RECALL_CI_LOW = 0.9
+MIN_PRECISION_CI_LOW = 0.3
+MAX_MEAN_VIOLATION_RATIO = DELTA
+
+
+def _cluster(seed: int, *, hierarchy: str, kill: bool = True) -> DistributedCluster:
+    spec = ExperimentSpec(
+        algorithm=AlgorithmSpec(name="rhhh", epsilon=EPSILON, delta=DELTA, seed=seed),
+        hierarchy=hierarchy,
+        batch_size=BATCH,
+        distrib=DistribSpec(
+            switches=SWITCHES, top_k=32, delta=True, byte_budget=BYTE_BUDGET
+        ),
+    )
+    plan = FaultPlan([FaultEvent("kill", 3, shard=KILLED_SWITCH)]) if kill else None
+    return DistributedCluster(spec, fault_plan=plan)
+
+
+def _feed(cluster: DistributedCluster, keys) -> None:
+    for lo in range(0, len(keys), BATCH):
+        cluster.update_batch(keys[lo : lo + BATCH])
+
+
+def _assert_quality(reports) -> None:
+    recalls = [report.recall for report in reports]
+    precisions = [report.precision for report in reports]
+    coverage = [report.coverage_error_ratio for report in reports]
+    accuracy = [report.accuracy_error_ratio for report in reports]
+    recall_mean, recall_half = mean_confidence_interval(recalls)
+    precision_mean, precision_half = mean_confidence_interval(precisions)
+    assert recall_mean - recall_half >= MIN_RECALL_CI_LOW, recalls
+    assert precision_mean - precision_half >= MIN_PRECISION_CI_LOW, precisions
+    assert sum(coverage) / len(coverage) <= MAX_MEAN_VIOLATION_RATIO, coverage
+    assert sum(accuracy) / len(accuracy) <= MAX_MEAN_VIOLATION_RATIO, accuracy
+
+
+@pytest.mark.slow
+class TestHundredSwitchGate:
+    def test_zipf_with_one_dead_switch_clears_the_epsilon_delta_gate(self):
+        hierarchy = make_hierarchy("1d-bytes")
+        reports = []
+        for seed in SEEDS:
+            generator = ZipfFlowGenerator(num_flows=5_000, skew=1.2, seed=100 + seed)
+            keys = np.ascontiguousarray(generator.key_array(PACKETS)[:, 0])
+            cluster = _cluster(seed, hierarchy="1d-bytes")
+            _feed(cluster, keys)
+            output = cluster.output(THETA)
+
+            # exactly the one killed switch is lost, its packets quantified
+            assert cluster.dead_switches == [KILLED_SWITCH]
+            assert {loss.shard for loss in output.failed_shards} == {KILLED_SWITCH}
+            assert output.failed_shards[0].lost_packets > 0
+
+            # RHHH brackets are probabilistic (the sampled levels scale up
+            # by V), so soundness is gated statistically through the
+            # violation ratios in _assert_quality below; the *deterministic*
+            # bracket contract is pinned by the MST fault test in
+            # test_cluster.py.
+            truth = GroundTruth(hierarchy, keys.tolist())
+
+            # bandwidth: every live switch under the per-switch byte budget
+            report = cluster.bandwidth_report()
+            assert report["over_budget"] == [], report["max_switch_bytes"]
+            assert report["max_switch_bytes"] <= BYTE_BUDGET
+
+            reports.append(
+                evaluate_output(output, truth, epsilon=EPSILON, theta=THETA)
+            )
+        assert all(report.exact_count >= 1 for report in reports)
+        _assert_quality(reports)
+
+    def test_ddos_attack_subnets_surface_in_the_global_answer(self):
+        attack_subnets = [("42.13.7.0", 24), ("99.5.0.0", 16)]
+        hierarchy = make_hierarchy("2d-bytes")
+        theta = 0.1
+        recalls = []
+        for seed in range(2):
+            scenario = DDoSScenario(
+                attack_subnets, "10.0.0.1", attack_fraction=0.3, seed=200 + seed
+            )
+            keys = scenario.key_array(40_000)
+            cluster = _cluster(seed, hierarchy="2d-bytes")
+            _feed(cluster, keys)
+            output = cluster.output(theta)
+            truth = GroundTruth(hierarchy, [(int(s), int(d)) for s, d in keys])
+            report = evaluate_output(output, truth, epsilon=EPSILON, theta=theta)
+            recalls.append(report.recall)
+            assert report.coverage_error_ratio <= DELTA
+            texts = " ".join(candidate.prefix.text for candidate in output)
+            assert "42.13.7" in texts
+            assert "99.5" in texts
+        recall_mean, recall_half = mean_confidence_interval(recalls)
+        assert recall_mean - recall_half >= 0.85, recalls

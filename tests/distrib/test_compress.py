@@ -1,0 +1,133 @@
+"""Compression soundness: truncation keeps bounds valid, deltas are lossless."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distrib import compress, wire
+from repro.exceptions import WireFormatError
+from repro.hh.space_saving import SpaceSaving
+
+
+def _summary(stream, capacity=16):
+    counter = SpaceSaving(capacity=capacity)
+    for key in stream:
+        counter.update(key)
+    return counter
+
+
+class TestTruncation:
+    def test_lossless_when_top_k_is_none_or_not_binding(self):
+        state = wire.encode_counter_state(_summary(range(40)))
+        assert compress.truncate_counter_state(state, None) is state
+        assert compress.truncate_counter_state(state, 16) is state
+        assert compress.truncate_counter_state(state, 100) is state
+
+    def test_truncated_summary_is_full_at_its_shipped_capacity(self):
+        state = wire.encode_counter_state(_summary([k % 13 for k in range(200)]))
+        truncated = compress.truncate_counter_state(state, 5)
+        assert truncated["capacity"] == 5
+        assert len(truncated["entries"]) == 5
+        assert truncated["total"] == state["total"]
+        decoded = wire.decode_counter_state(truncated)
+        # full => min_count is the smallest kept count, never 0: absent keys
+        # keep being charged at merge time (the soundness rule).
+        assert decoded._min_count() == min(count for _, count, _ in truncated["entries"])
+        assert decoded._min_count() >= max(
+            count
+            for _, count, _ in state["entries"]
+            if (_, count) not in [(k, c) for k, c, _ in truncated["entries"]]
+        ) or decoded._min_count() >= decoded._absent_floor
+
+    def test_floor_absorbs_the_largest_dropped_count(self):
+        counter = SpaceSaving(capacity=8)
+        for key, weight in [(1, 50), (2, 40), (3, 30), (4, 20), (5, 10), (6, 5)]:
+            counter.update(key, weight)
+        truncated = compress.truncate_counter_state(wire.encode_counter_state(counter), 3)
+        kept_keys = {key for key, _, _ in truncated["entries"]}
+        assert kept_keys == {1, 2, 3}
+        assert truncated["absent_floor"] == 20  # the heaviest dropped entry
+
+    @given(
+        stream=st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=300),
+        top_k=st.integers(min_value=1, max_value=20),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_truncation_keeps_per_key_bounds_sound(self, stream, top_k):
+        """For every key in the stream: lower <= true count <= upper on the
+        truncated summary, same as the untouched one."""
+        truth = Counter(stream)
+        counter = _summary(stream, capacity=8)
+        decoded = wire.decode_counter_state(
+            compress.truncate_counter_state(wire.encode_counter_state(counter), top_k)
+        )
+        for key, true_count in truth.items():
+            assert decoded.lower_bound(key) <= true_count <= decoded.upper_bound(key)
+
+    @given(
+        stream_a=st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=200),
+        stream_b=st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=200),
+        top_k=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_merging_truncated_summaries_stays_sound(self, stream_a, stream_b, top_k):
+        """The merge-soundness rule truncation is designed around: merging
+        two truncated summaries still upper/lower-bounds the union stream."""
+        truth = Counter(stream_a) + Counter(stream_b)
+
+        def shipped(stream):
+            return wire.decode_counter_state(
+                compress.truncate_counter_state(
+                    wire.encode_counter_state(_summary(stream, capacity=8)), top_k
+                )
+            )
+
+        merged = shipped(stream_a)
+        merged.merge(shipped(stream_b))
+        for key, true_count in truth.items():
+            assert merged.lower_bound(key) <= true_count <= merged.upper_bound(key)
+        assert merged.total == len(stream_a) + len(stream_b)
+
+
+class TestDelta:
+    def test_round_trip_reproduces_the_snapshot(self):
+        base_state = wire.encode_counter_state(_summary([k % 7 for k in range(100)]))
+        next_state = wire.encode_counter_state(_summary([k % 9 for k in range(160)]))
+        delta = compress.delta_encode(next_state, base_state)
+        rebuilt = compress.delta_decode(delta, base_state)
+        assert sorted(rebuilt["entries"]) == sorted(next_state["entries"])
+        assert rebuilt["total"] == next_state["total"]
+        assert rebuilt["absent_floor"] == next_state["absent_floor"]
+        assert rebuilt["capacity"] == next_state["capacity"]
+
+    def test_identical_states_produce_an_empty_delta(self):
+        state = wire.encode_counter_state(_summary(range(30)))
+        delta = compress.delta_encode(state, state)
+        assert delta["changed"] == []
+        assert delta["removed"] == []
+
+    def test_small_change_ships_a_small_delta(self):
+        counter = _summary([k % 10 for k in range(100)])
+        base_state = wire.encode_counter_state(counter)
+        counter.update(3, 5)
+        delta = compress.delta_encode(wire.encode_counter_state(counter), base_state)
+        assert len(delta["changed"]) == 1
+        assert delta["changed"][0][0] == 3
+
+    def test_delta_codec_needs_entries_states(self):
+        good = wire.encode_counter_state(_summary(range(5)))
+        with pytest.raises(WireFormatError):
+            compress.delta_encode({"codec": "pickle", "blob": None}, good)
+        with pytest.raises(WireFormatError):
+            compress.delta_decode({"codec": "space_saving"}, good)
+        with pytest.raises(WireFormatError):
+            compress.delta_decode(compress.delta_encode(good, good), {"codec": "pickle"})
+
+    def test_is_delta_capable(self):
+        good = wire.encode_counter_state(_summary(range(5)))
+        assert compress.is_delta_capable([good, good])
+        assert not compress.is_delta_capable([good, {"codec": "pickle", "blob": None}])

@@ -1,0 +1,108 @@
+"""Transport semantics: loopback reliability, seeded loss/delay/reorder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.faults import FaultEvent, FaultPlan
+from repro.distrib.transport import LoopbackTransport, SimulatedTransport
+from repro.exceptions import ConfigurationError
+
+
+class TestLoopback:
+    def test_delivers_everything_in_order_next_tick(self):
+        transport = LoopbackTransport()
+        transport.send(b"a")
+        transport.send(b"b")
+        assert transport.tick() == [b"a", b"b"]
+        assert transport.tick() == []
+        assert transport.messages_sent == 2
+        assert transport.messages_delivered == 2
+        assert transport.messages_dropped == 0
+        assert transport.bytes_sent == 2
+        assert transport.in_flight == 0
+
+
+class TestSimulated:
+    def test_reliable_without_a_plan(self):
+        transport = SimulatedTransport(switch=0, plan=None)
+        transport.send(b"a")
+        transport.send(b"b")
+        assert transport.tick() == [b"a", b"b"]
+
+    def test_drop_consumes_the_message(self):
+        plan = FaultPlan([FaultEvent("net_drop", 1, shard=0)])
+        transport = SimulatedTransport(switch=0, plan=plan)
+        transport.send(b"m0")
+        transport.send(b"m1")  # message index 1: dropped
+        transport.send(b"m2")
+        assert transport.tick() == [b"m0", b"m2"]
+        assert transport.messages_dropped == 1
+        assert transport.in_flight == 0
+
+    def test_events_target_their_switch_only(self):
+        plan = FaultPlan([FaultEvent("net_drop", 0, shard=1)])
+        mine = SimulatedTransport(switch=0, plan=plan)
+        theirs = SimulatedTransport(switch=1, plan=plan)
+        mine.send(b"keep")
+        theirs.send(b"lose")
+        assert mine.tick() == [b"keep"]
+        assert theirs.tick() == []
+        assert theirs.messages_dropped == 1
+
+    def test_delay_holds_the_message_the_scheduled_epochs(self):
+        plan = FaultPlan([FaultEvent("net_delay", 0, shard=0, seconds=2)])
+        transport = SimulatedTransport(switch=0, plan=plan)
+        transport.send(b"late")
+        assert transport.tick() == []  # would normally arrive here
+        assert transport.in_flight == 1
+        assert transport.tick() == []
+        assert transport.tick() == [b"late"]
+
+    def test_reorder_swaps_within_a_delivery_epoch(self):
+        plan = FaultPlan([FaultEvent("net_reorder", 0, shard=0)])
+        transport = SimulatedTransport(switch=0, plan=plan)
+        transport.send(b"first")  # reordered behind the next message
+        transport.send(b"second")
+        assert transport.tick() == [b"second", b"first"]
+
+    def test_same_plan_seed_reproduces_the_same_loss_pattern(self):
+        def run():
+            plan = FaultPlan.random_network(7, messages=20, switches=3, drops=3, delays=2)
+            transports = [SimulatedTransport(switch=s, plan=plan) for s in range(3)]
+            delivered = []
+            for index in range(20):
+                for s, transport in enumerate(transports):
+                    transport.send(f"{s}:{index}".encode())
+                for transport in transports:
+                    delivered.extend(transport.tick())
+            for _ in range(5):  # drain delayed stragglers
+                for transport in transports:
+                    delivered.extend(transport.tick())
+            return delivered, [t.messages_dropped for t in transports]
+
+        first, second = run(), run()
+        assert first == second
+        assert sum(first[1]) == 3
+
+
+class TestRandomNetworkPlan:
+    def test_validates_its_arguments(self):
+        with pytest.raises(ConfigurationError, match="messages"):
+            FaultPlan.random_network(1, messages=0, switches=2)
+        with pytest.raises(ConfigurationError, match="switches"):
+            FaultPlan.random_network(1, messages=5, switches=0)
+        with pytest.raises(ConfigurationError, match="cannot schedule"):
+            FaultPlan.random_network(1, messages=2, switches=2, drops=3)
+
+    def test_draws_the_requested_event_mix(self):
+        plan = FaultPlan.random_network(3, messages=30, switches=4, drops=2, delays=3, reorders=1)
+        kinds = [event.kind for event in plan.events]
+        assert kinds.count("net_drop") == 2
+        assert kinds.count("net_delay") == 3
+        assert kinds.count("net_reorder") == 1
+        assert all(0 <= event.shard < 4 for event in plan.events)
+        assert all(event.seconds >= 1 for event in plan.events if event.kind == "net_delay")
+        # one event per message slot at most
+        slots = [event.at_batch for event in plan.events]
+        assert len(slots) == len(set(slots))

@@ -417,6 +417,89 @@ class TestFigure:
             main(["figure", "--name", "fig99"])
 
 
+class TestDistribCommand:
+    def test_distrib_prints_prefixes_and_bandwidth(self, capsys):
+        exit_code = main(
+            [
+                "distrib",
+                "--workload",
+                "chicago16",
+                "--packets",
+                "20000",
+                "--hierarchy",
+                "1d-bytes",
+                "--theta",
+                "0.1",
+                "--switches",
+                "4",
+                "--top-k",
+                "24",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "HHH prefixes" in out
+        assert "bandwidth:" in out
+        assert "snapshots" in out
+
+    def test_distrib_with_simulated_faults_reports_loss(self, capsys):
+        exit_code = main(
+            [
+                "distrib",
+                "--workload",
+                "chicago16",
+                "--packets",
+                "20000",
+                "--hierarchy",
+                "1d-bytes",
+                "--theta",
+                "0.1",
+                "--switches",
+                "4",
+                "--transport",
+                "simulated",
+                "--drops",
+                "2",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "quantified loss" in out
+
+    def test_distrib_over_budget_exits_nonzero(self, capsys):
+        exit_code = main(
+            [
+                "distrib",
+                "--workload",
+                "chicago16",
+                "--packets",
+                "20000",
+                "--hierarchy",
+                "1d-bytes",
+                "--switches",
+                "4",
+                "--byte-budget",
+                "16",
+            ]
+        )
+        assert exit_code == 1
+        assert "over budget" in capsys.readouterr().err
+
+    def test_faults_require_the_simulated_transport(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "distrib",
+                    "--workload",
+                    "chicago16",
+                    "--packets",
+                    "2000",
+                    "--drops",
+                    "1",
+                ]
+            )
+
+
 class TestParser:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):

@@ -75,3 +75,84 @@ class TestDistributedMeasurement:
             DistributedMeasurement(25, 10, vm)
         with pytest.raises(SwitchError):
             DistributedMeasurement(25, 50, vm, dimensions=3)
+
+
+class TestVectorizedBatchPath:
+    """The numpy sampling path must stay bit-identical to its scalar twin."""
+
+    def _deployment(self, hierarchy=None, *, dimensions=2, seed=9):
+        if hierarchy is None:
+            from repro.api.registry import make_hierarchy
+
+            hierarchy = make_hierarchy("1d-bytes" if dimensions == 1 else "2d-bytes")
+        vm = _vm(hierarchy, seed=seed)
+        return DistributedMeasurement(
+            25, 100, vm, CostModel(), dimensions=dimensions, seed=seed
+        )
+
+    @pytest.mark.parametrize("dimensions", [1, 2])
+    def test_batch_and_reference_paths_are_bit_identical(self, dimensions):
+        packets = list(named_workload("chicago16", num_flows=500).packets(8_000))
+        fast = self._deployment(dimensions=dimensions)
+        slow = self._deployment(dimensions=dimensions)
+        fast_cycles = slow_cycles = 0.0
+        for lo in range(0, len(packets), 1_024):
+            chunk = packets[lo : lo + 1_024]
+            fast_cycles += fast.process_batch(chunk)
+            slow_cycles += slow.process_batch_reference(chunk)
+        assert fast.seen == slow.seen == len(packets)
+        assert fast.forwarded == slow.forwarded > 0
+        assert fast_cycles == slow_cycles
+        assert fast.vm.received == slow.vm.received
+        assert fast.vm.output(0.1).candidates == slow.vm.output(0.1).candidates
+
+    def test_empty_batch_is_a_free_no_op(self, two_dim_hierarchy):
+        deployment = self._deployment(two_dim_hierarchy)
+        assert deployment.process_batch([]) == 0.0
+        assert deployment.process_batch_reference([]) == 0.0
+        assert deployment.seen == 0
+
+    def test_batch_cycles_follow_the_cost_model(self, two_dim_hierarchy):
+        cost = CostModel()
+        deployment = self._deployment(two_dim_hierarchy)
+        packets = list(named_workload("chicago16", num_flows=200).packets(2_000))
+        cycles = deployment.process_batch(packets)
+        expected = (
+            len(packets) * cost.rng_cycles
+            + deployment.forwarded * cost.forward_to_vm_cycles
+        )
+        assert cycles == expected
+
+
+class TestGeneralizedVMAlgorithms:
+    """Satellite: any spec-built lattice algorithm can sit on the VM side."""
+
+    def test_sharded_engine_is_accepted(self, two_dim_hierarchy):
+        from repro.api.specs import AlgorithmSpec
+        from repro.core.shard import ShardedHHH
+
+        spec = AlgorithmSpec(name="rhhh", epsilon=0.05, delta=0.1, seed=5)
+        vm = MeasurementVM(ShardedHHH(spec, "2d-bytes", 4, parallel=False), CostModel())
+        deployment = DistributedMeasurement(25, 100, vm, CostModel(), seed=5)
+        deployment.process_batch(list(named_workload("chicago16", num_flows=500).packets(4_000)))
+        assert vm.received > 0
+        assert vm.algorithm.total == vm.received
+
+    def test_deterministic_mst_is_accepted(self, two_dim_hierarchy):
+        from repro.api.registry import build_algorithm
+        from repro.api.specs import AlgorithmSpec
+
+        algorithm = build_algorithm(
+            AlgorithmSpec(name="mst", epsilon=0.05, seed=5), two_dim_hierarchy
+        )
+        vm = MeasurementVM(algorithm, CostModel())
+        for i in range(200):
+            vm.receive((i % 9, i % 4))
+        assert len(vm.output(0.05)) >= 1
+
+    def test_plain_rhhh_with_v_above_h_is_still_rejected(self, two_dim_hierarchy):
+        # the V > H sampling happens at the switch; sampling twice would
+        # double-discount the stream - the original guard must survive the
+        # generalization
+        with pytest.raises(SwitchError, match="V = H"):
+            MeasurementVM(RHHH(two_dim_hierarchy, epsilon=0.05, delta=0.1, v=250))
