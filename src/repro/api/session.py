@@ -345,7 +345,7 @@ class Session:
         total = len(keys)
         if not 0 <= start <= total:
             raise ConfigurationError(f"start must lie in [0, {total}], got {start}")
-        marks = sorted(set(int(c) for c in checkpoints))
+        marks = sorted({int(c) for c in checkpoints})
         if marks and (marks[0] <= start or marks[-1] > total):
             raise ConfigurationError(
                 f"checkpoints must lie in ({start}, {total}], got {marks[0]}..{marks[-1]}"

@@ -16,7 +16,7 @@ import dataclasses
 import json
 import warnings
 from dataclasses import dataclass, field, fields
-from typing import Any, Dict, Mapping, Optional, Type, TypeVar
+from typing import Any, Dict, Mapping, Optional, Tuple, Type, TypeVar
 
 from repro.api.memory import choose_counter_backend
 from repro.exceptions import ConfigurationError, ConfigurationWarning
@@ -53,6 +53,7 @@ class _SpecBase:
 
     def to_dict(self) -> Dict[str, Any]:
         """Return a plain JSON-able dict; nested specs become nested dicts."""
+        assert dataclasses.is_dataclass(self)  # every concrete spec is one
         result: Dict[str, Any] = {}
         for spec_field in fields(self):
             value = getattr(self, spec_field.name)
@@ -68,6 +69,7 @@ class _SpecBase:
         """Rebuild a spec from :meth:`to_dict` output (strict about keys)."""
         if not isinstance(data, Mapping):
             raise ConfigurationError(f"{cls.__name__}.from_dict expects a mapping, got {type(data).__name__}")
+        assert dataclasses.is_dataclass(cls)  # every concrete spec is one
         known = {spec_field.name: spec_field for spec_field in fields(cls)}
         unknown = set(data) - set(known)
         if unknown:
@@ -187,7 +189,7 @@ class CounterSpec(_SpecBase):
                 epsilon = floor
         return dataclasses.replace(self, name=name, epsilon=epsilon, auto=False)
 
-    def build(self, default_epsilon: Optional[float] = None):
+    def build(self, default_epsilon: Optional[float] = None) -> Any:
         """Instantiate the backend (delegates to :func:`repro.api.registry.build_counter`)."""
         from repro.api.registry import build_counter  # late import: registry imports this module
 
@@ -246,7 +248,7 @@ class AlgorithmSpec(_SpecBase):
             return self.v_multiplier * hierarchy_size
         return None
 
-    def build(self, hierarchy):
+    def build(self, hierarchy: Any) -> Any:
         """Instantiate the algorithm (delegates to :func:`repro.api.registry.build_algorithm`)."""
         from repro.api.registry import build_algorithm  # late import: registry imports this module
 
@@ -441,7 +443,7 @@ class ExperimentSpec(_SpecBase):
 
 
 #: Which spec fields hold nested specs, for ``from_dict`` reconstruction.
-_NESTED_SPEC_FIELDS: Dict[tuple, type] = {
+_NESTED_SPEC_FIELDS: Dict[Tuple[str, str], Type[_SpecBase]] = {
     ("AlgorithmSpec", "counter"): CounterSpec,
     ("ExperimentSpec", "algorithm"): AlgorithmSpec,
     ("ExperimentSpec", "distrib"): DistribSpec,

@@ -32,7 +32,7 @@ import pickle
 import random
 import struct
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import Any, Dict, Tuple, Union
 
 import numpy as np
 
@@ -49,7 +49,25 @@ _HEADER = struct.Struct("<4sIQ32s")
 #: RNG streams.  Only the attributes an instance actually has are captured,
 #: so the one whitelist covers RHHH (all but ``_sampled``), MST (totals and
 #: counters only) and SampledMST (all but the RHHH bookkeeping).
+#: Algorithms with runtime state beyond this list declare it in a class-level
+#: ``CHECKPOINT_EXTRA_ATTRS`` tuple (see :func:`_state_attr_names`); the
+#: ``checkpoint-drift`` reprolint rule fails the build when a mutated
+#: attribute is on neither list.
 _STATE_ATTRS = ("_total", "_counters", "_ignored", "_update_calls", "_sampled")
+
+
+def _state_attr_names(algorithm: Any) -> Tuple[str, ...]:
+    """The whitelist plus every ``CHECKPOINT_EXTRA_ATTRS`` declaration.
+
+    Extra attrs are collected per class across the MRO (base-first), so a
+    subclass extends - never shadows - what its ancestors declared.
+    """
+    names = list(_STATE_ATTRS)
+    for klass in reversed(type(algorithm).__mro__):
+        for name in klass.__dict__.get("CHECKPOINT_EXTRA_ATTRS", ()):
+            if name not in names:
+                names.append(name)
+    return tuple(names)
 
 
 # --------------------------------------------------------------------------- #
@@ -57,7 +75,7 @@ _STATE_ATTRS = ("_total", "_counters", "_ignored", "_update_calls", "_sampled")
 # --------------------------------------------------------------------------- #
 
 
-def capture_runtime_state(algorithm, *, copy_state: bool = True) -> Dict[str, Any]:
+def capture_runtime_state(algorithm: Any, *, copy_state: bool = True) -> Dict[str, Any]:
     """Snapshot a lattice algorithm's runtime state as plain picklable data.
 
     By default the snapshot holds deep copies, so it stays valid while the
@@ -67,7 +85,7 @@ def capture_runtime_state(algorithm, *, copy_state: bool = True) -> Dict[str, An
     aliases live state and must not be kept across further updates.
     """
     state: Dict[str, Any] = {"class": type(algorithm).__name__, "attrs": {}, "rng": {}}
-    for name in _STATE_ATTRS:
+    for name in _state_attr_names(algorithm):
         if hasattr(algorithm, name):
             value = getattr(algorithm, name)
             state["attrs"][name] = copy.deepcopy(value) if copy_state else value
@@ -80,7 +98,7 @@ def capture_runtime_state(algorithm, *, copy_state: bool = True) -> Dict[str, An
     return state
 
 
-def apply_runtime_state(algorithm, state: Dict[str, Any]) -> None:
+def apply_runtime_state(algorithm: Any, state: Dict[str, Any]) -> None:
     """Push a :func:`capture_runtime_state` snapshot into a rebuilt instance.
 
     ``algorithm`` must be a freshly built instance of the class the snapshot
@@ -106,7 +124,7 @@ def apply_runtime_state(algorithm, state: Dict[str, Any]) -> None:
             raise CheckpointError(f"checkpoint RNG stream {name!r} has no counterpart on {expected}")
 
 
-def snapshot_algorithm(algorithm, *, copy_state: bool = True) -> Dict[str, Any]:
+def snapshot_algorithm(algorithm: Any, *, copy_state: bool = True) -> Dict[str, Any]:
     """Snapshot any lattice algorithm or engine.
 
     Engines that manage their own distributed state (``ShardedHHH``) expose
@@ -121,7 +139,7 @@ def snapshot_algorithm(algorithm, *, copy_state: bool = True) -> Dict[str, Any]:
     return {"kind": "algorithm", "state": capture_runtime_state(algorithm, copy_state=copy_state)}
 
 
-def restore_algorithm(algorithm, snapshot: Dict[str, Any]) -> None:
+def restore_algorithm(algorithm: Any, snapshot: Dict[str, Any]) -> None:
     """Apply a :func:`snapshot_algorithm` snapshot to a rebuilt algorithm/engine."""
     kind = snapshot.get("kind")
     if kind == "engine":

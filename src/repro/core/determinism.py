@@ -1,0 +1,38 @@
+"""Seed resolution: ``seed=None`` means the fixed spec default, never entropy.
+
+Every generator and sampling component in the repo takes an optional
+``seed``.  Before this module, omitting it fell through to
+``np.random.default_rng(None)`` - OS entropy, an RNG stream no replay can
+ever reproduce, silently breaking the repo's bit-identical-replay
+guarantee for anyone who forgot to thread a seed.  :func:`resolve_seed`
+closes that hole: explicit seeds pass through untouched, and an omitted
+seed resolves to :data:`DEFAULT_SEED`, so a default-constructed component
+is exactly as reproducible as a seeded one.
+
+The ``determinism-default-none-seed`` reprolint rule enforces the pattern:
+RNG constructors must not consume a parameter whose declared default is
+``None`` directly - route it through ``resolve_seed(...)`` at the call
+site.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: The seed an omitted ``seed=None`` resolves to.  The value spells "RHHH"
+#: in ASCII; it is arbitrary but frozen - changing it changes every
+#: default-seeded stream in the repo.
+DEFAULT_SEED = 0x52484848
+
+
+def resolve_seed(seed: Optional[int]) -> int:
+    """Return ``seed`` unchanged, or :data:`DEFAULT_SEED` when it is None.
+
+    Use inline at the RNG construction site::
+
+        self._rng = np.random.default_rng(resolve_seed(seed))
+
+    so the deterministic default is visible exactly where the stream is
+    created.
+    """
+    return DEFAULT_SEED if seed is None else seed

@@ -151,7 +151,7 @@ class RingBufferIngest(Generic[T]):
             for item in self._source:
                 if not self._offer(item):
                     return  # closed while we were blocked: stop reading
-        except BaseException as exc:  # noqa: BLE001 - delivered to the consumer
+        except BaseException as exc:  # noqa: B036 - delivered to the consumer
             with self._lock:
                 self._error = exc
                 self._not_empty.notify_all()

@@ -338,7 +338,9 @@ class ShardedHHH(HHHAlgorithm):
             self._batch_index += 1
         self._total += weight
 
-    def update_batch(
+    # The sharded engine has no scalar twin of its own: its reference is the
+    # serial replica set the lockstep suite (test_shard.py) drives in parallel.
+    def update_batch(  # reprolint: ok(twin-parity)
         self, keys: Sequence[Hashable], weights: Optional[Sequence[int]] = None
     ) -> None:
         """Hash-partition the batch and drive every shard's own ``update_batch``.

@@ -109,16 +109,20 @@ class DistributedCluster(HHHAlgorithm):
     # stream processing
     # ------------------------------------------------------------------ #
 
+    # The cluster engine is deliberately outside the checkpoint whitelist:
+    # specs.py rejects checkpoint_every together with distrib (live switch
+    # nodes, transports and in-flight messages cannot be snapshotted), so the
+    # epoch/liveness bookkeeping below is pragma-exempted, not whitelisted.
     def _fire_kills(self) -> None:
         if self._fault_plan is None:
             return
         for switch in self._fault_plan.kills_at(self._batch_index):
             if 0 <= switch < self._switches:
-                self._alive[switch] = False
+                self._alive[switch] = False  # reprolint: ok(checkpoint-drift)
 
     def _advance_epoch_clock(self) -> None:
-        self._batch_index += 1
-        self._batches_since_epoch += 1
+        self._batch_index += 1  # reprolint: ok(checkpoint-drift)
+        self._batches_since_epoch += 1  # reprolint: ok(checkpoint-drift)
         if self._batches_since_epoch >= self._distrib.epoch_batches:
             self._run_epoch()
 
@@ -126,13 +130,15 @@ class DistributedCluster(HHHAlgorithm):
         """Route one packet to the switch owning its key (per-packet path)."""
         self._fire_kills()
         switch = shard_of_key(key, self._switches)
-        self._dispatched[switch] += weight
+        self._dispatched[switch] += weight  # reprolint: ok(checkpoint-drift)
         if self._alive[switch]:
             self._nodes[switch].observe_one(key, weight)
         self._total += weight
         self._advance_epoch_clock()
 
-    def update_batch(
+    # Like the sharded engine, the cluster has no scalar twin: its reference
+    # is the per-packet update() path, pinned by the distrib parity tests.
+    def update_batch(  # reprolint: ok(twin-parity)
         self, keys: Sequence[Hashable], weights: Optional[Sequence[int]] = None
     ) -> None:
         """Hash-partition the batch across the switches, then tick the epoch clock.
@@ -201,7 +207,7 @@ class DistributedCluster(HHHAlgorithm):
 
     def _run_epoch(self) -> None:
         """Emit every live switch's state, deliver due messages, send acks."""
-        self._epoch += 1
+        self._epoch += 1  # reprolint: ok(checkpoint-drift)
         self._batches_since_epoch = 0
         for switch, node in enumerate(self._nodes):
             if self._alive[switch]:

@@ -39,7 +39,7 @@ compression layer truncates and delta-encodes); any other mergeable backend
 from __future__ import annotations
 
 import copy
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.checkpoint import pack_payload, unpack_payload
 from repro.exceptions import CheckpointError, WireCompatibilityError, WireFormatError
@@ -62,7 +62,7 @@ KIND_DELTA = "delta"
 # --------------------------------------------------------------------------- #
 
 
-def encode_counter_state(counter) -> Dict[str, Any]:
+def encode_counter_state(counter: Any) -> Dict[str, Any]:
     """Snapshot one counter summary as plain wire data.
 
     Space Saving summaries (either implementation) become the entries codec -
@@ -89,7 +89,7 @@ def encode_counter_state(counter) -> Dict[str, Any]:
     return {"codec": "pickle", "blob": copy.deepcopy(counter)}
 
 
-def decode_counter_state(state: Dict[str, Any]):
+def decode_counter_state(state: Dict[str, Any]) -> Any:
     """Materialise a counter summary from its wire state.
 
     The entries codec always rebuilds the linked-bucket
@@ -120,7 +120,7 @@ def decode_counter_state(state: Dict[str, Any]):
 
 
 def algorithm_geometry(
-    algorithm, hierarchy: Hierarchy, *, top_k: Optional[int] = None
+    algorithm: Any, hierarchy: Hierarchy, *, top_k: Optional[int] = None
 ) -> Dict[str, Any]:
     """Fingerprint the merge-relevant shape of a lattice algorithm.
 
@@ -162,8 +162,8 @@ def algorithm_geometry(
 
 def check_geometry(expected: Dict[str, Any], got: Dict[str, Any]) -> None:
     """Raise a typed error naming every field on which two geometries differ."""
-    mismatches = {}
-    for field in set(expected) | set(got):
+    mismatches: Dict[str, Tuple[Any, Any]] = {}
+    for field in sorted(set(expected) | set(got)):
         if expected.get(field) != got.get(field):
             mismatches[field] = (expected.get(field), got.get(field))
     if mismatches:

@@ -156,7 +156,7 @@ class ExperimentRunner:
             }
         )
         truths: Dict[int, GroundTruth] = {
-            length: GroundTruth(self._hierarchy, keys[:length]) for length in set(lengths)
+            length: GroundTruth(self._hierarchy, keys[:length]) for length in sorted(set(lengths))
         }
         max_length = max(lengths)
         for name in algorithms:

@@ -187,6 +187,15 @@ class ArraySpaceSaving(CounterAlgorithm):
             return
         self._apply_aggregated(keys_in, weights)
 
+    def update_batch_reference(self, items) -> None:
+        """Scalar twin of :meth:`update_batch`: the same pairs, one at a time.
+
+        The bulk array path is pinned against this loop: after either method
+        the summary state must be bit-identical.
+        """
+        for key, weight in items:
+            self.update(key, int(weight))
+
     def update_aggregated(self, keys: List[Hashable], weights: np.ndarray) -> None:
         """Batch-engine fast path: aggregation output applied verbatim.
 

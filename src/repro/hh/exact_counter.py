@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Iterator, List
 
+from repro.exceptions import ConfigurationError
 from repro.hh.base import CounterAlgorithm, HeavyHitter
 
 
@@ -50,6 +51,22 @@ class ExactCounter(CounterAlgorithm):
     def items(self):
         """Iterate over ``(key, count)`` pairs."""
         return self._counts.items()
+
+    def merge(self, other, *, disjoint: bool = False) -> None:
+        """Fold another exact counter into this one.
+
+        Exact counts add exactly, so the merged summary keeps the ``(0, 0)``
+        guarantee for the concatenated stream; ``disjoint`` changes nothing
+        and is accepted for interface compatibility.
+        """
+        if not isinstance(other, ExactCounter):
+            raise ConfigurationError(
+                f"cannot merge {type(self).__name__} with {type(other).__name__}; "
+                "merge requires another ExactCounter"
+            )
+        for key, count in other._counts.items():
+            self._counts[key] = self._counts.get(key, 0) + count
+        self._total += other._total
 
     def heavy_hitters(self, threshold: float) -> List[HeavyHitter]:
         return [

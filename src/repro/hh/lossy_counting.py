@@ -63,6 +63,46 @@ class LossyCounting(CounterAlgorithm):
         for k in doomed:
             del self._entries[k]
 
+    def merge(self, other, *, disjoint: bool = False) -> None:
+        """Fold another Lossy Counting summary of the same ``epsilon`` into this one.
+
+        Standard Lossy Counting merge: counts add, and a key's slack is the
+        sum of its per-input slacks, where a key *absent* from one input is
+        charged that input's worst hidden count ``bucket - 1`` (its
+        deletion threshold).  With exact combined counts ``f`` the merged
+        summary keeps ``estimate(k) <= f(k) <= estimate(k) + slack(k)`` with
+        ``slack <= epsilon * (N_a + N_b)``.  ``disjoint`` promises the inputs
+        saw disjoint key sets, so a key cannot be hidden in the input that
+        never owned it and the absent-side charge is skipped, tightening the
+        merged slack to the owning shard's own bound.
+        """
+        if not isinstance(other, LossyCounting):
+            raise ConfigurationError(
+                f"cannot merge {type(self).__name__} with {type(other).__name__}; "
+                "merge requires another LossyCounting summary"
+            )
+        if self._width != other._width:
+            raise ConfigurationError(
+                "cannot merge LossyCounting summaries of different epsilon "
+                f"(bucket widths {self._width} vs {other._width})"
+            )
+        hidden_self = self._bucket - 1
+        hidden_other = other._bucket - 1
+        merged: Dict[Hashable, Tuple[int, int]] = {}
+        for key, (count, delta) in self._entries.items():
+            entry = other._entries.get(key)
+            if entry is not None:
+                merged[key] = (count + entry[0], delta + entry[1])
+            else:
+                merged[key] = (count, delta if disjoint else delta + hidden_other)
+        for key, (count, delta) in other._entries.items():
+            if key not in merged:
+                merged[key] = (count, delta if disjoint else delta + hidden_self)
+        self._entries = merged
+        self._total += other._total
+        self._bucket = self._total // self._width + 1
+        self._compress()
+
     def estimate(self, key: Hashable) -> float:
         entry = self._entries.get(key)
         if entry is None:

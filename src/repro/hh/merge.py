@@ -89,7 +89,9 @@ def remerge_tracked(sketch, other) -> None:
     re-estimated against the already-merged table (the stored estimates
     predate the merge and are stale).
     """
-    union = set(sketch._tracked) | set(other._tracked)
+    # Insertion-ordered union (not a hash-ordered set union): the tie-break
+    # order of equal-estimate keys below must not depend on PYTHONHASHSEED.
+    union = list(sketch._tracked) + [key for key in other._tracked if key not in sketch._tracked]
     refreshed = {key: int(sketch.estimate(key)) for key in union}
     if len(refreshed) > sketch._track_limit:
         keep = sorted(refreshed, key=refreshed.get, reverse=True)[: sketch._track_limit]

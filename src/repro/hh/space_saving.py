@@ -257,6 +257,15 @@ class SpaceSaving(CounterAlgorithm):
             # mid-batch, so the applied prefix stays fully accounted.
             self._total = total
 
+    def update_batch_reference(self, items) -> None:
+        """Scalar twin of :meth:`update_batch`: the same pairs, one at a time.
+
+        This is the specification the inlined batch loop is pinned against:
+        after either method the summary must be bit-identical.
+        """
+        for key, weight in items:
+            self.update(key, int(weight))
+
     def estimate(self, key: Hashable) -> float:
         bucket = self._where.get(key)
         if bucket is None:
@@ -378,7 +387,9 @@ class SpaceSaving(CounterAlgorithm):
         self._rebuild(kept, self._total + other.total)
         self._absent_floor = floor
 
-    def __getstate__(self) -> dict:
+    # _tail is not named here: __setstate__'s _rebuild reconstructs the whole
+    # bucket list (head, tail and links) from the flat entries.
+    def __getstate__(self) -> dict:  # reprolint: ok(merge-contract-state-dropped)
         """Flat picklable form: the linked buckets would otherwise recurse."""
         buckets = []
         bucket = self._head

@@ -39,6 +39,10 @@ class _AncestryBase(HHHAlgorithm):
     #: Whether update materialises every missing ancestor (Full) or not (Partial).
     _materialise_ancestors = True
 
+    #: Runtime state beyond the shared checkpoint whitelist: the trie itself,
+    #: the bucket clock and the churn counters the eval layer reports.
+    CHECKPOINT_EXTRA_ATTRS = ("_entries", "_bucket", "_compressions", "_replacements")
+
     def __init__(self, hierarchy: Hierarchy, *, epsilon: float = 0.001) -> None:
         super().__init__(hierarchy)
         if not 0.0 < epsilon < 1.0:

@@ -26,6 +26,10 @@ class ExactHHH(HHHAlgorithm):
 
     name = "exact"
 
+    #: Runtime state beyond the shared checkpoint whitelist (the exact
+    #: per-key counts are the whole algorithm state).
+    CHECKPOINT_EXTRA_ATTRS = ("_counts",)
+
     def __init__(self, hierarchy: Hierarchy) -> None:
         super().__init__(hierarchy)
         self._counts: Dict[Hashable, int] = defaultdict(int)

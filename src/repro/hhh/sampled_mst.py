@@ -24,6 +24,7 @@ from repro.core.batch import (
     coerce_key_array,
     coerce_weights,
 )
+from repro.core.determinism import resolve_seed
 from repro.core.output import lattice_output, validate_theta
 from repro.exceptions import ConfigurationError
 from repro.hh.base import CounterAlgorithm
@@ -69,7 +70,7 @@ class SampledMST(HHHAlgorithm):
         self._epsilon = epsilon
         self._delta = delta
         self._p = sampling_probability
-        self._rng = random.Random(seed)
+        self._rng = random.Random(resolve_seed(seed))
         counter_factory = prepare_counter_factory(counter, epsilon)
         self._counters: List[CounterAlgorithm] = [
             counter_factory() for _ in range(hierarchy.size)
@@ -79,7 +80,7 @@ class SampledMST(HHHAlgorithm):
         # The batch path pre-draws its coin flips with a numpy Generator: an
         # independent (but equally seeded, hence reproducible) RNG stream
         # from the per-packet random.Random used by update().
-        self._batch_rng = np.random.default_rng(seed)
+        self._batch_rng = np.random.default_rng(resolve_seed(seed))
         self._sampled = 0
 
     @property

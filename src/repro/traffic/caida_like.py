@@ -24,6 +24,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.determinism import resolve_seed
 from repro.exceptions import ConfigurationError
 from repro.traffic.packet import Packet
 from repro.traffic.zipf import DEFAULT_KEY_BATCH_SIZE, batched_key_arrays, zipf_weights
@@ -82,7 +83,7 @@ class BackboneTraceGenerator:
             raise ConfigurationError(f"num_flows must be >= 1, got {num_flows}")
         if top_level_networks < 1 or branching < 1:
             raise ConfigurationError("top_level_networks and branching must be >= 1")
-        self._rng = np.random.default_rng(seed)
+        self._rng = np.random.default_rng(resolve_seed(seed))
         self._packet_size = packet_size
         self._num_flows = num_flows
         src = self._build_addresses(num_flows, prefix_skew, top_level_networks, branching)

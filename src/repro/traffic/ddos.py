@@ -14,6 +14,7 @@ from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.determinism import resolve_seed
 from repro.exceptions import ConfigurationError
 from repro.hierarchy.ip import ipv4_to_int
 from repro.traffic.caida_like import BackboneTraceGenerator
@@ -53,7 +54,7 @@ class DDoSScenario:
             raise ConfigurationError(f"attack_fraction must be in (0, 1), got {attack_fraction}")
         if hosts_per_subnet < 1:
             raise ConfigurationError(f"hosts_per_subnet must be >= 1, got {hosts_per_subnet}")
-        self._rng = np.random.default_rng(seed)
+        self._rng = np.random.default_rng(resolve_seed(seed))
         self._victim = ipv4_to_int(victim)
         self._attack_fraction = attack_fraction
         self._background = background or BackboneTraceGenerator(num_flows=20_000, seed=seed)

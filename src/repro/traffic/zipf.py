@@ -13,6 +13,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.determinism import resolve_seed
 from repro.exceptions import ConfigurationError
 from repro.traffic.packet import Packet
 
@@ -81,7 +82,7 @@ class ZipfFlowGenerator:
     ) -> None:
         if num_flows < 1:
             raise ConfigurationError(f"num_flows must be >= 1, got {num_flows}")
-        self._rng = np.random.default_rng(seed)
+        self._rng = np.random.default_rng(resolve_seed(seed))
         if flows is not None:
             if not flows:
                 raise ConfigurationError("explicit flow population must not be empty")

@@ -18,6 +18,7 @@ from typing import Hashable, Iterable, Optional, Sequence
 import numpy as np
 
 from repro.core.base import HHHAlgorithm, HHHOutput
+from repro.core.determinism import resolve_seed
 from repro.core.rhhh import RHHH
 from repro.exceptions import SwitchError
 from repro.traffic.packet import Packet
@@ -112,11 +113,11 @@ class DistributedMeasurement:
         self._vm = vm
         self._cost = cost_model or CostModel()
         self._dimensions = dimensions
-        self._rng = random.Random(seed)
+        self._rng = random.Random(resolve_seed(seed))
         # Separate numpy stream for the vectorized batch path (the same
         # dual-RNG arrangement RHHH uses: the scalar and batch paths own
         # independent generators, each internally reproducible).
-        self._batch_rng = np.random.default_rng(seed)
+        self._batch_rng = np.random.default_rng(resolve_seed(seed))
         self._seen = 0
         self._forwarded = 0
 

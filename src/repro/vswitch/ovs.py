@@ -83,6 +83,23 @@ class DataplaneMeasurement:
         self._algorithm.update_batch(keys)
         return self._cycles_per_packet * len(packets)
 
+    def update_batch_reference(self, packets: Sequence[Packet]) -> float:
+        """Scalar twin of :meth:`update_batch`: same burst, scalar algorithm path.
+
+        Extracts the key column exactly like the vectorized hook and hands it
+        to the algorithm's own ``update_batch_reference`` scalar twin, so the
+        two hooks leave a deterministic algorithm bit-identical and charge the
+        same cycles; the differential twin test pins the pair.
+        """
+        if not packets:
+            return 0.0
+        if self._dimensions == 1:
+            keys = np.fromiter((p.src for p in packets), dtype=np.int64, count=len(packets))
+        else:
+            keys = np.array([(p.src, p.dst) for p in packets], dtype=np.int64)
+        self._algorithm.update_batch_reference(keys)
+        return self._cycles_per_packet * len(packets)
+
     def output(self, theta: float) -> HHHOutput:
         """Query the attached algorithm."""
         return self._algorithm.output(theta)

@@ -266,14 +266,14 @@ class TestShardedEngineSnapshots:
 
 
 def _session_spec(**overrides):
-    defaults = dict(
-        algorithm=AlgorithmSpec(name="rhhh", epsilon=0.05, delta=0.1, seed=3),
-        hierarchy="2d-bytes",
-        workload="chicago16",
-        packets=40_000,
-        theta=0.1,
-        batch_size=8_192,
-    )
+    defaults = {
+        "algorithm": AlgorithmSpec(name="rhhh", epsilon=0.05, delta=0.1, seed=3),
+        "hierarchy": "2d-bytes",
+        "workload": "chicago16",
+        "packets": 40_000,
+        "theta": 0.1,
+        "batch_size": 8_192,
+    }
     defaults.update(overrides)
     return ExperimentSpec(**defaults)
 

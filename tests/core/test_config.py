@@ -22,7 +22,10 @@ class TestValidation:
         with pytest.raises(ConfigurationError):
             RHHHConfig(h=25, v=10)
 
-    @pytest.mark.parametrize("kwargs", [dict(h=0), dict(h=5, epsilon=0), dict(h=5, delta=1.5), dict(h=5, epsilon_s=2.0)])
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"h": 0}, {"h": 5, "epsilon": 0}, {"h": 5, "delta": 1.5}, {"h": 5, "epsilon_s": 2.0}],
+    )
     def test_bad_parameters_rejected(self, kwargs):
         with pytest.raises(ConfigurationError):
             RHHHConfig(**kwargs)

@@ -160,7 +160,7 @@ class TestFaultPlanMechanics:
         assert clone.events == plan.events
 
     def test_random_plans_are_reproducible(self):
-        kwargs = dict(batches=64, shards=4, kills=2, delays=1, ingest_errors=1)
+        kwargs = {"batches": 64, "shards": 4, "kills": 2, "delays": 1, "ingest_errors": 1}
         assert FaultPlan.random(11, **kwargs).events == FaultPlan.random(11, **kwargs).events
         assert FaultPlan.random(11, **kwargs).events != FaultPlan.random(12, **kwargs).events
         plan = FaultPlan.random(11, **kwargs)

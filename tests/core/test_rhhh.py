@@ -41,7 +41,7 @@ class TestConstruction:
 class TestUpdateMechanics:
     def test_at_most_one_counter_update_per_packet(self, byte_hierarchy):
         algorithm = RHHH(byte_hierarchy, epsilon=0.05, delta=0.1, seed=2)
-        for i in range(1_000):
+        for _ in range(1_000):
             algorithm.update(ipv4_to_int("10.0.0.1"))
         assert algorithm.total == 1_000
         assert algorithm.counter_updates + algorithm.ignored_packets == 1_000

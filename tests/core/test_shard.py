@@ -253,9 +253,41 @@ class TestEngineValidation:
                 ShardedHHH(_rhhh_spec(), "1d-bytes", bad, parallel=False)
 
     def test_rejects_unmergeable_counter_backend(self):
-        spec = AlgorithmSpec(name="rhhh", counter=CounterSpec(name="lossy_counting"))
-        with pytest.raises(ConfigurationError, match="merge"):
-            ShardedHHH(spec, "1d-bytes", 2, parallel=False)
+        # Every built-in backend implements merge() now (lossy_counting and
+        # the exact counter grew theirs with the dictionary-backend merges),
+        # so the rejection needs a synthetic backend that leaves the
+        # protocol default in place.
+        from repro.api.registry import register_counter, unregister_counter
+        from repro.hh.base import FrequencyEstimator
+        from repro.hh.space_saving import SpaceSaving
+
+        class _Unmergeable(SpaceSaving):
+            merge = FrequencyEstimator.merge
+
+        @register_counter("unmergeable_test_counter")
+        def _build(*, epsilon, capacity=None, **_kwargs):
+            return _Unmergeable(capacity=capacity, epsilon=epsilon)
+
+        spec = AlgorithmSpec(
+            name="rhhh", counter=CounterSpec(name="unmergeable_test_counter")
+        )
+        try:
+            with pytest.raises(ConfigurationError, match="merge"):
+                ShardedHHH(spec, "1d-bytes", 2, parallel=False)
+        finally:
+            unregister_counter("unmergeable_test_counter")
+
+    def test_accepts_newly_mergeable_lossy_counting_backend(self):
+        spec = AlgorithmSpec(
+            name="rhhh", epsilon=0.05, delta=0.1, seed=5,
+            counter=CounterSpec(name="lossy_counting"),
+        )
+        engine = ShardedHHH(spec, "1d-bytes", 2, parallel=False)
+        keys = named_workload("chicago16", num_flows=200).key_batches(4_000, batch_size=1_000)
+        for batch in keys:
+            engine.update_batch(batch)
+        assert engine.total == 4_000
+        assert engine.output(0.3).candidates is not None
 
     def test_rejects_algorithms_without_a_counter_lattice(self):
         with pytest.raises(ConfigurationError, match="lattice"):

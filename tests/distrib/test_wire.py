@@ -71,14 +71,14 @@ class TestCounterCodec:
 
 class TestMessageFraming:
     def _message(self, **overrides):
-        fields = dict(
-            kind=wire.KIND_SNAPSHOT,
-            switch=0,
-            epoch=1,
-            geometry={"nodes": 1},
-            total=10,
-            nodes=[wire.encode_counter_state(_summary([(1, 5)]))],
-        )
+        fields = {
+            "kind": wire.KIND_SNAPSHOT,
+            "switch": 0,
+            "epoch": 1,
+            "geometry": {"nodes": 1},
+            "total": 10,
+            "nodes": [wire.encode_counter_state(_summary([(1, 5)]))],
+        }
         fields.update(overrides)
         return wire.encode_message(**fields)
 

@@ -12,14 +12,14 @@ from repro.eval.figures import (
     figure8_distributed_v_sweep,
 )
 
-TINY_QUALITY = dict(
-    workloads=("chicago16",),
-    algorithms=("rhhh", "mst"),
-    lengths=(3_000,),
-    epsilon=0.05,
-    delta=0.1,
-    theta=0.1,
-)
+TINY_QUALITY = {
+    "workloads": ("chicago16",),
+    "algorithms": ("rhhh", "mst"),
+    "lengths": (3_000,),
+    "epsilon": 0.05,
+    "delta": 0.1,
+    "theta": 0.1,
+}
 
 
 class TestQualityFigures:

@@ -261,10 +261,60 @@ class TestSketchMerge:
             CountMinSketch(epsilon=0.05, seed=5).merge(ConservativeCountMin(epsilon=0.05, seed=5))
 
 
-class TestUnmergeableBackends:
+class TestDictionaryBackendMerge:
+    """The dictionary summaries (ExactCounter, LossyCounting) merge too."""
+
+    def _two_streams(self, seed: int):
+        rng = random.Random(seed)
+        stream_a = [rng.randrange(40) for _ in range(600)]
+        stream_b = [rng.randrange(40) for _ in range(400)]
+        return stream_a, stream_b
+
+    def test_exact_counter_merge_is_exact(self):
+        stream_a, stream_b = self._two_streams(7)
+        a, b = ExactCounter(), ExactCounter()
+        for key in stream_a:
+            a.update(key)
+        for key in stream_b:
+            b.update(key)
+        a.merge(b)
+        combined = Counter(stream_a) + Counter(stream_b)
+        assert a.total == len(stream_a) + len(stream_b)
+        for key, count in combined.items():
+            assert a.estimate(key) == count
+
+    @pytest.mark.parametrize("disjoint", [False, True])
+    def test_lossy_counting_merge_brackets_exact_counts(self, disjoint):
+        stream_a, stream_b = self._two_streams(11)
+        if disjoint:
+            # Key-disjoint shards: even keys on a, odd keys on b.
+            stream_a = [2 * key for key in stream_a]
+            stream_b = [2 * key + 1 for key in stream_b]
+        a = LossyCounting(epsilon=0.05)
+        b = LossyCounting(epsilon=0.05)
+        for key in stream_a:
+            a.update(key)
+        for key in stream_b:
+            b.update(key)
+        a.merge(b, disjoint=disjoint)
+        combined = Counter(stream_a) + Counter(stream_b)
+        n = len(stream_a) + len(stream_b)
+        assert a.total == n
+        for key, count in combined.items():
+            assert a.estimate(key) <= count <= a.upper_bound(key)
+            assert a.upper_bound(key) - a.estimate(key) <= 0.05 * n + 2
+        # Memory stays epsilon-bounded after the merge, like a fresh summary.
+        assert a.counters() <= len(combined)
+
+    def test_lossy_counting_merge_rejects_epsilon_mismatch(self):
+        a = LossyCounting(epsilon=0.1)
+        b = LossyCounting(epsilon=0.01)
+        with pytest.raises(ConfigurationError, match="epsilon"):
+            a.merge(b)
+
     @pytest.mark.parametrize(
         "counter", [LossyCounting(epsilon=0.1), ExactCounter()], ids=["lossy", "exact"]
     )
-    def test_merge_raises_with_guidance(self, counter):
-        with pytest.raises(ConfigurationError, match="mergeable"):
-            counter.merge(counter)
+    def test_merge_rejects_foreign_backends(self, counter):
+        with pytest.raises(ConfigurationError, match="merge"):
+            counter.merge(MisraGries(capacity=8))

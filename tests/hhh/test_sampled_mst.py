@@ -44,7 +44,10 @@ class TestSampledMST:
         reported = {c.prefix.key() for c in algorithm.output(theta=0.25)}
         assert (0, 0x0A000001) in reported
 
-    @pytest.mark.parametrize("kwargs", [dict(epsilon=0.0), dict(sampling_probability=0.0), dict(sampling_probability=1.5)])
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"epsilon": 0.0}, {"sampling_probability": 0.0}, {"sampling_probability": 1.5}],
+    )
     def test_rejects_bad_parameters(self, byte_hierarchy, kwargs):
         with pytest.raises(ConfigurationError):
             SampledMST(byte_hierarchy, **kwargs)

@@ -1,0 +1,25 @@
+"""Put ``tools/`` on ``sys.path`` so the reprolint package imports like in CI."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+TOOLS_DIR = REPO_ROOT / "tools"
+FIXTURES_DIR = Path(__file__).resolve().parent / "fixtures"
+
+if str(TOOLS_DIR) not in sys.path:
+    sys.path.insert(0, str(TOOLS_DIR))
+
+
+@pytest.fixture(scope="session")
+def repo_root() -> Path:
+    return REPO_ROOT
+
+
+@pytest.fixture(scope="session")
+def fixtures_dir() -> Path:
+    return FIXTURES_DIR

@@ -1,0 +1,47 @@
+"""Fixture: checkpoint-compliant algorithms (AST-parsed, never run)."""
+
+_STATE_ATTRS = ("_total", "_counters")
+
+
+class HHHAlgorithm:
+    def __init__(self, hierarchy):
+        self._hierarchy = hierarchy
+        self._total = 0
+
+
+class WhitelistedAlgorithm(HHHAlgorithm):
+    """Mutates only whitelisted runtime state."""
+
+    def update(self, key, weight=1):
+        self._total += weight
+        self._counters[key] = self._counters.get(key, 0) + weight
+
+
+class DeclaredAlgorithm(HHHAlgorithm):
+    """Extra state opted into capture via CHECKPOINT_EXTRA_ATTRS."""
+
+    CHECKPOINT_EXTRA_ATTRS = ("_recency",)
+
+    def update(self, key, weight=1):
+        self._total += weight
+        self._recency = [key] + [k for k in self._recency if k != key]
+
+
+class DeclaredChild(DeclaredAlgorithm):
+    """Inherits the declaration from its base."""
+
+    def update(self, key, weight=1):
+        self._recency = [key] + list(self._recency)
+
+
+class EngineAlgorithm(HHHAlgorithm):
+    """Runs its own checkpoint engine: exempt from whitelist checking."""
+
+    def update(self, key, weight=1):
+        self._shards = [key]
+
+    def snapshot_state(self):
+        return {"shards": list(self._shards)}
+
+    def restore_state(self, state):
+        self._shards = list(state["shards"])

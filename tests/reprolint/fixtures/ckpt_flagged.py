@@ -1,0 +1,27 @@
+"""Fixture: checkpoint-whitelist drift, the PR 6 bug shape (AST-parsed, never run).
+
+``DriftingAlgorithm`` grows ``_recency`` - evolving run state mutated on
+every update - without extending the whitelist or declaring
+``CHECKPOINT_EXTRA_ATTRS``: a checkpoint of it restores silently wrong,
+exactly how SpaceSaving's recency order was lost before PR 6.
+"""
+
+_STATE_ATTRS = ("_total", "_counters")
+
+
+class HHHAlgorithm:
+    def __init__(self, hierarchy):
+        self._hierarchy = hierarchy
+        self._total = 0
+
+
+class DriftingAlgorithm(HHHAlgorithm):
+    def __init__(self, hierarchy):
+        super().__init__(hierarchy)
+        self._counters = {}
+        self._recency = []
+
+    def update(self, key, weight=1):
+        self._total += weight
+        self._counters[key] = self._counters.get(key, 0) + weight
+        self._recency = [key] + [k for k in self._recency if k != key]

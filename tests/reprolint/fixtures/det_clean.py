@@ -1,0 +1,39 @@
+"""Fixture: the clean counterpart of every determinism rule (AST-parsed, never run)."""
+
+import random
+import time
+
+import numpy as np
+
+from repro.core.determinism import resolve_seed
+
+
+def explicitly_seeded_stream():
+    return np.random.default_rng(1234)
+
+
+def resolved_default_seed(seed=None):
+    return np.random.default_rng(resolve_seed(seed))
+
+
+def instance_rng_draw():
+    rng = random.Random(7)
+    return rng.random()
+
+
+def monotonic_duration():
+    start = time.monotonic()
+    return time.perf_counter() - start
+
+
+def sorted_set_iteration(names):
+    return [name for name in sorted(set(names))]
+
+
+def membership_only(names, probe):
+    unique = set(names)
+    return probe in unique
+
+
+def pragma_escape_hatch():
+    return np.random.default_rng()  # reprolint: ok(determinism-unseeded-rng)

@@ -1,0 +1,42 @@
+"""Fixture: one seeded violation per determinism rule (AST-parsed, never run)."""
+
+import random
+import time
+
+import numpy as np
+
+
+def entropy_seeded_stream():
+    return np.random.default_rng()  # determinism-unseeded-rng
+
+
+def default_none_seed(seed=None):
+    return np.random.default_rng(seed)  # determinism-default-none-seed
+
+
+def global_rng_draw():
+    return random.random()  # determinism-global-rng
+
+
+def global_numpy_draw():
+    return np.random.normal()  # determinism-global-rng
+
+
+def wall_clock_read():
+    return time.time()  # determinism-wall-clock
+
+
+def set_order_leak(names):
+    unique = set(names)
+    ordered = []
+    for name in unique:  # determinism-set-iteration
+        ordered.append(name)
+    return ordered
+
+
+def set_comprehension_leak(names):
+    return [name.upper() for name in set(names)]  # determinism-set-iteration
+
+
+def set_materialisation_leak(names):
+    return list({name for name in names})  # determinism-set-iteration

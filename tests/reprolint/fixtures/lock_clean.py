@@ -1,0 +1,30 @@
+"""Fixture: lock-discipline compliant classes (AST-parsed, never run)."""
+
+import threading
+
+
+class DisciplinedBuffer:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def put(self, item):
+        with self._lock:
+            self._count += 1
+
+    def reset(self):
+        with self._lock:
+            self._count = 0
+
+    def intentional_unlocked_reset(self):
+        self._count = 0  # reprolint: ok(lock-discipline)
+
+
+class LockFreeAccumulator:
+    """No locks owned: vacuously clean, whatever it writes."""
+
+    def __init__(self):
+        self._count = 0
+
+    def bump(self):
+        self._count += 1

@@ -1,0 +1,26 @@
+"""Fixture: a lock-discipline violation (AST-parsed, never run)."""
+
+import threading
+
+
+class RacyBuffer:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._count = 0
+        self._closed = False
+
+    def put(self, item):
+        with self._lock:
+            self._count += 1
+
+    def drain(self):
+        with self._not_empty:
+            self._count = 0
+
+    def racy_reset(self):
+        self._count = 0  # written under the lock everywhere else: a data race
+
+    def close(self):
+        # _closed is never written under a lock, so it is not a guarded field.
+        self._closed = True

@@ -1,0 +1,38 @@
+"""Fixture: merge-contract compliant counters (AST-parsed, never run)."""
+
+
+class FrequencyEstimator:
+    def merge(self, other, disjoint=False):
+        raise ConfigurationError("not mergeable")
+
+
+@register_counter("good")
+def make_good(spec):
+    return GoodCounter(spec.capacity)
+
+
+class GoodCounter(FrequencyEstimator):
+    def __init__(self, capacity):
+        self._counts = {}
+        self._order = []
+
+    def merge(self, other, disjoint=False):
+        pass
+
+    def __getstate__(self):
+        return {"counts": dict(self._counts), "order": list(self._order)}
+
+    def __setstate__(self, state):
+        self._counts = dict(state["counts"])
+        self._order = list(state["order"])
+
+
+@register_counter("default_pickling")
+class DefaultPickling(FrequencyEstimator):
+    """No custom dunders at all: plain __dict__ pickling carries everything."""
+
+    def __init__(self, capacity):
+        self._counts = {}
+
+    def merge(self, other, disjoint=False):
+        pass

@@ -1,0 +1,44 @@
+"""Fixture: merge-contract violations (AST-parsed, never run).
+
+``OrderDropper`` is the PR 6 pickle-order bug shape: a registered counter
+whose custom pickling carries the counts but silently drops the recency
+order its eviction policy depends on.
+"""
+
+
+@register_counter("unmergeable")
+def make_unmergeable(spec):
+    return UnmergeableCounter(spec.capacity)
+
+
+class UnmergeableCounter:
+    def __init__(self, capacity):
+        self._counts = {}
+
+
+@register_counter("order_dropper")
+class OrderDropper:
+    def __init__(self, capacity):
+        self._counts = {}
+        self._order = []
+
+    def merge(self, other, disjoint=False):
+        pass
+
+    def __getstate__(self):
+        return {"counts": dict(self._counts)}
+
+    def __setstate__(self, state):
+        self._counts = dict(state["counts"])
+
+
+@register_counter("half_pickler")
+class HalfPickler:
+    def __init__(self, capacity):
+        self._counts = {}
+
+    def merge(self, other, disjoint=False):
+        pass
+
+    def __getstate__(self):
+        return {"counts": dict(self._counts)}

@@ -1,0 +1,32 @@
+"""Fixture: twin-parity compliant classes (AST-parsed, never run)."""
+
+
+class GoodVec:
+    """Batch override with a scalar twin; the fixture suite mentions both."""
+
+    def update_batch(self, keys, weights=None):
+        pass
+
+    def update_batch_reference(self, keys, weights=None):
+        pass
+
+
+class GoodVecChild(GoodVec):
+    """Inherits the twin from its base: also compliant."""
+
+    def update_batch(self, keys, weights=None):
+        pass
+
+
+class HHHAlgorithm:
+    """Protocol root: its batch method IS the reference semantics."""
+
+    def update_batch(self, keys, weights=None):
+        pass
+
+
+class PragmaEngine:
+    """An engine whose reference is a lockstep suite, pragma-exempted."""
+
+    def update_batch(self, keys, weights=None):  # reprolint: ok(twin-parity)
+        pass

@@ -1,0 +1,18 @@
+"""Fixture: twin-parity violations (AST-parsed, never run)."""
+
+
+class VectorOnly:
+    """Overrides the batch path but ships no scalar reference twin."""
+
+    def update_batch(self, keys, weights=None):
+        pass
+
+
+class UntestedTwin:
+    """Has the twin, but no test file mentions the pair together."""
+
+    def process_batch(self, packets):
+        pass
+
+    def process_batch_reference(self, packets):
+        pass

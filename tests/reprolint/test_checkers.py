@@ -1,0 +1,113 @@
+"""Per-checker fixture tests: every rule flags its seeded violation and
+stays silent on the clean counterpart (pragmas included)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+import reprolint.checkers  # noqa: F401  (registers the built-in checkers)
+from reprolint.runner import lint_paths
+
+
+def _lint(fixtures_dir: Path, checker: str, *names: str, tests_dir: Optional[Path] = None):
+    result = lint_paths(
+        [fixtures_dir / name for name in names],
+        tests_dir=tests_dir,
+        root=fixtures_dir,
+        checkers=[checker],
+    )
+    assert not result.parse_errors
+    return result
+
+
+def _rules(result):
+    return sorted({finding.rule for finding in result.new})
+
+
+class TestDeterminismChecker:
+    def test_flagged_fixture_trips_every_rule(self, fixtures_dir):
+        result = _lint(fixtures_dir, "determinism", "det_flagged.py")
+        assert _rules(result) == [
+            "determinism-default-none-seed",
+            "determinism-global-rng",
+            "determinism-set-iteration",
+            "determinism-unseeded-rng",
+            "determinism-wall-clock",
+        ]
+        by_symbol = {finding.symbol for finding in result.new}
+        assert "entropy_seeded_stream" in by_symbol
+        assert "set_order_leak" in by_symbol
+        # Three distinct set-iteration shapes: for-loop, comprehension, list().
+        assert sum(f.rule == "determinism-set-iteration" for f in result.new) == 3
+
+    def test_clean_fixture_is_silent(self, fixtures_dir):
+        result = _lint(fixtures_dir, "determinism", "det_clean.py")
+        assert result.new == []
+        # The pragma line was seen and suppressed, not missed.
+        assert len(result.suppressed) == 1
+
+
+class TestTwinParityChecker:
+    def test_flagged_fixture_trips_both_rules(self, fixtures_dir):
+        result = _lint(
+            fixtures_dir,
+            "twin-parity",
+            "twin_flagged.py",
+            tests_dir=fixtures_dir / "twin_suite",
+        )
+        assert _rules(result) == ["twin-parity-missing-reference", "twin-parity-untested"]
+        symbols = {finding.symbol for finding in result.new}
+        assert symbols == {
+            "VectorOnly.update_batch",
+            "UntestedTwin.process_batch_reference",
+        }
+
+    def test_clean_fixture_is_silent(self, fixtures_dir):
+        result = _lint(
+            fixtures_dir,
+            "twin-parity",
+            "twin_clean.py",
+            tests_dir=fixtures_dir / "twin_suite",
+        )
+        assert result.new == []
+        assert len(result.suppressed) == 1  # PragmaEngine's lockstep exemption
+
+
+class TestCheckpointDriftChecker:
+    def test_pr6_bug_shape_is_flagged(self, fixtures_dir):
+        result = _lint(fixtures_dir, "checkpoint-drift", "ckpt_flagged.py")
+        assert _rules(result) == ["checkpoint-drift-unlisted-attr"]
+        assert [finding.symbol for finding in result.new] == ["DriftingAlgorithm._recency"]
+
+    def test_clean_fixture_is_silent(self, fixtures_dir):
+        result = _lint(fixtures_dir, "checkpoint-drift", "ckpt_clean.py")
+        assert result.new == []
+
+
+class TestMergeContractChecker:
+    def test_flagged_fixture_trips_every_rule(self, fixtures_dir):
+        result = _lint(fixtures_dir, "merge-contract", "merge_flagged.py")
+        assert _rules(result) == [
+            "merge-contract-getstate-pair",
+            "merge-contract-missing-merge",
+            "merge-contract-state-dropped",
+        ]
+        symbols = {finding.symbol for finding in result.new}
+        assert symbols == {"UnmergeableCounter", "HalfPickler", "OrderDropper._order"}
+
+    def test_clean_fixture_is_silent(self, fixtures_dir):
+        result = _lint(fixtures_dir, "merge-contract", "merge_clean.py")
+        assert result.new == []
+
+
+class TestLockDisciplineChecker:
+    def test_unguarded_write_is_flagged(self, fixtures_dir):
+        result = _lint(fixtures_dir, "lock-discipline", "lock_flagged.py")
+        assert _rules(result) == ["lock-discipline-unguarded-write"]
+        assert [finding.symbol for finding in result.new] == ["RacyBuffer._count"]
+
+    def test_clean_fixture_is_silent(self, fixtures_dir):
+        result = _lint(fixtures_dir, "lock-discipline", "lock_clean.py")
+        assert result.new == []
+        assert len(result.suppressed) == 1  # the pragma'd intentional reset

@@ -1,0 +1,28 @@
+"""The gate that matters: ``src/`` must be reprolint-clean modulo the
+committed baseline.  This is the same invocation CI runs."""
+
+from __future__ import annotations
+
+import reprolint.checkers  # noqa: F401  (registers the built-in checkers)
+from reprolint.runner import lint_paths
+
+
+def test_src_tree_is_clean_modulo_committed_baseline(repo_root):
+    baseline = repo_root / "tools" / "reprolint" / "baseline.json"
+    result = lint_paths(
+        [repo_root / "src"],
+        baseline_path=baseline if baseline.exists() else None,
+        tests_dir=repo_root / "tests",
+        root=repo_root,
+    )
+    assert result.parse_errors == []
+    assert result.new == [], "\n".join(f.render() for f in result.new)
+    assert result.stale_baseline == [], "baseline holds entries that no longer match"
+
+
+def test_self_lint_exercises_every_checker(repo_root):
+    # Guard against a future refactor silently dropping a checker import:
+    # the suite above is only meaningful if all five checkers actually ran.
+    from reprolint.registry import checker_names
+
+    assert len(checker_names()) >= 5

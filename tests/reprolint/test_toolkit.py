@@ -1,0 +1,195 @@
+"""Unit tests for the reprolint toolkit itself: registry, pragmas,
+baseline round-trips, and the ``python -m reprolint`` CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import reprolint.checkers  # noqa: F401  (registers the built-in checkers)
+from reprolint.__main__ import main
+from reprolint.baseline import BaselineError, load_baseline, split_by_baseline, write_baseline
+from reprolint.finding import Finding
+from reprolint.pragmas import is_suppressed, pragma_tokens
+from reprolint.registry import (
+    CheckerRegistrationError,
+    checker_names,
+    get_checker,
+    register_checker,
+    unregister_checker,
+)
+
+
+class TestRegistry:
+    def test_builtin_checkers_are_registered(self):
+        assert checker_names() == [
+            "checkpoint-drift",
+            "determinism",
+            "lock-discipline",
+            "merge-contract",
+            "twin-parity",
+        ]
+
+    def test_duplicate_registration_is_an_error(self):
+        @register_checker("dupe-probe")
+        def probe(project):
+            return []
+
+        try:
+            with pytest.raises(CheckerRegistrationError, match="already registered"):
+                register_checker("dupe-probe")(probe)
+            # replace=True is the explicit override path for plugins.
+            register_checker("dupe-probe", replace=True)(probe)
+        finally:
+            unregister_checker("dupe-probe")
+
+    def test_invalid_names_are_rejected(self):
+        for bad in ("", "Has Spaces", "trailing-", "1-leading-digit"):
+            with pytest.raises(CheckerRegistrationError, match="kebab-case"):
+                register_checker(bad)
+
+    def test_unknown_checker_lookup_names_the_known_ones(self):
+        with pytest.raises(CheckerRegistrationError, match="determinism"):
+            get_checker("no-such-checker")
+
+
+class TestPragmas:
+    def _finding(self, rule, line=3):
+        return Finding(file="x.py", line=line, col=0, rule=rule, message="m")
+
+    def test_exact_and_prefix_tokens_match(self):
+        finding = self._finding("determinism-unseeded-rng")
+        assert finding.matches_pragma_token("determinism-unseeded-rng")
+        assert finding.matches_pragma_token("determinism")
+
+    def test_prefix_only_matches_at_dash_boundaries(self):
+        finding = self._finding("determinism-unseeded-rng")
+        assert not finding.matches_pragma_token("det")
+        assert not finding.matches_pragma_token("determinism-unseeded-r")
+        assert not finding.matches_pragma_token("lock-discipline")
+
+    def test_pragma_token_parsing(self):
+        assert pragma_tokens("x = 1") is None
+        assert pragma_tokens("z = 3  # reprolint: ok") == []  # bare catch-all
+        assert pragma_tokens("y = 2  # reprolint: ok(determinism, twin-parity)") == [
+            "determinism",
+            "twin-parity",
+        ]
+
+    def test_is_suppressed_against_pragma_table(self):
+        pragmas = {
+            ("x.py", 2): ["determinism", "lock-discipline-unguarded-write"],
+            ("x.py", 3): [],  # bare ok suppresses everything on the line
+        }
+        assert is_suppressed(self._finding("determinism-wall-clock", line=2), pragmas)
+        assert is_suppressed(self._finding("lock-discipline-unguarded-write", line=2), pragmas)
+        assert not is_suppressed(self._finding("merge-contract-missing-merge", line=2), pragmas)
+        assert is_suppressed(self._finding("merge-contract-missing-merge", line=3), pragmas)
+        assert not is_suppressed(self._finding("determinism-wall-clock", line=1), pragmas)
+
+
+class TestBaseline:
+    def _findings(self):
+        return [
+            Finding(file="a.py", line=4, col=0, rule="determinism-wall-clock", message="m"),
+            Finding(file="b.py", line=9, col=2, rule="twin-parity-untested", message="m", symbol="C.f"),
+        ]
+
+    def test_round_trip_and_line_number_insensitivity(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        findings = self._findings()
+        write_baseline(path, findings)
+        accepted = load_baseline(path)
+        moved = [
+            Finding(file=f.file, line=f.line + 100, col=f.col, rule=f.rule, message=f.message, symbol=f.symbol)
+            for f in findings
+        ]
+        new, baselined, stale = split_by_baseline(moved, accepted)
+        assert new == []
+        assert len(baselined) == 2
+        assert stale == []
+
+    def test_stale_entries_are_reported_not_fatal(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, self._findings())
+        accepted = load_baseline(path)
+        new, baselined, stale = split_by_baseline([self._findings()[0]], accepted)
+        assert new == []
+        assert [finding.rule for finding in baselined] == ["determinism-wall-clock"]
+        assert stale == [("b.py", "twin-parity-untested", "C.f")]
+
+    def test_missing_file_means_empty_baseline(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == set()
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"version": 99}', encoding="utf-8")
+        with pytest.raises(BaselineError, match="unsupported layout"):
+            load_baseline(path)
+
+
+class TestCli:
+    def test_list_checkers(self, capsys):
+        assert main(["--list-checkers"]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert "determinism" in out and "twin-parity" in out
+
+    def test_no_paths_is_a_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main([])
+        assert excinfo.value.code == 2
+
+    def test_flagged_fixture_fails_with_rendered_findings(self, fixtures_dir, capsys):
+        rc = main(
+            ["--no-baseline", "--checker", "determinism", str(fixtures_dir / "det_flagged.py")]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "determinism-unseeded-rng" in out
+        assert "det_flagged.py:" in out  # file:line:col rendering
+
+    def test_clean_fixture_exits_zero(self, fixtures_dir, capsys):
+        rc = main(
+            ["--no-baseline", "--checker", "determinism", str(fixtures_dir / "det_clean.py")]
+        )
+        assert rc == 0
+        assert "0 new" in capsys.readouterr().out
+
+    def test_json_report_shape(self, fixtures_dir, capsys):
+        rc = main(
+            [
+                "--no-baseline",
+                "--json",
+                "--checker",
+                "lock-discipline",
+                str(fixtures_dir / "lock_flagged.py"),
+            ]
+        )
+        assert rc == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is False
+        assert [f["rule"] for f in report["findings"]] == ["lock-discipline-unguarded-write"]
+        assert report["findings"][0]["symbol"] == "RacyBuffer._count"
+
+    def test_write_baseline_then_rerun_is_clean(self, fixtures_dir, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        args = [
+            "--baseline",
+            str(baseline),
+            "--checker",
+            "merge-contract",
+            str(fixtures_dir / "merge_flagged.py"),
+        ]
+        assert main(["--write-baseline", *args]) == 0
+        assert baseline.exists()
+        capsys.readouterr()
+        rc = main(args)
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 new, 3 baselined" in out
+
+    def test_unknown_checker_is_reported_as_error(self, fixtures_dir, capsys):
+        rc = main(["--no-baseline", "--checker", "bogus", str(fixtures_dir / "det_clean.py")])
+        assert rc == 2
+        assert "unknown checker" in capsys.readouterr().err

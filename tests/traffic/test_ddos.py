@@ -13,13 +13,13 @@ from repro.traffic.ddos import DDoSScenario
 
 
 def _scenario(**overrides):
-    defaults = dict(
-        attack_subnets=[("42.13.7.0", 24)],
-        victim="198.51.100.17",
-        attack_fraction=0.3,
-        hosts_per_subnet=100,
-        seed=1,
-    )
+    defaults = {
+        "attack_subnets": [("42.13.7.0", 24)],
+        "victim": "198.51.100.17",
+        "attack_fraction": 0.3,
+        "hosts_per_subnet": 100,
+        "seed": 1,
+    }
     defaults.update(overrides)
     return DDoSScenario(**defaults)
 
@@ -70,11 +70,11 @@ class TestDDoSScenario:
     @pytest.mark.parametrize(
         "overrides",
         [
-            dict(attack_subnets=[]),
-            dict(attack_fraction=0.0),
-            dict(attack_fraction=1.0),
-            dict(hosts_per_subnet=0),
-            dict(attack_subnets=[("42.13.7.0", 0)]),
+            {"attack_subnets": []},
+            {"attack_fraction": 0.0},
+            {"attack_fraction": 1.0},
+            {"hosts_per_subnet": 0},
+            {"attack_subnets": [("42.13.7.0", 0)]},
         ],
     )
     def test_rejects_bad_parameters(self, overrides):

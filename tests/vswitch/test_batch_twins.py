@@ -1,0 +1,37 @@
+"""Differential twin test for the dataplane measurement hook.
+
+``DataplaneMeasurement.update_batch`` extracts the burst's key column and
+drives the attached algorithm's vectorized path; its scalar twin
+(``update_batch_reference``) is the per-packet hook over the same burst.
+With a deterministic algorithm attached (MST - whose own batch path is
+pinned bit-identical to its scalar path) the two hooks must agree on the
+resulting algorithm state and on the charged cycles.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hhh.mst import MST
+from repro.traffic.zipf import ZipfFlowGenerator
+from repro.vswitch.ovs import DataplaneMeasurement
+
+
+@pytest.mark.parametrize(
+    "dimensions, hierarchy_fixture", [(1, "byte_hierarchy"), (2, "two_dim_hierarchy")]
+)
+def test_batch_hook_matches_per_packet_reference(request, dimensions, hierarchy_fixture):
+    hierarchy = request.getfixturevalue(hierarchy_fixture)
+    batch_hook = DataplaneMeasurement(MST(hierarchy, epsilon=0.02), dimensions=dimensions)
+    reference_hook = DataplaneMeasurement(MST(hierarchy, epsilon=0.02), dimensions=dimensions)
+    packets = list(ZipfFlowGenerator(num_flows=400, skew=1.1, seed=13).packets(4_000))
+    batch_cycles = 0.0
+    reference_cycles = 0.0
+    for start in range(0, len(packets), 256):
+        burst = packets[start : start + 256]
+        batch_cycles += batch_hook.update_batch(burst)
+        reference_cycles += reference_hook.update_batch_reference(burst)
+    assert batch_cycles == pytest.approx(reference_cycles)
+    theta = 0.05
+    assert batch_hook.output(theta).candidates == reference_hook.output(theta).candidates
+    assert batch_hook.algorithm.total == reference_hook.algorithm.total

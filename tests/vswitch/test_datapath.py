@@ -18,7 +18,9 @@ def _packet(i=0):
     return Packet(src=ipv4_to_int("10.0.0.1") + i, dst=ipv4_to_int("20.0.0.2"), src_port=1000 + i)
 
 
-def _datapath(default_action=OutputAction(1)):
+def _datapath(default_action=None):
+    if default_action is None:
+        default_action = OutputAction(1)
     datapath = Datapath(FlowTable(default_action=default_action), CostModel())
     datapath.add_port(Port(0, "dpdk0"))
     datapath.add_port(Port(1, "dpdk1"))

@@ -1,0 +1,45 @@
+"""reprolint: AST-level invariant checks for the repro codebase.
+
+The test suite checks the repo's reproducibility contracts *dynamically* -
+lockstep runs, checkpoint round trips, 100-switch merges.  reprolint checks
+the same contracts *statically*, at the source level, so a violation is a
+lint failure long before it becomes a flaky accuracy gate:
+
+* **determinism** - every RNG must flow from an explicit seed; no global
+  RNG state, no wall-clock reads, no iteration over hash-ordered sets.
+* **twin-parity** - every vectorized ``update_batch``/``process_batch``
+  override must keep a ``*_reference`` scalar twin, and a test must pin the
+  pair against each other.
+* **checkpoint-drift** - runtime state a lattice algorithm mutates after
+  ``__init__`` must be on the checkpoint whitelist, or a checkpoint silently
+  drops it (the PR 6 pickle-order bug class).
+* **merge-contract** - every ``@register_counter`` backend must implement
+  ``merge`` and, when it customises pickling, must carry every container
+  attribute (and its order) through ``__getstate__``/``__setstate__``.
+* **lock-discipline** - fields a threaded class mutates under a lock must
+  never be mutated outside one.
+
+Run it as ``python -m reprolint src/`` (with ``tools/`` on ``PYTHONPATH``).
+Escape hatches: an inline ``# reprolint: ok(<rule>)`` pragma on the flagged
+line (or its ``def``/``class`` line), or an entry in the committed baseline
+file (see :mod:`reprolint.baseline`).
+
+Checkers are plugins: decorate a ``check(project)`` callable with
+:func:`reprolint.registry.register_checker`, mirroring how
+``repro.api.registry`` registers algorithm backends.
+"""
+
+from reprolint.finding import Finding
+from reprolint.registry import all_checkers, checker_names, register_checker
+from reprolint.runner import lint_paths, run_checkers
+
+__version__ = "1.0"
+
+__all__ = [
+    "Finding",
+    "all_checkers",
+    "checker_names",
+    "lint_paths",
+    "register_checker",
+    "run_checkers",
+]

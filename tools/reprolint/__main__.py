@@ -1,0 +1,148 @@
+"""``python -m reprolint`` - the CLI the CI gate invokes.
+
+Usage (from the repo root, with ``tools/`` on ``PYTHONPATH``)::
+
+    python -m reprolint src/                    # human-readable findings
+    python -m reprolint --json src/             # machine-readable report
+    python -m reprolint --write-baseline src/   # accept the current findings
+
+Exit codes: 0 clean (modulo baseline), 1 new findings, 2 usage/parse error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+import reprolint.checkers  # noqa: F401  (registers the built-in checkers)
+from reprolint import __version__, checker_names
+from reprolint.baseline import BaselineError, write_baseline
+from reprolint.registry import CheckerRegistrationError
+from reprolint.runner import LintResult, lint_paths
+
+DEFAULT_BASELINE = Path("tools") / "reprolint" / "baseline.json"
+DEFAULT_TESTS_DIR = Path("tests")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="AST-level reproducibility-contract checks for the repro codebase.",
+    )
+    parser.add_argument("paths", nargs="*", type=Path, help="files or directories to lint")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=f"baseline file of accepted findings (default: {DEFAULT_BASELINE} if present)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true", help="ignore any baseline file"
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline to accept every current finding, then exit 0",
+    )
+    parser.add_argument(
+        "--tests-dir",
+        type=Path,
+        default=DEFAULT_TESTS_DIR,
+        help="test tree cross-checked by contract checkers (default: tests/)",
+    )
+    parser.add_argument(
+        "--checker",
+        action="append",
+        dest="checkers",
+        metavar="NAME",
+        help="run only this checker (repeatable)",
+    )
+    parser.add_argument("--json", action="store_true", help="emit a JSON report on stdout")
+    parser.add_argument(
+        "--list-checkers", action="store_true", help="list registered checkers and exit"
+    )
+    parser.add_argument("--version", action="version", version=f"reprolint {__version__}")
+    return parser
+
+
+def _resolve_baseline(args: argparse.Namespace) -> Optional[Path]:
+    if args.no_baseline:
+        return None
+    if args.baseline is not None:
+        return args.baseline
+    return DEFAULT_BASELINE if DEFAULT_BASELINE.exists() or args.write_baseline else None
+
+
+def _emit_json(result: LintResult, stream) -> None:
+    report = {
+        "version": __version__,
+        "findings": [finding.to_dict() for finding in result.new],
+        "baselined": [finding.to_dict() for finding in result.baselined],
+        "suppressed": len(result.suppressed),
+        "stale_baseline": [list(key) for key in result.stale_baseline],
+        "parse_errors": [list(item) for item in result.parse_errors],
+        "ok": result.ok,
+    }
+    json.dump(report, stream, indent=2, sort_keys=True)
+    stream.write("\n")
+
+
+def _emit_text(result: LintResult, stream) -> None:
+    for finding in result.new:
+        print(finding.render(), file=stream)
+    for path, error in result.parse_errors:
+        print(f"{path}: parse-error: {error}", file=stream)
+    for key in result.stale_baseline:
+        print(
+            f"note: stale baseline entry {key} no longer matches anything; "
+            "run --write-baseline to prune it",
+            file=stream,
+        )
+    summary = (
+        f"reprolint: {len(result.new)} new, {len(result.baselined)} baselined, "
+        f"{len(result.suppressed)} pragma-suppressed"
+    )
+    print(summary, file=stream)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.list_checkers:
+        for name in checker_names():
+            print(name)
+        return 0
+    if not args.paths:
+        parser.error("no paths given (try: python -m reprolint src/)")
+    baseline_path = _resolve_baseline(args)
+    try:
+        result = lint_paths(
+            args.paths,
+            baseline_path=None if args.write_baseline else baseline_path,
+            tests_dir=args.tests_dir,
+            root=Path.cwd(),
+            checkers=args.checkers,
+        )
+    except (BaselineError, CheckerRegistrationError) as exc:
+        print(f"reprolint: error: {exc}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        target = baseline_path if baseline_path is not None else DEFAULT_BASELINE
+        target.parent.mkdir(parents=True, exist_ok=True)
+        write_baseline(target, result.new)
+        print(f"reprolint: wrote {len(result.new)} finding(s) to {target}")
+        return 0
+    if args.json:
+        _emit_json(result, sys.stdout)
+    else:
+        _emit_text(result, sys.stdout)
+    if result.parse_errors:
+        return 2
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

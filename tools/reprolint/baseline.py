@@ -1,0 +1,78 @@
+"""Committed-baseline support: adopt reprolint without fixing history first.
+
+The baseline is a JSON file listing findings that are *known and accepted*;
+the runner subtracts them before deciding the exit code, so only new
+violations fail CI.  Entries match on ``(file, rule, symbol)`` - not line
+numbers - so ordinary edits don't invalidate them.  ``--write-baseline``
+rewrites the file from the current findings; an entry that no longer
+matches anything is reported as stale so baselines shrink over time
+instead of fossilising.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Set, Tuple
+
+from reprolint.finding import Finding
+
+BASELINE_VERSION = 1
+
+BaselineKey = Tuple[str, str, str]
+
+
+class BaselineError(Exception):
+    """Raised when the baseline file is unreadable or malformed."""
+
+
+def load_baseline(path: Path) -> Set[BaselineKey]:
+    """Read the accepted-finding keys (empty set when the file is absent)."""
+    if not path.exists():
+        return set()
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline {path} has unsupported layout; expected version {BASELINE_VERSION}"
+        )
+    keys: Set[BaselineKey] = set()
+    for entry in data.get("findings", ()):
+        if not isinstance(entry, dict):
+            raise BaselineError(f"baseline {path} holds a non-object finding entry: {entry!r}")
+        keys.add((str(entry.get("file")), str(entry.get("rule")), str(entry.get("symbol", ""))))
+    return keys
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Rewrite the baseline to accept exactly the given findings."""
+    entries: List[Dict[str, str]] = []
+    seen: Set[BaselineKey] = set()
+    for finding in sorted(findings, key=lambda f: f.sort_key()):
+        key = finding.baseline_key()
+        if key in seen:
+            continue
+        seen.add(key)
+        entries.append({"file": key[0], "rule": key[1], "symbol": key[2]})
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
+
+def split_by_baseline(
+    findings: Sequence[Finding], accepted: Set[BaselineKey]
+) -> Tuple[List[Finding], List[Finding], List[BaselineKey]]:
+    """Partition findings into (new, baselined); also report stale keys."""
+    new: List[Finding] = []
+    baselined: List[Finding] = []
+    used: Set[BaselineKey] = set()
+    for finding in findings:
+        key = finding.baseline_key()
+        if key in accepted:
+            baselined.append(finding)
+            used.add(key)
+        else:
+            new.append(finding)
+    stale = sorted(accepted - used)
+    return new, baselined, stale

@@ -1,0 +1,9 @@
+"""Built-in checkers; importing this package registers all of them."""
+
+from reprolint.checkers import (  # imported for registration side effects
+    checkpoint_drift,
+    determinism,
+    lock_discipline,
+    merge_contract,
+    twin_parity,
+)

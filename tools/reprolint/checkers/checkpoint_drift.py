@@ -1,0 +1,74 @@
+"""checkpoint-drift: algorithm state must be on the checkpoint whitelist.
+
+``repro.core.checkpoint`` captures exactly the attributes named in its
+module-level ``_STATE_ATTRS`` whitelist (plus the RNG stream attrs it
+special-cases).  An algorithm that grows a new piece of mutable state
+without extending the whitelist still checkpoints *successfully* - and
+silently restores wrong: the bug class PR 6 fixed for SpaceSaving's
+recency order.  This checker closes that gap statically.
+
+Rule ``checkpoint-drift-unlisted-attr`` fires for every ``HHHAlgorithm``
+subclass attribute that is
+
+* mutated outside ``__init__`` (so it is evolving run state, not config),
+* absent from ``_STATE_ATTRS`` (parsed from the scanned tree itself, so
+  the checker tracks the real whitelist),
+* absent from the RNG attrs the checkpoint layer captures specially, and
+* absent from the class's (inherited) ``CHECKPOINT_EXTRA_ATTRS`` tuple -
+  the declaration an algorithm uses to opt extra attrs into capture.
+
+Classes that implement their own ``snapshot_state``/``restore_state``
+engine are exempt: they own their serialization contract.  Engines that
+legitimately cannot checkpoint carry a ``# reprolint: ok(checkpoint-drift)``
+pragma on the offending line.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from reprolint.finding import Finding
+from reprolint.model import RNG_STATE_ATTRS, ProjectModel
+from reprolint.registry import register_checker
+
+#: Base class rooting the lattice-algorithm hierarchy the checkpoint layer
+#: serves.
+ALGORITHM_ROOTS = ("HHHAlgorithm",)
+
+#: Methods marking a class as running its own checkpoint engine.
+CUSTOM_ENGINE_METHODS = ("snapshot_state", "restore_state")
+
+#: The class-level opt-in declaration for extra captured attributes.
+EXTRA_ATTRS_NAME = "CHECKPOINT_EXTRA_ATTRS"
+
+
+@register_checker("checkpoint-drift")
+def check(project: ProjectModel) -> List[Finding]:
+    whitelist = set(project.state_whitelist())
+    whitelist.update(RNG_STATE_ATTRS)
+    findings: List[Finding] = []
+    for info in project.subclasses_of(ALGORITHM_ROOTS):
+        if any(
+            project.defines_or_inherits(info, method) is not None
+            for method in CUSTOM_ENGINE_METHODS
+        ):
+            continue
+        allowed = whitelist | set(project.inherited_class_tuple(info, EXTRA_ATTRS_NAME))
+        for attr, (line, method_name) in sorted(info.mutated_attrs_outside_init().items()):
+            if attr in allowed:
+                continue
+            findings.append(
+                Finding(
+                    file=info.module,
+                    line=line,
+                    col=0,
+                    rule="checkpoint-drift-unlisted-attr",
+                    message=(
+                        f"{info.name}.{attr} is mutated in {method_name}() but is not in "
+                        f"_STATE_ATTRS or {info.name}.{EXTRA_ATTRS_NAME}; a checkpoint of "
+                        "this algorithm restores without it"
+                    ),
+                    symbol=f"{info.name}.{attr}",
+                )
+            )
+    return findings

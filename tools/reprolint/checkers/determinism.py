@@ -1,0 +1,308 @@
+"""determinism: every random draw flows from a spec seed, no wall clocks.
+
+The repo's core guarantee - bit-identical replays across batch/scalar,
+serial/sharded and local/distributed execution - only holds if *all*
+randomness is derived from explicit seeds and no code path depends on hash
+ordering or the wall clock.  Rules:
+
+* ``determinism-unseeded-rng``: ``np.random.default_rng()`` /
+  ``random.Random()`` / ``np.random.SeedSequence()`` called with no seed
+  (or a literal ``None``) - an entropy-seeded stream no replay can
+  reproduce.
+* ``determinism-default-none-seed``: the seed argument is a parameter whose
+  declared default is ``None`` - deterministic only when every caller
+  remembers to pass a seed.  Route the parameter through
+  ``resolve_seed(...)`` (``repro.core.determinism``) instead.
+* ``determinism-global-rng``: module-level ``random.*`` / ``np.random.*``
+  draw functions - hidden global state shared across everything in the
+  process.
+* ``determinism-wall-clock``: ``time.time``/``time.time_ns`` and
+  ``datetime.now``/``utcnow``/``today`` - wall-clock reads that make state
+  depend on when a run happened.  (``time.monotonic``/``perf_counter`` are
+  fine: they measure durations, never land in algorithm state.)
+* ``determinism-set-iteration``: iterating a set (``for``/comprehension/
+  ``list()``/``tuple()``\\ -materialisation) - order depends on hashes, and
+  for str keys on ``PYTHONHASHSEED``.  Wrap in ``sorted(...)`` or iterate
+  an insertion-ordered dict instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Union
+
+from reprolint.finding import Finding
+from reprolint.model import ModuleInfo, ProjectModel, dotted_name
+from reprolint.registry import register_checker
+
+#: RNG constructors whose first positional / ``seed=`` argument is the seed.
+_SEEDED_CTORS = {
+    "default_rng",
+    "np.random.default_rng",
+    "numpy.random.default_rng",
+    "random.Random",
+    "SeedSequence",
+    "np.random.SeedSequence",
+    "numpy.random.SeedSequence",
+}
+
+#: Wrappers that turn an Optional seed into a deterministic one.
+_SEED_RESOLVERS = {"resolve_seed", "determinism.resolve_seed"}
+
+#: Module-level draw/seed functions of the stdlib ``random`` module.
+_GLOBAL_RANDOM = {
+    "betavariate", "choice", "choices", "expovariate", "gauss", "getrandbits",
+    "lognormvariate", "normalvariate", "paretovariate", "randbytes", "randint",
+    "random", "randrange", "sample", "seed", "shuffle", "triangular", "uniform",
+    "vonmisesvariate", "weibullvariate",
+}
+
+#: Legacy module-level functions of ``numpy.random`` (global RandomState).
+_GLOBAL_NP_RANDOM = {
+    "beta", "binomial", "bytes", "chisquare", "choice", "dirichlet",
+    "exponential", "gamma", "geometric", "hypergeometric", "laplace",
+    "logistic", "lognormal", "multinomial", "normal", "permutation", "poisson",
+    "rand", "randint", "randn", "random", "random_integers", "random_sample",
+    "ranf", "sample", "seed", "shuffle", "standard_normal", "uniform", "zipf",
+}
+
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "datetime.now",
+    "datetime.datetime.now",
+    "datetime.utcnow",
+    "datetime.datetime.utcnow",
+    "date.today",
+    "datetime.date.today",
+}
+
+
+def _seed_argument(call: ast.Call) -> Union[ast.expr, None, bool]:
+    """The seed expression of an RNG ctor call; None if omitted.
+
+    Returns False (sentinel) when the call signature is too exotic to judge
+    (e.g. ``*args`` splat) - those are left alone.
+    """
+    for keyword in call.keywords:
+        if keyword.arg == "seed":
+            return keyword.value
+        if keyword.arg is None:  # **kwargs splat: cannot judge
+            return False
+    if call.args:
+        first = call.args[0]
+        if isinstance(first, ast.Starred):
+            return False
+        return first
+    return None
+
+
+def _is_resolved_seed(expr: ast.expr) -> bool:
+    if isinstance(expr, ast.Call):
+        name = dotted_name(expr.func)
+        if name is not None and (
+            name in _SEED_RESOLVERS or name.split(".")[-1] == "resolve_seed"
+        ):
+            return True
+    return False
+
+
+class _FunctionStack:
+    """Tracks, per enclosing function, which params default to None."""
+
+    def __init__(self) -> None:
+        self._stack: List[Dict[str, bool]] = []
+
+    def push(self, node: ast.FunctionDef) -> None:
+        args = node.args
+        none_defaulted: Dict[str, bool] = {}
+        positional = args.posonlyargs + args.args
+        for arg, default in zip(positional[len(positional) - len(args.defaults):], args.defaults):
+            none_defaulted[arg.arg] = isinstance(default, ast.Constant) and default.value is None
+        for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+            none_defaulted[arg.arg] = (
+                default is not None and isinstance(default, ast.Constant) and default.value is None
+            )
+        self._stack.append(none_defaulted)
+
+    def pop(self) -> None:
+        self._stack.pop()
+
+    def defaults_to_none(self, name: str) -> bool:
+        for scope in reversed(self._stack):
+            if name in scope:
+                return scope[name]
+        return False
+
+
+def _set_like(expr: ast.expr, local_sets: Dict[str, bool]) -> bool:
+    """Whether ``expr`` statically evaluates to a set."""
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call):
+        name = dotted_name(expr.func)
+        return name in ("set", "frozenset")
+    if isinstance(expr, ast.BinOp) and isinstance(
+        expr.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _set_like(expr.left, local_sets) or _set_like(expr.right, local_sets)
+    if isinstance(expr, ast.Name):
+        return local_sets.get(expr.id, False)
+    return False
+
+
+def _iter_findings(path: str, module: ModuleInfo) -> Iterator[Finding]:
+    stack = _FunctionStack()
+    #: name -> bool, per function: locals assigned a set-valued expression
+    #: exactly once (reassignment flips the entry to False - too dynamic).
+    local_sets_stack: List[Dict[str, bool]] = [{}]
+    symbol_stack: List[str] = []
+
+    def symbol() -> str:
+        return ".".join(symbol_stack)
+
+    def visit(node: ast.AST) -> Iterator[Finding]:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            stack.push(node)  # type: ignore[arg-type]
+            local_sets_stack.append(_collect_local_sets(node))
+            symbol_stack.append(node.name)
+            for child in ast.iter_child_nodes(node):
+                yield from visit(child)
+            symbol_stack.pop()
+            local_sets_stack.pop()
+            stack.pop()
+            return
+        if isinstance(node, ast.ClassDef):
+            symbol_stack.append(node.name)
+            for child in ast.iter_child_nodes(node):
+                yield from visit(child)
+            symbol_stack.pop()
+            return
+        yield from check_node(node)
+        for child in ast.iter_child_nodes(node):
+            yield from visit(child)
+
+    def _collect_local_sets(func: ast.AST) -> Dict[str, bool]:
+        table: Dict[str, bool] = {}
+        for sub in ast.walk(func):
+            if isinstance(sub, ast.Assign) and len(sub.targets) == 1:
+                target = sub.targets[0]
+                if isinstance(target, ast.Name):
+                    is_set = _set_like(sub.value, table)
+                    table[target.id] = is_set if target.id not in table else False
+        return table
+
+    def check_node(node: ast.AST) -> Iterator[Finding]:
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name is not None:
+                yield from check_call(node, name)
+        for container, source in iter_set_iterations(node):
+            yield Finding(
+                file=path,
+                line=container.lineno,
+                col=container.col_offset,
+                rule="determinism-set-iteration",
+                message=(
+                    "iteration over a set is hash-ordered; wrap it in sorted(...) "
+                    "or iterate an insertion-ordered dict"
+                ),
+                symbol=symbol() or source,
+            )
+
+    def check_call(node: ast.Call, name: str) -> Iterator[Finding]:
+        if name in _SEEDED_CTORS:
+            seed = _seed_argument(node)
+            if seed is False:
+                return
+            if seed is None or (isinstance(seed, ast.Constant) and seed.value is None):
+                yield Finding(
+                    file=path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule="determinism-unseeded-rng",
+                    message=f"{name}(...) draws its seed from OS entropy; pass an explicit seed",
+                    symbol=symbol() or name,
+                )
+            elif (
+                isinstance(seed, ast.Name)
+                and stack.defaults_to_none(seed.id)
+                and not _is_resolved_seed(seed)
+            ):
+                yield Finding(
+                    file=path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule="determinism-default-none-seed",
+                    message=(
+                        f"{name}({seed.id}) is unseeded whenever the caller omits "
+                        f"{seed.id!r} (declared default None); route it through "
+                        "resolve_seed(...) so the default is a fixed spec seed"
+                    ),
+                    symbol=symbol() or name,
+                )
+            return
+        parts = name.split(".")
+        if len(parts) == 2 and parts[0] == "random" and parts[1] in _GLOBAL_RANDOM:
+            yield Finding(
+                file=path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule="determinism-global-rng",
+                message=f"{name}() mutates the process-global RNG; use a seeded instance",
+                symbol=symbol() or name,
+            )
+        elif (
+            len(parts) == 3
+            and parts[0] in ("np", "numpy")
+            and parts[1] == "random"
+            and parts[2] in _GLOBAL_NP_RANDOM
+        ):
+            yield Finding(
+                file=path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule="determinism-global-rng",
+                message=f"{name}() uses numpy's global RandomState; use a seeded Generator",
+                symbol=symbol() or name,
+            )
+        elif name in _WALL_CLOCK:
+            yield Finding(
+                file=path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule="determinism-wall-clock",
+                message=(
+                    f"{name}() reads the wall clock; use time.monotonic/perf_counter for "
+                    "durations, or thread a timestamp in as data"
+                ),
+                symbol=symbol() or name,
+            )
+
+    def iter_set_iterations(node: ast.AST):
+        local_sets = local_sets_stack[-1]
+        if isinstance(node, (ast.For, ast.AsyncFor)) and _set_like(node.iter, local_sets):
+            yield node.iter, "for"
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for comp in node.generators:
+                if _set_like(comp.iter, local_sets):
+                    yield comp.iter, "comprehension"
+        elif isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if (
+                name in ("list", "tuple")
+                and len(node.args) == 1
+                and not node.keywords
+                and _set_like(node.args[0], local_sets)
+            ):
+                yield node.args[0], name
+
+    yield from visit(module.tree)
+
+
+@register_checker("determinism")
+def check(project: ProjectModel) -> List[Finding]:
+    findings: List[Finding] = []
+    for path, module in project.modules.items():
+        findings.extend(_iter_findings(path, module))
+    return findings

@@ -1,0 +1,133 @@
+"""lock-discipline: fields written under a lock are written only under it.
+
+The overlapped-ingest tier shares ring-buffer state between a producer and
+a consumer thread; its invariants hold because every mutation of shared
+fields happens inside ``with self._lock``-style blocks.  A single write
+that skips the lock is a data race the test suite will almost never catch.
+
+The checker is inference-based, so single-threaded classes stay silent:
+
+1. A class *owns locks* if ``__init__`` assigns ``threading.Lock()`` /
+   ``RLock()`` / ``Condition(...)`` to ``self`` attributes (a Condition
+   wraps and guards via its underlying lock).
+2. The *guarded fields* are the ``self`` attributes the class ever writes
+   inside a ``with self.<lock>:`` block - taking the lock to write a field
+   declares that field shared.
+3. Rule ``lock-discipline-unguarded-write`` fires for every write to a
+   guarded field outside any lock block (``__init__`` is exempt:
+   construction happens-before any concurrent access).
+
+Lock-free classes have no guarded fields and are vacuously clean.
+Intentional unlocked writes (e.g. a field repurposed single-threaded in a
+``close()`` path) carry ``# reprolint: ok(lock-discipline)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Sequence, Set, Tuple
+
+from reprolint.finding import Finding
+from reprolint.model import ClassInfo, ProjectModel, dotted_name, self_attr_target
+from reprolint.registry import register_checker
+
+#: Constructors whose product is a mutual-exclusion guard.
+_LOCK_CTORS = frozenset({"Lock", "RLock", "Condition"})
+
+
+def _lock_attrs(info: ClassInfo) -> Set[str]:
+    """``self`` attributes ``__init__`` binds to lock/condition objects."""
+    init = info.methods.get("__init__")
+    if init is None:
+        return set()
+    locks: Set[str] = set()
+    for node in ast.walk(init):
+        if not (isinstance(node, ast.Assign) and isinstance(node.value, ast.Call)):
+            continue
+        ctor = dotted_name(node.value.func)
+        if ctor is None or ctor.split(".")[-1] not in _LOCK_CTORS:
+            continue
+        for target in node.targets:
+            attr = self_attr_target(target)
+            if attr is not None:
+                locks.add(attr)
+    return locks
+
+
+def _entered_locks(with_node: ast.With, locks: Set[str]) -> bool:
+    for item in with_node.items:
+        name = dotted_name(item.context_expr)
+        if name is not None and name.startswith("self.") and name[len("self."):] in locks:
+            return True
+    return False
+
+
+def _written_attrs(node: ast.AST) -> Iterator[Tuple[str, int]]:
+    """(attr, line) for each ``self.X`` store in a single statement node."""
+    targets: Sequence[ast.AST] = ()
+    if isinstance(node, ast.Assign):
+        targets = node.targets
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = (node.target,)
+    for target in targets:
+        elements = target.elts if isinstance(target, (ast.Tuple, ast.List)) else (target,)
+        for element in elements:
+            attr = self_attr_target(element)
+            if attr is not None:
+                yield attr, node.lineno
+
+
+def _scan_method(
+    method: ast.FunctionDef, locks: Set[str]
+) -> Tuple[Set[str], List[Tuple[str, int]]]:
+    """(attrs written under a lock, [(attr, line) written outside any lock])."""
+    guarded: Set[str] = set()
+    unguarded: List[Tuple[str, int]] = []
+
+    def walk(node: ast.AST, in_lock: bool) -> None:
+        if isinstance(node, ast.With) and _entered_locks(node, locks):
+            in_lock = True
+        for attr, line in _written_attrs(node):
+            if in_lock:
+                guarded.add(attr)
+            else:
+                unguarded.append((attr, line))
+        for child in ast.iter_child_nodes(node):
+            walk(child, in_lock)
+
+    walk(method, False)
+    return guarded, unguarded
+
+
+@register_checker("lock-discipline")
+def check(project: ProjectModel) -> List[Finding]:
+    findings: List[Finding] = []
+    for info in project.classes:
+        locks = _lock_attrs(info)
+        if not locks:
+            continue
+        guarded_fields: Set[str] = set()
+        outside: List[Tuple[str, str, int]] = []
+        for method_name, method in info.methods.items():
+            if method_name == "__init__":
+                continue
+            guarded, unguarded = _scan_method(method, locks)
+            guarded_fields.update(guarded)
+            outside.extend((attr, method_name, line) for attr, line in unguarded)
+        for attr, method_name, line in sorted(outside, key=lambda item: (item[2], item[0])):
+            if attr not in guarded_fields:
+                continue
+            findings.append(
+                Finding(
+                    file=info.module,
+                    line=line,
+                    col=0,
+                    rule="lock-discipline-unguarded-write",
+                    message=(
+                        f"{info.name}.{attr} is written under a lock elsewhere but "
+                        f"{method_name}() writes it without holding one - a data race"
+                    ),
+                    symbol=f"{info.name}.{attr}",
+                )
+            )
+    return findings

@@ -1,0 +1,149 @@
+"""merge-contract: registered counters are mergeable and pickle all state.
+
+The distributed tier (``repro.distrib``) assumes every counter reachable
+through ``@register_counter`` can (a) ``merge`` a peer sketch and (b)
+round-trip through pickle without losing state the estimator depends on -
+including *ordering* state, which plain ``dict(self.__dict__)`` snapshots
+silently preserve-by-accident until an attribute is reconstructed (the
+SpaceSaving recency-order bug PR 6 fixed).  Rules:
+
+* ``merge-contract-missing-merge``: a registered counter class neither
+  defines nor inherits a real ``merge`` - the protocol-root default
+  raises, so the class is unusable in the aggregation tier.
+* ``merge-contract-getstate-pair``: a counter defines only one of
+  ``__getstate__``/``__setstate__``; an asymmetric pair means pickling
+  and unpickling disagree about the state layout.
+* ``merge-contract-state-dropped``: a counter with a custom
+  ``__getstate__``/``__setstate__`` pair has an instance attribute
+  (assigned in ``__init__`` or mutated later) that neither dunder
+  mentions - the exact shape of a state field falling out of the
+  serialized form.
+
+Registered counters are resolved both from classes decorated directly and
+from ``@register_counter`` factory functions via their ``return
+ClassName(...)`` statements.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from reprolint.finding import Finding
+from reprolint.model import ClassInfo, ProjectModel, dotted_name
+from reprolint.registry import register_checker
+
+#: The registration decorator (matched on its final dotted segment).
+REGISTER_DECORATOR = "register_counter"
+
+#: Classes whose ``merge`` is the raising protocol default, not an
+#: implementation.
+MERGE_PROTOCOL_ROOTS = frozenset({"FrequencyEstimator", "CounterAlgorithm"})
+
+
+def _is_register_decorator(name: Optional[str]) -> bool:
+    return name is not None and name.split(".")[-1] == REGISTER_DECORATOR
+
+
+def _registered_classes(project: ProjectModel) -> Dict[str, ClassInfo]:
+    """name -> ClassInfo for every counter reachable via the registry."""
+    registered: Dict[str, ClassInfo] = {}
+    for info in project.classes:
+        if any(_is_register_decorator(dec) for dec in info.decorators):
+            registered[info.name] = info
+    for module in project.modules.values():
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            decorator_names = (
+                dotted_name(dec.func if isinstance(dec, ast.Call) else dec)
+                for dec in node.decorator_list
+            )
+            if not any(_is_register_decorator(name) for name in decorator_names):
+                continue
+            for sub in ast.walk(node):
+                if not (isinstance(sub, ast.Return) and isinstance(sub.value, ast.Call)):
+                    continue
+                callee = dotted_name(sub.value.func)
+                if callee is None:
+                    continue
+                class_name = callee.split(".")[-1]
+                for info in project.classes_named(class_name):
+                    registered.setdefault(info.name, info)
+    return registered
+
+
+def _mentioned_attrs(method: ast.FunctionDef) -> Set[str]:
+    """Attrs a dunder touches: ``self.X`` accesses and ``"X"`` string keys."""
+    mentioned: Set[str] = set()
+    for node in ast.walk(method):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            mentioned.add(node.attr)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            mentioned.add(node.value)
+    return mentioned
+
+
+@register_checker("merge-contract")
+def check(project: ProjectModel) -> List[Finding]:
+    findings: List[Finding] = []
+    registered = _registered_classes(project)
+    for name in sorted(registered):
+        info = registered[name]
+        merge_owner = project.defines_or_inherits(info, "merge")
+        if merge_owner is None or merge_owner.name in MERGE_PROTOCOL_ROOTS:
+            findings.append(
+                Finding(
+                    file=info.module,
+                    line=info.line,
+                    col=info.node.col_offset,
+                    rule="merge-contract-missing-merge",
+                    message=(
+                        f"registered counter {info.name} has no merge() implementation; "
+                        "the distributed aggregation tier cannot combine its sketches"
+                    ),
+                    symbol=info.name,
+                )
+            )
+        getstate = info.methods.get("__getstate__")
+        setstate = info.methods.get("__setstate__")
+        if (getstate is None) != (setstate is None):
+            present = "__getstate__" if getstate is not None else "__setstate__"
+            missing = "__setstate__" if getstate is not None else "__getstate__"
+            anchor = getstate if getstate is not None else setstate
+            assert anchor is not None
+            findings.append(
+                Finding(
+                    file=info.module,
+                    line=anchor.lineno,
+                    col=anchor.col_offset,
+                    rule="merge-contract-getstate-pair",
+                    message=(
+                        f"{info.name} defines {present} without {missing}; pickling and "
+                        "unpickling disagree about the state layout"
+                    ),
+                    symbol=info.name,
+                )
+            )
+        elif getstate is not None and setstate is not None:
+            mentioned = _mentioned_attrs(getstate) | _mentioned_attrs(setstate)
+            state_attrs = info.init_assigned_attrs() | set(info.mutated_attrs_outside_init())
+            for attr in sorted(state_attrs - mentioned):
+                findings.append(
+                    Finding(
+                        file=info.module,
+                        line=getstate.lineno,
+                        col=getstate.col_offset,
+                        rule="merge-contract-state-dropped",
+                        message=(
+                            f"{info.name}.{attr} is instance state but neither __getstate__ "
+                            "nor __setstate__ mentions it; it falls out of the pickled form"
+                        ),
+                        symbol=f"{info.name}.{attr}",
+                    )
+                )
+    return findings

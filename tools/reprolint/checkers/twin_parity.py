@@ -1,0 +1,82 @@
+"""twin-parity: vectorized hot paths keep a tested scalar reference twin.
+
+Every numpy-vectorized batch path in the repo is locked to a bit-identical
+scalar specification (``update_batch_reference`` / ``process_batch_reference``)
+by a differential test - that is what makes "vectorized" a pure performance
+property instead of a semantics change.  Rules:
+
+* ``twin-parity-missing-reference``: a class overrides ``update_batch`` or
+  ``process_batch`` but neither it nor any ancestor defines the
+  ``*_reference`` twin.  The protocol-defining bases (``HHHAlgorithm``,
+  ``CounterAlgorithm``, ``FrequencyEstimator``) are exempt: their
+  sequential fallback *is* the reference semantics.
+* ``twin-parity-untested``: the twin exists but no single test file
+  mentions both the overriding class and the twin method name, so nothing
+  pins the pair against each other.
+
+Engines whose reference is a different *engine* (the sharded pool vs its
+serial replicas, the distributed cluster vs the serial sharded engine) are
+expected to carry an explanatory ``# reprolint: ok(twin-parity)`` pragma on
+the method line.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from reprolint.finding import Finding
+from reprolint.model import ProjectModel
+from reprolint.registry import register_checker
+
+#: Batch entry points whose overrides need a scalar twin.
+BATCH_METHODS = ("update_batch", "process_batch")
+
+#: Classes whose batch method is the protocol definition (the sequential
+#: fallback), not a vectorized override.
+PROTOCOL_ROOTS = frozenset({"HHHAlgorithm", "CounterAlgorithm", "FrequencyEstimator"})
+
+
+@register_checker("twin-parity")
+def check(project: ProjectModel) -> List[Finding]:
+    findings: List[Finding] = []
+    for info in project.classes:
+        if info.name in PROTOCOL_ROOTS:
+            continue
+        for method_name in BATCH_METHODS:
+            method = info.methods.get(method_name)
+            if method is None:
+                continue
+            twin_name = f"{method_name}_reference"
+            twin_owner = project.defines_or_inherits(info, twin_name)
+            if twin_owner is None or twin_owner.name in PROTOCOL_ROOTS:
+                findings.append(
+                    Finding(
+                        file=info.module,
+                        line=method.lineno,
+                        col=method.col_offset,
+                        rule="twin-parity-missing-reference",
+                        message=(
+                            f"{info.name}.{method_name} is a batch override without a "
+                            f"{twin_name} scalar twin; add the twin (or pragma the "
+                            "override naming the lockstep suite that is its reference)"
+                        ),
+                        symbol=f"{info.name}.{method_name}",
+                    )
+                )
+                continue
+            if project.test_file_mentioning(info.name, twin_name) is None:
+                twin_method = twin_owner.methods[twin_name]
+                findings.append(
+                    Finding(
+                        file=twin_owner.module,
+                        line=twin_method.lineno,
+                        col=twin_method.col_offset,
+                        rule="twin-parity-untested",
+                        message=(
+                            f"no test file mentions both {info.name} and {twin_name}; "
+                            "add a differential test pinning the batch path to its twin"
+                        ),
+                        symbol=f"{info.name}.{twin_name}",
+                    )
+                )
+    return findings

@@ -1,0 +1,63 @@
+"""The finding record every checker emits."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        file: path of the offending file, as given to the runner (kept
+            relative so baselines survive checkouts in different roots).
+        line: 1-based line of the offending statement - also where an inline
+            ``# reprolint: ok(...)`` pragma suppresses it.
+        col: 0-based column offset.
+        rule: full rule id, ``<checker>-<aspect>`` (e.g.
+            ``determinism-set-iteration``); pragmas match either the full id
+            or the checker prefix.
+        message: human-readable description of the violation.
+        symbol: the qualified symbol the finding is about
+            (``Class.method`` / ``Class.attr`` / function name); baselines
+            match on ``(file, rule, symbol)`` so they survive line drift.
+    """
+
+    file: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    symbol: str = ""
+
+    def matches_pragma_token(self, token: str) -> bool:
+        """Whether a pragma token suppresses this finding.
+
+        A token matches its exact rule id or any rule it prefixes at a dash
+        boundary, so ``ok(twin-parity)`` covers every ``twin-parity-*`` rule
+        while ``ok(twin)`` covers nothing.
+        """
+        return self.rule == token or self.rule.startswith(token + "-")
+
+    def baseline_key(self) -> tuple:
+        return (self.file, self.rule, self.symbol)
+
+    def sort_key(self) -> tuple:
+        return (self.file, self.line, self.col, self.rule, self.symbol)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "symbol": self.symbol,
+        }
+
+    def render(self) -> str:
+        location = f"{self.file}:{self.line}:{self.col}"
+        suffix = f" [{self.symbol}]" if self.symbol else ""
+        return f"{location}: {self.rule}: {self.message}{suffix}"

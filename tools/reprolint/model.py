@@ -1,0 +1,319 @@
+"""The shared project model every checker reads.
+
+One parse pass over the linted tree produces:
+
+* per-module ASTs and source lines (pragma lookup needs the raw lines);
+* a project-wide class index - name, bases, methods, the ``self.*`` attrs
+  ``__init__`` assigns and the attrs every other method mutates - with a
+  name-based subclass closure (good enough for a single codebase where
+  class names are unique; collisions keep every candidate);
+* the checkpoint whitelist, parsed from whatever scanned module assigns a
+  module-level ``_STATE_ATTRS`` tuple (so the checkers track the real
+  whitelist instead of a copy that could itself drift);
+* the test-suite text, for cross-checking that contracts are actually
+  pinned by a test.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: Attribute names the checkpoint layer captures outside the whitelist
+#: (exact RNG stream positions; see ``capture_runtime_state``).
+RNG_STATE_ATTRS = ("_rng", "_batch_rng")
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render a ``Name``/``Attribute`` chain as ``a.b.c`` (None otherwise)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def self_attr_target(node: ast.AST) -> Optional[str]:
+    """The attr name when ``node`` is ``self.X`` or ``self.X[...]`` (else None)."""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def assigned_attrs(statements: Iterable[ast.stmt]) -> Set[str]:
+    """Every ``self.X`` rebound by plain/aug/ann assignments in a body."""
+    attrs: Set[str] = set()
+    for stmt in statements:
+        for node in ast.walk(stmt):
+            targets: Sequence[ast.AST] = ()
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = (node.target,)
+            for target in targets:
+                elements = target.elts if isinstance(target, (ast.Tuple, ast.List)) else (target,)
+                for element in elements:
+                    # `self.a = self.b = value` chains and tuple unpacking both
+                    # land here; subscript stores (`self.x[k] = v`) count as
+                    # mutations of `x` itself.
+                    name = self_attr_target(element)
+                    if name is not None:
+                        attrs.add(name)
+    return attrs
+
+
+@dataclass
+class ClassInfo:
+    """Everything the checkers need to know about one class definition."""
+
+    name: str
+    module: str
+    node: ast.ClassDef
+    bases: Tuple[str, ...]
+    methods: Dict[str, ast.FunctionDef] = field(default_factory=dict)
+    decorators: Tuple[str, ...] = ()
+
+    @property
+    def line(self) -> int:
+        return self.node.lineno
+
+    def init_assigned_attrs(self) -> Set[str]:
+        init = self.methods.get("__init__")
+        return assigned_attrs(init.body) if init is not None else set()
+
+    def mutated_attrs_outside_init(self) -> Dict[str, Tuple[int, str]]:
+        """attr -> (first offending line, method name) for post-init writes."""
+        found: Dict[str, Tuple[int, str]] = {}
+        for method_name, method in self.methods.items():
+            if method_name == "__init__":
+                continue
+            for stmt in method.body:
+                for node in ast.walk(stmt):
+                    targets: Sequence[ast.AST] = ()
+                    if isinstance(node, ast.Assign):
+                        targets = node.targets
+                    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                        targets = (node.target,)
+                    for target in targets:
+                        elements = (
+                            target.elts if isinstance(target, (ast.Tuple, ast.List)) else (target,)
+                        )
+                        for element in elements:
+                            attr = self_attr_target(element)
+                            if attr is not None and attr not in found:
+                                found[attr] = (node.lineno, method_name)
+        return found
+
+    def class_level_tuple(self, attr_name: str) -> Optional[Tuple[str, ...]]:
+        """A class-level ``NAME = ("a", "b")`` tuple/list of strings, if any."""
+        for stmt in self.node.body:
+            target_name: Optional[str] = None
+            value: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name):
+                    target_name = target.id
+                    value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                target_name = stmt.target.id
+                value = stmt.value
+            if target_name != attr_name or not isinstance(value, (ast.Tuple, ast.List)):
+                continue
+            items: List[str] = []
+            for element in value.elts:
+                if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                    items.append(element.value)
+            return tuple(items)
+        return None
+
+
+@dataclass
+class ModuleInfo:
+    path: str
+    source: str
+    lines: List[str]
+    tree: ast.Module
+
+
+class ProjectModel:
+    """Parsed view of the linted tree plus the cross-checked test suite."""
+
+    def __init__(self, tests_dir: Optional[Path] = None) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.classes: List[ClassInfo] = []
+        self._by_name: Dict[str, List[ClassInfo]] = {}
+        self._tests_dir = tests_dir
+        self._tests_text: Optional[Dict[str, str]] = None
+        self.parse_errors: List[Tuple[str, str]] = []
+
+    # -- construction ---------------------------------------------------- #
+
+    def add_file(self, path: Path, display_path: str) -> None:
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=display_path)
+        except (OSError, SyntaxError) as exc:
+            self.parse_errors.append((display_path, str(exc)))
+            return
+        module = ModuleInfo(
+            path=display_path, source=source, lines=source.splitlines(), tree=tree
+        )
+        self.modules[display_path] = module
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            bases = tuple(
+                name for name in ((dotted_name(base) or "").split(".")[-1] for base in node.bases)
+                if name
+            )
+            decorators = tuple(
+                name
+                for name in (
+                    dotted_name(dec.func if isinstance(dec, ast.Call) else dec)
+                    for dec in node.decorator_list
+                )
+                if name
+            )
+            info = ClassInfo(
+                name=node.name, module=display_path, node=node, bases=bases, decorators=decorators
+            )
+            for stmt in node.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    # Async defs share the fields the checkers read.
+                    info.methods[stmt.name] = stmt  # type: ignore[assignment]
+            self.classes.append(info)
+            self._by_name.setdefault(node.name, []).append(info)
+
+    # -- class queries --------------------------------------------------- #
+
+    def classes_named(self, name: str) -> List[ClassInfo]:
+        return list(self._by_name.get(name, ()))
+
+    def subclasses_of(self, root_names: Iterable[str]) -> List[ClassInfo]:
+        """Transitive name-based subclass closure, roots excluded."""
+        roots = set(root_names)
+        known = set(roots)
+        result: List[ClassInfo] = []
+        changed = True
+        while changed:
+            changed = False
+            for info in self.classes:
+                if info.name in known:
+                    continue
+                if any(base in known for base in info.bases):
+                    known.add(info.name)
+                    result.append(info)
+                    changed = True
+        return result
+
+    def ancestors_of(self, info: ClassInfo) -> List[ClassInfo]:
+        """Name-resolved ancestor classes found inside the linted tree."""
+        seen: Set[str] = {info.name}
+        queue = list(info.bases)
+        result: List[ClassInfo] = []
+        while queue:
+            name = queue.pop(0)
+            if name in seen:
+                continue
+            seen.add(name)
+            for ancestor in self.classes_named(name):
+                result.append(ancestor)
+                queue.extend(ancestor.bases)
+        return result
+
+    def defines_or_inherits(self, info: ClassInfo, method: str) -> Optional[ClassInfo]:
+        """The class in ``info``'s project-local MRO defining ``method``."""
+        if method in info.methods:
+            return info
+        for ancestor in self.ancestors_of(info):
+            if method in ancestor.methods:
+                return ancestor
+        return None
+
+    def inherited_class_tuple(self, info: ClassInfo, attr_name: str) -> Tuple[str, ...]:
+        """Union of a class-level string tuple across the class and its ancestors."""
+        items: List[str] = []
+        for owner in [info, *self.ancestors_of(info)]:
+            tup = owner.class_level_tuple(attr_name)
+            if tup:
+                items.extend(item for item in tup if item not in items)
+        return tuple(items)
+
+    # -- the checkpoint whitelist ---------------------------------------- #
+
+    def state_whitelist(self) -> Tuple[str, ...]:
+        """The ``_STATE_ATTRS`` tuple of the scanned tree (empty if absent)."""
+        for module in self.modules.values():
+            for stmt in module.tree.body:
+                if (
+                    isinstance(stmt, ast.Assign)
+                    and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                    and stmt.targets[0].id == "_STATE_ATTRS"
+                    and isinstance(stmt.value, (ast.Tuple, ast.List))
+                ):
+                    return tuple(
+                        element.value
+                        for element in stmt.value.elts
+                        if isinstance(element, ast.Constant) and isinstance(element.value, str)
+                    )
+        return ()
+
+    # -- the test suite -------------------------------------------------- #
+
+    def tests_text(self) -> Dict[str, str]:
+        """path -> raw text of every ``.py`` file under the tests dir."""
+        if self._tests_text is None:
+            texts: Dict[str, str] = {}
+            if self._tests_dir is not None and self._tests_dir.is_dir():
+                for path in sorted(self._tests_dir.rglob("*.py")):
+                    try:
+                        texts[str(path)] = path.read_text(encoding="utf-8")
+                    except OSError:
+                        continue
+            self._tests_text = texts
+        return self._tests_text
+
+    def test_file_mentioning(self, *names: str) -> Optional[str]:
+        """First test file whose text contains every one of ``names``."""
+        for path, text in self.tests_text().items():
+            if all(name in text for name in names):
+                return path
+        return None
+
+
+def build_project(
+    paths: Sequence[Path], *, tests_dir: Optional[Path] = None, root: Optional[Path] = None
+) -> ProjectModel:
+    """Parse every ``.py`` file under ``paths`` into one :class:`ProjectModel`."""
+    project = ProjectModel(tests_dir=tests_dir)
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(
+                candidate
+                for candidate in sorted(path.rglob("*.py"))
+                if "__pycache__" not in candidate.parts
+            )
+        elif path.suffix == ".py":
+            files.append(path)
+    for file_path in files:
+        display = file_path
+        if root is not None:
+            try:
+                display = file_path.resolve().relative_to(root.resolve())
+            except ValueError:
+                display = file_path
+        project.add_file(file_path, str(display))
+    return project

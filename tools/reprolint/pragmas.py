@@ -1,0 +1,55 @@
+"""Inline ``# reprolint: ok(...)`` pragma parsing and matching.
+
+A pragma on the flagged line suppresses matching findings on that line::
+
+    self._rng = np.random.default_rng()  # reprolint: ok(determinism)
+
+Tokens name either a full rule id (``determinism-set-iteration``) or a
+checker prefix (``determinism``), comma separated.  A bare
+``# reprolint: ok`` suppresses every rule on the line - reserve it for
+fixtures.  Because class- and method-level findings anchor on their
+``def``/``class`` line, a pragma there covers the whole contract finding.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from reprolint.finding import Finding
+from reprolint.model import ProjectModel
+
+_PRAGMA = re.compile(r"#\s*reprolint:\s*ok(?:\(([^)]*)\))?")
+
+
+def pragma_tokens(line_text: str) -> Optional[List[str]]:
+    """The pragma's rule tokens, ``[]`` for a bare catch-all, None if absent."""
+    match = _PRAGMA.search(line_text)
+    if match is None:
+        return None
+    body = match.group(1)
+    if body is None:
+        return []
+    return [token.strip() for token in body.split(",") if token.strip()]
+
+
+def collect_pragmas(project: ProjectModel) -> Dict[Tuple[str, int], List[str]]:
+    """(file, line) -> pragma tokens for every pragma line in the project."""
+    table: Dict[Tuple[str, int], List[str]] = {}
+    for path, module in project.modules.items():
+        for index, text in enumerate(module.lines, start=1):
+            if "reprolint" not in text:
+                continue
+            tokens = pragma_tokens(text)
+            if tokens is not None:
+                table[(path, index)] = tokens
+    return table
+
+
+def is_suppressed(finding: Finding, pragmas: Dict[Tuple[str, int], List[str]]) -> bool:
+    tokens = pragmas.get((finding.file, finding.line))
+    if tokens is None:
+        return False
+    if not tokens:
+        return True
+    return any(finding.matches_pragma_token(token) for token in tokens)

@@ -1,0 +1,62 @@
+"""Decorator-based checker registry, mirroring ``repro.api.registry``.
+
+A checker is a callable ``check(project: ProjectModel) -> Iterable[Finding]``.
+Registering two checkers under one name is an error (exactly like the
+algorithm/counter registries in the library this tool lints), and the
+runner executes checkers in sorted-name order so output is stable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List
+
+Checker = Callable[..., Iterable]
+
+_CHECKERS: Dict[str, Checker] = {}
+
+
+class CheckerRegistrationError(Exception):
+    """Raised on duplicate or invalid checker registration."""
+
+
+def register_checker(name: str, *, replace: bool = False) -> Callable[[Checker], Checker]:
+    """Register ``check(project) -> Iterable[Finding]`` under ``name``.
+
+    ``name`` doubles as the rule-id prefix of every finding the checker
+    emits, so it must be a kebab-case identifier.
+    """
+    if not name or not all(part.isidentifier() for part in name.split("-")):
+        raise CheckerRegistrationError(f"checker name must be kebab-case, got {name!r}")
+
+    def decorator(checker: Checker) -> Checker:
+        if name in _CHECKERS and not replace:
+            raise CheckerRegistrationError(
+                f"checker {name!r} is already registered; pass replace=True to override"
+            )
+        _CHECKERS[name] = checker
+        return checker
+
+    return decorator
+
+
+def unregister_checker(name: str) -> None:
+    """Remove a registered checker (no-op if absent); for plugin tests."""
+    _CHECKERS.pop(name, None)
+
+
+def checker_names() -> List[str]:
+    """Sorted names of every registered checker."""
+    return sorted(_CHECKERS)
+
+
+def all_checkers() -> Dict[str, Checker]:
+    """Name -> checker mapping, in sorted-name order."""
+    return {name: _CHECKERS[name] for name in sorted(_CHECKERS)}
+
+
+def get_checker(name: str) -> Checker:
+    try:
+        return _CHECKERS[name]
+    except KeyError:
+        known = ", ".join(sorted(_CHECKERS))
+        raise CheckerRegistrationError(f"unknown checker {name!r}; known: {known}") from None

@@ -1,0 +1,74 @@
+"""Orchestration: parse once, run every checker, apply pragmas + baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from reprolint.baseline import BaselineKey, load_baseline, split_by_baseline
+from reprolint.finding import Finding
+from reprolint.model import ProjectModel, build_project
+from reprolint.pragmas import collect_pragmas, is_suppressed
+from reprolint.registry import all_checkers, get_checker
+
+
+def run_checkers(
+    project: ProjectModel, names: Optional[Sequence[str]] = None
+) -> List[Finding]:
+    """Run the named checkers (default: all) and return sorted raw findings."""
+    if names is None:
+        checkers = list(all_checkers().values())
+    else:
+        checkers = [get_checker(name) for name in sorted(set(names))]
+    findings: List[Finding] = []
+    for checker in checkers:
+        findings.extend(checker(project))
+    return sorted(findings, key=lambda finding: finding.sort_key())
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced, already partitioned."""
+
+    new: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    stale_baseline: List[BaselineKey] = field(default_factory=list)
+    parse_errors: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def all_active(self) -> List[Finding]:
+        """Findings that survived pragmas (new + baselined), sorted."""
+        return sorted(self.new + self.baselined, key=lambda finding: finding.sort_key())
+
+    @property
+    def ok(self) -> bool:
+        return not self.new and not self.parse_errors
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    *,
+    baseline_path: Optional[Path] = None,
+    tests_dir: Optional[Path] = None,
+    root: Optional[Path] = None,
+    checkers: Optional[Sequence[str]] = None,
+) -> LintResult:
+    """Lint ``paths`` end to end: parse, check, subtract pragmas and baseline."""
+    project = build_project(paths, tests_dir=tests_dir, root=root)
+    raw = run_checkers(project, checkers)
+    pragmas = collect_pragmas(project)
+    active: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in raw:
+        (suppressed if is_suppressed(finding, pragmas) else active).append(finding)
+    accepted = load_baseline(baseline_path) if baseline_path is not None else set()
+    new, baselined, stale = split_by_baseline(active, accepted)
+    return LintResult(
+        new=new,
+        baselined=baselined,
+        suppressed=suppressed,
+        stale_baseline=stale,
+        parse_errors=list(project.parse_errors),
+    )
