@@ -1,0 +1,240 @@
+"""Streaming-query benchmark: incremental output vs from-scratch, interleaved.
+
+Measures what the incremental query engine buys at monitor rate: a seeded
+workload stream is fed in ``--update-chunk`` chunks and after every chunk
+the engine is queried twice - once through its warm incremental output
+cache (the default path) and once with the cache disabled (the from-scratch
+reference).  Every query pair is compared candidate for candidate first:
+an incremental answer that is not *bit-identical* to the scratch answer
+fails the run before any number is reported.
+
+Reported per engine:
+
+* incremental and from-scratch queries/sec over the interleaved run;
+* the speedup ratio (gated by ``--min-incremental-speedup`` when given);
+* per-query wall-clock (mean) for both paths.
+
+Runs standalone (no pytest-benchmark dependency)::
+
+    PYTHONPATH=src python benchmarks/bench_streaming_output.py
+    PYTHONPATH=src python benchmarks/bench_streaming_output.py --smoke --json out.json
+
+The default settings mirror the Figure 5 measurement point (sanjose14
+workload, 2d-bytes hierarchy, 10-RHHH) run past its convergence bound
+(~1.1M packet warmup: pre-convergence the sampling correction exceeds the
+threshold, every tracked prefix is selected and the query cost says nothing
+about the steady state), then queried every ``--update-chunk`` packets -
+the monitor-rate cadence where only a handful of lattice nodes go dirty
+between queries.  ``--smoke`` shrinks the stream and drops to the 1-D
+hierarchy for CI.  Exit status is non-zero if any parity check fails or a
+given speedup gate is missed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List
+
+from repro.api.registry import build_algorithm, make_hierarchy
+from repro.api.specs import AlgorithmSpec
+from repro.eval.reporting import format_table
+from repro.traffic.caida_like import named_workload
+
+ENGINES = ("rhhh", "mst", "sampled_mst")
+
+
+def _parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--engines", nargs="+", default=["rhhh"], choices=ENGINES)
+    parser.add_argument("--workload", default="sanjose14")
+    parser.add_argument("--hierarchy", default="2d-bytes")
+    parser.add_argument("--packets", type=int, default=1_108_000)
+    parser.add_argument("--num-flows", type=int, default=10_000)
+    parser.add_argument("--epsilon", type=float, default=0.003)
+    parser.add_argument("--delta", type=float, default=0.01)
+    parser.add_argument("--theta", type=float, default=0.1)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--v-multiplier", type=int, default=10,
+                        help="RHHH V = multiplier * H (10 reproduces 10-RHHH)")
+    parser.add_argument("--update-chunk", type=int, default=16,
+                        help="packets fed between query points (the monitor "
+                        "cadence; larger chunks dirty more lattice nodes "
+                        "per query and shrink the incremental advantage)")
+    parser.add_argument("--warmup-packets", type=int, default=1_100_000,
+                        help="stream prefix fed before the first query point "
+                        "(pre-convergence queries select almost every "
+                        "tracked prefix and would dominate the timing)")
+    parser.add_argument("--min-incremental-speedup", type=float, default=None,
+                        help="fail (exit 1) if incremental qps / scratch qps "
+                        "falls below this for any engine")
+    parser.add_argument("--json", default=None, help="write results to this JSON file")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI smoke preset: short stream, 1-D hierarchy, "
+                        "parity on every point - fast")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.packets = min(args.packets, 120_000)
+        args.num_flows = min(args.num_flows, 5_000)
+        args.warmup_packets = min(args.warmup_packets, 40_000)
+        args.epsilon = max(args.epsilon, 0.01)
+        args.update_chunk = max(args.update_chunk, 8_192)
+        args.hierarchy = "1d-bytes"
+        args.engines = list(ENGINES)
+    args.warmup_packets = min(args.warmup_packets, args.packets)
+    return args
+
+
+def _keys(args):
+    generator = named_workload(args.workload, num_flows=args.num_flows)
+    arr = generator.key_array(args.packets)
+    if make_hierarchy(args.hierarchy).dimensions == 1:
+        return arr[:, 0].copy()
+    return arr
+
+
+def _build(args, engine: str):
+    spec = AlgorithmSpec(
+        name=engine,
+        epsilon=args.epsilon,
+        delta=args.delta,
+        seed=args.seed,
+        v_multiplier=args.v_multiplier if engine == "rhhh" else None,
+    )
+    return build_algorithm(spec, make_hierarchy(args.hierarchy))
+
+
+def _output_state(output):
+    return (
+        output.total,
+        output.threshold,
+        [
+            (c.prefix, c.lower_bound, c.upper_bound, c.conditioned_estimate)
+            for c in output.candidates
+        ],
+    )
+
+
+def run_engine(args, engine: str, keys) -> Dict[str, object]:
+    """Interleave update chunks with incremental + scratch query pairs."""
+    algorithm = _build(args, engine)
+    chunk = args.update_chunk
+    warmup = args.warmup_packets
+    # Large warmup chunks: the warmup only has to reach the steady state,
+    # the monitor cadence starts at the first query point.
+    for lo in range(0, warmup, 65_536):
+        algorithm.update_batch(keys[lo : min(lo + 65_536, warmup)])
+
+    points = 0
+    mismatches = 0
+    incremental_seconds = 0.0
+    scratch_seconds = 0.0
+    for lo in range(warmup, len(keys), chunk):
+        algorithm.update_batch(keys[lo : lo + chunk])
+        started = time.perf_counter()
+        incremental = algorithm.output(args.theta)
+        incremental_seconds += time.perf_counter() - started
+
+        cache = algorithm._output_cache
+        algorithm._output_cache = None
+        try:
+            started = time.perf_counter()
+            scratch = algorithm.output(args.theta)
+            scratch_seconds += time.perf_counter() - started
+        finally:
+            algorithm._output_cache = cache
+        points += 1
+        if _output_state(incremental) != _output_state(scratch):
+            mismatches += 1
+    # Repeated queries with no updates in between: the monitor-rate case the
+    # cache is built for (and the idempotence half of the parity contract).
+    repeat_seconds = 0.0
+    repeats = max(points, 1)
+    baseline = _output_state(algorithm.output(args.theta))
+    started = time.perf_counter()
+    for _ in range(repeats):
+        repeated = algorithm.output(args.theta)
+    repeat_seconds = time.perf_counter() - started
+    if _output_state(repeated) != baseline:
+        mismatches += 1
+
+    incremental_qps = points / incremental_seconds if incremental_seconds else 0.0
+    scratch_qps = points / scratch_seconds if scratch_seconds else 0.0
+    return {
+        "engine": engine,
+        "query_points": points,
+        "parity_mismatches": mismatches,
+        "incremental_qps": incremental_qps,
+        "scratch_qps": scratch_qps,
+        "speedup": incremental_qps / scratch_qps if scratch_qps else float("inf"),
+        "incremental_ms_per_query": 1e3 * incremental_seconds / max(points, 1),
+        "scratch_ms_per_query": 1e3 * scratch_seconds / max(points, 1),
+        "repeat_qps": repeats / repeat_seconds if repeat_seconds else float("inf"),
+        "candidates": len(repeated.candidates),
+    }
+
+
+def main(argv=None) -> int:
+    args = _parse_args(argv)
+    keys = _keys(args)
+    results: List[Dict[str, object]] = [
+        run_engine(args, engine, keys) for engine in args.engines
+    ]
+
+    rows = [
+        {
+            "engine": result["engine"],
+            "points": result["query_points"],
+            "inc q/s": f"{result['incremental_qps']:,.1f}",
+            "scratch q/s": f"{result['scratch_qps']:,.1f}",
+            "speedup": f"{result['speedup']:.1f}x",
+            "repeat q/s": f"{result['repeat_qps']:,.1f}",
+            "HHHs": result["candidates"],
+            "mismatch": result["parity_mismatches"],
+        }
+        for result in results
+    ]
+    print(format_table(
+        rows,
+        title=(
+            f"streaming queries: {args.packets:,} packets ({args.hierarchy}), "
+            f"query every {args.update_chunk:,} after {args.warmup_packets:,} warmup, "
+            f"theta={args.theta:.0%}"
+        ),
+    ))
+
+    failures: List[str] = []
+    for result in results:
+        if result["parity_mismatches"]:
+            failures.append(
+                f"{result['engine']}: {result['parity_mismatches']} incremental/scratch "
+                "parity mismatches"
+            )
+        if (
+            args.min_incremental_speedup is not None
+            and result["speedup"] < args.min_incremental_speedup
+        ):
+            failures.append(
+                f"{result['engine']}: speedup {result['speedup']:.2f}x < "
+                f"gate {args.min_incremental_speedup}x"
+            )
+
+    if args.json:
+        payload = {
+            "config": {k: v for k, v in vars(args).items() if k != "json"},
+            "engines": results,
+            "failures": failures,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, default=str)
+        print(f"wrote {args.json}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -365,11 +365,18 @@ class Session:
         return measurements
 
     def _feed_segment(self, keys: Keys, start: int, stop: int, total: int) -> None:
-        """Feed ``keys[start:stop]``, per-packet or in batch chunks.
+        """Feed ``keys[start:stop]`` by draining :meth:`_segment_chunks`."""
+        for _ in self._segment_chunks(keys, start, stop, total):
+            pass
 
-        Both paths honor the documented progress contract - hooks fire after
-        every fed chunk: at ``batch_size`` granularity on the batch path, and
-        at ``progress_chunk`` granularity on the per-packet path (which used
+    def _segment_chunks(self, keys: Keys, start: int, stop: int, total: int) -> Iterator[int]:
+        """Feed ``keys[start:stop]`` chunk by chunk, yielding after each chunk.
+
+        Yields the absolute stream position after every fed chunk - the
+        cadence :meth:`watch` counts in.  Both paths honor the documented
+        progress contract - hooks fire after every fed chunk: at
+        ``batch_size`` granularity on the batch path, and at
+        ``progress_chunk`` granularity on the per-packet path (which used
         to fire only once per segment, starving progress consumers on long
         per-packet runs).
         """
@@ -384,6 +391,7 @@ class Session:
                 self._stream_position = chunk_stop
                 self._fire_progress(chunk_stop, total)
                 self._maybe_checkpoint()
+                yield chunk_stop
             return
         update_batch = self._algorithm.update_batch
         for chunk_start in range(start, stop, batch_size):
@@ -392,6 +400,7 @@ class Session:
             self._stream_position = chunk_stop
             self._fire_progress(chunk_stop, total)
             self._maybe_checkpoint()
+            yield chunk_stop
 
     def _fire_progress(self, processed: int, total: int) -> None:
         for hook in self._progress_hooks:
@@ -419,6 +428,13 @@ class Session:
                 unknown).
         """
         fed = 0
+        for fed in self._batch_chunks(batches, total=total):
+            pass
+        return fed
+
+    def _batch_chunks(self, batches: Iterable[Keys], *, total: Optional[int] = None) -> Iterator[int]:
+        """The chunk generator under :meth:`feed_batches`: yields the running fed count."""
+        fed = 0
         update_batch = self._algorithm.update_batch
         for batch in batches:
             n = len(batch)
@@ -429,7 +445,7 @@ class Session:
             self._stream_position += n
             self._fire_progress(fed, total if total is not None else fed)
             self._maybe_checkpoint()
-        return fed
+            yield fed
 
     def feed_trace(
         self,
@@ -464,6 +480,19 @@ class Session:
                 has no ``batch_size`` (per-packet trace runs go through
                 :meth:`run`/:meth:`feed`, which materialise Python keys).
         """
+        fed = 0
+        for fed in self._trace_chunks(path, ingest=ingest, skip=skip):
+            pass
+        return fed
+
+    def _trace_chunks(
+        self,
+        path: Optional[str] = None,
+        *,
+        ingest: Optional[int] = None,
+        skip: Optional[int] = None,
+    ) -> Iterator[int]:
+        """The chunk generator under :meth:`feed_trace`: yields the running fed count."""
         if path is None:
             path = self._spec.trace
         if path is None:
@@ -490,9 +519,10 @@ class Session:
         if skip:
             batches = _skip_batches(batches, skip)
         if depth is None:
-            return self.feed_batches(batches, total=total)
+            yield from self._batch_chunks(batches, total=total)
+            return
         with RingBufferIngest(batches, depth=depth, fault_plan=self._fault_plan) as ring:
-            return self.feed_batches(ring, total=total)
+            yield from self._batch_chunks(ring, total=total)
 
     # ------------------------------------------------------------------ #
     # checkpoint / resume
@@ -587,6 +617,66 @@ class Session:
         theta = validate_theta(theta if theta is not None else self._spec.theta)
         return self._algorithm.output(theta)
 
+    def _streams_trace(self) -> bool:
+        """True when :meth:`run`/:meth:`watch` stream the trace instead of materialising keys."""
+        return (
+            self._spec.trace is not None
+            and self._spec.batch_size is not None
+            and self._keys is None
+        )
+
+    def _stream_chunks(self) -> Iterator[int]:
+        """Feed the spec's stream chunk by chunk, yielding after every chunk.
+
+        The single feed loop both :meth:`run` (drain, then query once) and
+        :meth:`watch` (query on a chunk cadence) are built on: streamed-trace
+        specs go through the trace reader (ring-buffer overlap included),
+        everything else through the materialised key stream, resuming past
+        an already-applied prefix either way.
+        """
+        if self._streams_trace():
+            yield from self._trace_chunks()
+            return
+        keys = self.keys()
+        total = len(keys)
+        yield from self._segment_chunks(
+            keys, min(self._resume_position, total), total, total
+        )
+
+    def watch(self, theta: Optional[float] = None, *, every: int = 1) -> Iterator[HHHOutput]:
+        """Feed the spec's stream, yielding an ``output(theta)`` every ``every`` chunks.
+
+        The incremental streaming query loop: the stream advances one chunk
+        (``batch_size`` packets on the batch path, ``progress_chunk`` on the
+        per-packet path, one re-chunked batch on the streamed-trace path) at
+        a time, and every ``every``-th chunk the algorithm is queried and the
+        report yielded.  A final report is always yielded at end of stream
+        when the last chunk did not land on the cadence (an empty stream
+        yields exactly one report), so the last yielded output equals what
+        :meth:`run` would have returned.  Queries between chunks are served
+        by the engines' incremental output caches, which is what makes a
+        per-chunk (``every=1``) monitor affordable.
+
+        Args:
+            theta: query threshold; defaults to the spec's theta.
+            every: chunk cadence between reports (>= 1).
+        """
+        theta = validate_theta(theta if theta is not None else self._spec.theta)
+        if not isinstance(every, int) or isinstance(every, bool) or every < 1:
+            raise ConfigurationError(f"every must be a positive int, got {every!r}")
+        return self._watch_iter(theta, every)
+
+    def _watch_iter(self, theta: float, every: int) -> Iterator[HHHOutput]:
+        chunks = 0
+        on_cadence = False
+        for _ in self._stream_chunks():
+            chunks += 1
+            on_cadence = chunks % every == 0
+            if on_cadence:
+                yield self._algorithm.output(theta)
+        if not on_cadence:
+            yield self._algorithm.output(theta)
+
     def run(
         self,
         *,
@@ -599,24 +689,26 @@ class Session:
         (zero per-packet Python objects, optional ring-buffer overlap)
         instead of materialising a key stream; checkpoints are not supported
         on that streaming path.
+
+        ``packets`` on the result is the absolute stream position after the
+        feed - skipped resume prefix included - on *both* paths (the
+        streamed-trace branch used to report ``fed + resume`` while the keys
+        branch reported the raw key count, which disagreed for resumed
+        sessions whose checkpoint lay beyond the rebuilt stream).
         """
-        if (
-            self._spec.trace is not None
-            and self._spec.batch_size is not None
-            and self._keys is None
-        ):
+        if self._streams_trace():
             if checkpoints:
                 raise ConfigurationError(
                     "checkpoints are not supported on streamed trace runs; "
                     "pass explicit keys to checkpoint a trace stream"
                 )
             start = time.perf_counter()
-            fed = self.feed_trace()
+            self.feed_trace()
             seconds = time.perf_counter() - start
             return SessionResult(
                 spec=self._spec,
                 output=self.output(theta),
-                packets=fed + self._resume_position,
+                packets=self._stream_position,
                 seconds=seconds,
                 measurements=[],
             )
@@ -629,7 +721,7 @@ class Session:
         return SessionResult(
             spec=self._spec,
             output=self.output(theta),
-            packets=len(keys),
+            packets=self._stream_position,
             seconds=seconds,
             measurements=measurements,
         )

@@ -33,6 +33,7 @@ Examples::
     python -m repro.cli distrib --switches 16 --packets 500000 --batch-size 8192 --top-k 64
     python -m repro.cli detect --print-spec > experiment.json
     python -m repro.cli run --spec experiment.json
+    python -m repro.cli run --spec experiment.json --watch 4
     python -m repro.cli compare --algorithms rhhh mst --packets 50000
     python -m repro.cli figure --name fig6
     python -m repro.cli trace generate trace.v2 --workload sanjose14 --packets 500000
@@ -50,6 +51,7 @@ import argparse
 import dataclasses
 import functools
 import sys
+import time
 from pathlib import Path
 from typing import Optional, Sequence
 
@@ -138,6 +140,16 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="override the file the periodic session checkpoint is "
         "(atomically) written to; resume with `repro run --resume PATH`",
+    )
+    run.add_argument(
+        "--watch",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stream the run and print an intermediate HHH report line every "
+        "N fed chunks (batch_size packets each; progress_chunk on the "
+        "per-packet path) before the final table - served at monitor rate "
+        "by the incremental query engine",
     )
 
     compare = subparsers.add_parser("compare", help="compare several algorithms on the same stream")
@@ -382,6 +394,31 @@ def _command_detect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _watch_session(session: Session, theta: Optional[float], every: int) -> SessionResult:
+    """Drain :meth:`Session.watch`, printing one report line per cadence point.
+
+    Returns a :class:`SessionResult` built from the final report (the last
+    watch output equals what ``run()`` would have returned), so the caller
+    prints the same final table either way.
+    """
+    start = time.perf_counter()
+    last = None
+    for output in session.watch(theta, every=every):
+        last = output
+        print(
+            f"watch @ {session.stream_position:>12,} pkts: "
+            f"{len(output.candidates):>4} HHH prefixes "
+            f"(threshold {output.threshold:,.0f})"
+        )
+    return SessionResult(
+        spec=session.spec,
+        output=last,
+        packets=session.stream_position,
+        seconds=time.perf_counter() - start,
+        measurements=[],
+    )
+
+
 def _command_run(args: argparse.Namespace) -> int:
     if (args.spec is None) == (args.resume is None):
         print("error: pass exactly one of --spec or --resume", file=sys.stderr)
@@ -405,7 +442,10 @@ def _command_run(args: argparse.Namespace) -> int:
                 return 1
             with Session.resume(args.resume) as session:
                 spec = session.spec
-                result = session.run(theta=args.theta)
+                if args.watch is not None:
+                    result = _watch_session(session, args.theta, args.watch)
+                else:
+                    result = session.run(theta=args.theta)
         else:
             if args.spec == "-":
                 text = sys.stdin.read()
@@ -423,7 +463,10 @@ def _command_run(args: argparse.Namespace) -> int:
             if applied:
                 spec = dataclasses.replace(spec, **applied)
             with Session(spec) as session:
-                result = session.run(theta=args.theta)
+                if args.watch is not None:
+                    result = _watch_session(session, args.theta, args.watch)
+                else:
+                    result = session.run(theta=args.theta)
     except OSError as exc:
         print(f"error: cannot read spec: {exc}", file=sys.stderr)
         return 1

@@ -35,7 +35,7 @@ from repro.core.batch import (
     sorted_pairs,
 )
 from repro.core.config import RHHHConfig
-from repro.core.output import lattice_output, validate_theta
+from repro.core.output import OutputCache, lattice_output, validate_theta
 from repro.exceptions import ConfigurationError
 from repro.hh.base import CounterAlgorithm
 from repro.hh.factory import CounterLike, prepare_counter_factory
@@ -101,6 +101,10 @@ class RHHH(HHHAlgorithm):
         self._batch_rng = np.random.default_rng(config.seed)
         self._ignored = 0
         self._update_calls = 0
+        #: Per-lattice-node update counters driving the incremental query
+        #: engine: any bump marks the node dirty for the next output pass.
+        self._versions: List[int] = [0] * self._h
+        self._output_cache: Optional[OutputCache] = OutputCache()
 
     # ------------------------------------------------------------------ #
     # stream processing
@@ -116,6 +120,7 @@ class RHHH(HHHAlgorithm):
             d = randrange(v)
             if d < h:
                 self._counters[d].update(self._generalizers[d](key), weight)
+                self._versions[d] += 1
                 self._update_calls += 1
             else:
                 self._ignored += 1
@@ -132,6 +137,7 @@ class RHHH(HHHAlgorithm):
         d = self._rng.randrange(self._v)
         if d < self._h:
             self._counters[d].update(self._generalizers[d](key), 1)
+            self._versions[d] += 1
 
     # ------------------------------------------------------------------ #
     # batch stream processing
@@ -193,6 +199,7 @@ class RHHH(HHHAlgorithm):
             masked = self._batch_generalizers[node](keys_arr[packet_ids])
             group_weights = weights_arr[packet_ids] if weights_arr is not None else None
             feed_counter(self._counters[node], masked, group_weights)
+            self._versions[node] += 1
 
     def update_batch_reference(
         self, keys: Sequence[Hashable], weights: Optional[Sequence[int]] = None
@@ -245,6 +252,7 @@ class RHHH(HHHAlgorithm):
             counter = self._counters[node]
             for masked, weight in sorted_pairs(per_node[node]):
                 counter.update(masked, weight)
+            self._versions[node] += 1
 
     # ------------------------------------------------------------------ #
     # queries
@@ -266,6 +274,8 @@ class RHHH(HHHAlgorithm):
             self._total,
             scale=scale,
             correction=correction,
+            versions=self._versions,
+            cache=self._output_cache,
         )
 
     def frequency_estimate(self, key: Hashable, node: int = 0) -> float:

@@ -68,6 +68,7 @@ from repro.api.specs import AlgorithmSpec
 from repro.core.base import HHHAlgorithm, HHHOutput
 from repro.core.batch import coerce_key_array, coerce_weights
 from repro.core.checkpoint import apply_runtime_state, capture_runtime_state
+from repro.core.output import OutputCache
 from repro.core.supervise import ShardLoss, ShardSupervisor, SupervisorPolicy
 from repro.exceptions import AlgorithmError, CheckpointError, ConfigurationError
 from repro.hh.base import FrequencyEstimator
@@ -269,6 +270,19 @@ class ShardedHHH(HHHAlgorithm):
         self._supervisor: Optional[ShardSupervisor] = None
         self._batch_index = 0
         self._closed = False
+        # Incremental-query plumbing.  Serial mode caches the merged counter
+        # of each lattice node keyed by the per-replica version stamps of
+        # that node; parallel mode (full states shipped per query) caches
+        # the whole merge keyed by the dispatch clock.  The template's
+        # version/cache pair is swapped in around the hijacked output call
+        # so the merged lattice gets its own incremental passes, disjoint
+        # from the template's native state.  Set ``_template_cache = None``
+        # to force every query through the from-scratch reference path.
+        hierarchy_size = hierarchy_obj.size
+        self._merged_node_cache: List[Optional[Tuple[tuple, object]]] = [None] * hierarchy_size
+        self._parallel_merge_cache: Optional[Tuple[tuple, List, int]] = None
+        self._template_versions: List[int] = [0] * hierarchy_size
+        self._template_cache: Optional[OutputCache] = OutputCache()
         if self._parallel:
             self._supervisor = ShardSupervisor(
                 self._shard_specs,
@@ -474,6 +488,13 @@ class ShardedHHH(HHHAlgorithm):
                 apply_runtime_state(replica, shard_state)
         self._total = int(state["total"])
         self._batch_index = int(state["batch_index"])
+        # Replaced shard state invalidates every merge/query cache: restored
+        # version stamps could coincidentally match cached signatures from a
+        # different timeline.
+        self._merged_node_cache = [None] * len(self._merged_node_cache)
+        self._parallel_merge_cache = None
+        if self._template_cache is not None:
+            self._template_cache.invalidate()
 
     # ------------------------------------------------------------------ #
     # the merge reduction and queries
@@ -522,6 +543,58 @@ class ShardedHHH(HHHAlgorithm):
                 merged[node].merge(counter, disjoint=self._node_disjoint[node])
         return merged, total
 
+    def _bump_template_versions(self) -> None:
+        versions = self._template_versions
+        for node in range(len(versions)):
+            versions[node] += 1
+
+    def _merged_counters_cached(self) -> Tuple[List, int]:
+        """Incremental twin of :meth:`merged_counters`.
+
+        Serial mode re-merges only the lattice nodes whose per-replica
+        version stamps moved since the last query, reusing the cached merged
+        summary everywhere else; a rebuilt node bumps its template version so
+        the incremental output pass re-enumerates exactly those nodes.
+        Parallel mode ships whole shard states per query, so the merge is
+        cached wholesale and keyed on the dispatch clock (plus the loss
+        account, which can move without a dispatch under the degrade
+        policy).  Either way the merged counters are value-identical to
+        :meth:`merged_counters` - same merge order, same disjointness flags.
+        """
+        if self._parallel:
+            lost = self._supervisor.lost_packets()
+            key = (self._batch_index, lost)
+            cached = self._parallel_merge_cache
+            if cached is not None and cached[0] == key:
+                return cached[1], cached[2]
+            merged, total = self.merged_counters()
+            self._parallel_merge_cache = (key, merged, total)
+            self._bump_template_versions()
+            return merged, total
+        replicas = self._replicas
+        if any(not hasattr(replica, "_versions") for replica in replicas):
+            # A replica without version stamps cannot signal staleness;
+            # fall back to a full merge with every node marked dirty.
+            merged, total = self.merged_counters()
+            self._bump_template_versions()
+            return merged, total
+        merged = []
+        for node in range(len(self._merged_node_cache)):
+            sig = tuple(replica._versions[node] for replica in replicas)
+            cached = self._merged_node_cache[node]
+            if cached is not None and cached[0] == sig:
+                merged.append(cached[1])
+                continue
+            counter = copy.deepcopy(replicas[0]._counters[node])
+            disjoint = self._node_disjoint[node]
+            for replica in replicas[1:]:
+                counter.merge(replica._counters[node], disjoint=disjoint)
+            self._merged_node_cache[node] = (sig, counter)
+            self._template_versions[node] += 1
+            merged.append(counter)
+        total = sum(replica.total for replica in replicas)
+        return merged, total
+
     def output(self, theta: float) -> HHHOutput:
         """Merge the shards and run the underlying algorithm's Output on the result.
 
@@ -536,17 +609,47 @@ class ShardedHHH(HHHAlgorithm):
         candidate's upper bound is stretched by it; the per-shard
         :class:`~repro.core.supervise.ShardLoss` reports ride along on
         ``failed_shards``.
+
+        Queries run incrementally by default: the merged lattice carries the
+        wrapper-owned version stamps and output cache, so a repeat query
+        re-enumerates only the nodes whose merge was rebuilt.  Setting
+        ``_template_cache = None`` forces the from-scratch reference path
+        (full re-merge, uncached output pass) - the parity suite compares
+        the two.  Either way the hijacked template attributes (counters,
+        total, correction, version/cache pair) are all restored afterwards,
+        so interleaved direct use of the template never sees merged state.
         """
-        merged, merged_total = self.merged_counters()
+        incremental = self._template_cache is not None
+        if incremental:
+            merged, merged_total = self._merged_counters_cached()
+        else:
+            merged, merged_total = self.merged_counters()
         lost = self._supervisor.lost_packets() if self._supervisor is not None else 0
         losses = self._supervisor.losses() if self._supervisor is not None else []
-        self._template._counters = merged
-        self._template._total = merged_total + lost
-        self._template.extra_correction = float(lost)
+        template = self._template
+        saved_counters = template._counters
+        saved_total = template._total
+        saved_versions = getattr(template, "_versions", None)
+        saved_cache = getattr(template, "_output_cache", None)
+        has_cache_attrs = saved_versions is not None
+        template._counters = merged
+        template._total = merged_total + lost
+        template.extra_correction = float(lost)
+        if has_cache_attrs:
+            if incremental:
+                template._versions = self._template_versions
+                template._output_cache = self._template_cache
+            else:
+                template._output_cache = None
         try:
-            result = self._template.output(theta)
+            result = template.output(theta)
         finally:
-            self._template.extra_correction = 0.0
+            template.extra_correction = 0.0
+            template._counters = saved_counters
+            template._total = saved_total
+            if has_cache_attrs:
+                template._versions = saved_versions
+                template._output_cache = saved_cache
         if lost:
             result.candidates = [
                 dataclasses.replace(candidate, upper_bound=candidate.upper_bound + lost)

@@ -26,6 +26,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.api.specs import AlgorithmSpec
 from repro.core.base import HHHOutput
+from repro.core.output import OutputCache
 from repro.core.shard import per_shard_algorithm_spec
 from repro.core.supervise import ShardLoss
 from repro.distrib import compress, wire
@@ -92,6 +93,19 @@ class Aggregator:
         self.messages_accepted = 0
         self.messages_late = 0
         self.deltas_applied = 0
+        # Incremental-query plumbing.  The merge is cached wholesale, keyed
+        # on the exact (switch, epoch) contribution set it was built from;
+        # per-switch decoded counter objects are kept as merge *arguments*
+        # (merge never mutates its argument) and dropped the moment a newer
+        # contribution from that switch is accepted.  ``_merge_clock`` stamps
+        # each rebuild so the template's incremental output pass sees every
+        # node dirty exactly when the merged lattice changed.  Set
+        # ``_query_cache = None`` to force the from-scratch reference path.
+        self._decoded: Dict[int, List] = {}
+        self._merge_cache: Optional[Tuple[tuple, List, int]] = None
+        self._merge_clock = 0
+        self._query_versions: List[int] = [0] * hierarchy.size
+        self._query_cache: Optional[OutputCache] = OutputCache()
 
     # ------------------------------------------------------------------ #
     # ingest
@@ -161,6 +175,7 @@ class Aggregator:
             "total": int(message["total"]),
             "nodes": nodes,
         }
+        self._decoded.pop(switch, None)
         self.messages_accepted += 1
         return switch, epoch
 
@@ -194,6 +209,47 @@ class Aggregator:
                 )
         return merged, total
 
+    def _merged_counters_cached(self) -> Tuple[List, int]:
+        """Incremental twin of :meth:`merged_counters`.
+
+        Short-circuits on the contribution signature: back-to-back queries
+        with no accepted message in between reuse the previous merge (and
+        hence the previous output pass's cached state) outright.  A re-merge
+        decodes the first switch fresh (it becomes the mutated merge target)
+        but reuses the cached decodes of the other switches as merge
+        arguments, then bumps the merge clock so every node reads as dirty.
+        Value-identical to :meth:`merged_counters`: same decode, same merge
+        order, same disjointness flags.
+        """
+        signature = tuple(
+            sorted((switch, state["epoch"]) for switch, state in self._contributions.items())
+        )
+        cached = self._merge_cache
+        if cached is not None and cached[0] == signature:
+            return cached[1], cached[2]
+        order = sorted(self._contributions)
+        if not order:
+            raise AlgorithmError(
+                "the aggregator holds no switch contributions; nothing was "
+                "delivered (or every emission was lost)"
+            )
+        first = self._contributions[order[0]]
+        merged = [wire.decode_counter_state(state) for state in first["nodes"]]
+        total = first["total"]
+        for switch in order[1:]:
+            contribution = self._contributions[switch]
+            total += contribution["total"]
+            decoded = self._decoded.get(switch)
+            if decoded is None:
+                decoded = [wire.decode_counter_state(state) for state in contribution["nodes"]]
+                self._decoded[switch] = decoded
+            for node, counter in enumerate(decoded):
+                merged[node].merge(counter, disjoint=self._node_disjoint[node])
+        self._merge_cache = (signature, merged, total)
+        self._merge_clock += 1
+        self._query_versions = [self._merge_clock] * len(self._query_versions)
+        return merged, total
+
     def output(
         self, theta: float, *, dispatched_totals: Optional[Dict[int, int]] = None
     ) -> HHHOutput:
@@ -205,8 +261,19 @@ class Aggregator:
         the degrade policy (see the module docstring).  Without it the
         aggregator trusts the contributions alone (loss invisible to it is
         then unaccounted - the cluster always passes the totals).
+
+        Queries run incrementally by default (``_query_cache = None`` forces
+        the from-scratch reference path): an unchanged contribution set
+        reuses the previous merge and the output pass's cached per-node
+        state.  Every hijacked template attribute - counters, total,
+        correction, version/cache pair - is restored afterwards, so the
+        template is never left holding merged state between queries.
         """
-        merged, accounted = self.merged_counters()
+        incremental = self._query_cache is not None
+        if incremental:
+            merged, accounted = self._merged_counters_cached()
+        else:
+            merged, accounted = self.merged_counters()
         losses: List[ShardLoss] = []
         lost = 0
         if dispatched_totals:
@@ -230,13 +297,30 @@ class Aggregator:
                             ),
                         )
                     )
-        self._template._counters = merged
-        self._template._total = accounted + lost
-        self._template.extra_correction = float(lost)
+        template = self._template
+        saved_counters = template._counters
+        saved_total = template._total
+        saved_versions = getattr(template, "_versions", None)
+        saved_cache = getattr(template, "_output_cache", None)
+        has_cache_attrs = saved_versions is not None
+        template._counters = merged
+        template._total = accounted + lost
+        template.extra_correction = float(lost)
+        if has_cache_attrs:
+            if incremental:
+                template._versions = self._query_versions
+                template._output_cache = self._query_cache
+            else:
+                template._output_cache = None
         try:
-            result = self._template.output(theta)
+            result = template.output(theta)
         finally:
-            self._template.extra_correction = 0.0
+            template.extra_correction = 0.0
+            template._counters = saved_counters
+            template._total = saved_total
+            if has_cache_attrs:
+                template._versions = saved_versions
+                template._output_cache = saved_cache
         if lost:
             result.candidates = [
                 dataclasses.replace(candidate, upper_bound=candidate.upper_bound + lost)

@@ -18,7 +18,7 @@ from repro.core.batch import (
     coerce_key_array,
     coerce_weights,
 )
-from repro.core.output import lattice_output, validate_theta
+from repro.core.output import OutputCache, lattice_output, validate_theta
 from repro.exceptions import ConfigurationError
 from repro.hh.base import CounterAlgorithm
 from repro.hh.factory import CounterLike, prepare_counter_factory
@@ -49,6 +49,16 @@ class MST(HHHAlgorithm):
         ]
         self._generalizers = hierarchy.compile_generalizers()
         self._batch_generalizers = hierarchy.compile_batch_generalizers()
+        #: Per-lattice-node update counters driving the incremental query
+        #: engine; MST touches every node on every packet, so they move in
+        #: lockstep - kept per node for the uniform lattice_output contract.
+        self._versions: List[int] = [0] * hierarchy.size
+        self._output_cache: Optional[OutputCache] = OutputCache()
+
+    def _bump_versions(self) -> None:
+        versions = self._versions
+        for node in range(len(versions)):
+            versions[node] += 1
 
     @property
     def epsilon(self) -> float:
@@ -61,6 +71,7 @@ class MST(HHHAlgorithm):
         counters = self._counters
         for node, generalize in enumerate(self._generalizers):
             counters[node].update(generalize(key), weight)
+        self._bump_versions()
 
     def update_batch(
         self, keys: Sequence[Hashable], weights: Optional[Sequence[int]] = None
@@ -82,6 +93,7 @@ class MST(HHHAlgorithm):
         weights_arr, total_weight = coerce_weights(weights, n)
         keys_arr = coerce_key_array(keys, n)
         self._total += total_weight
+        self._bump_versions()
         if keys_arr is None:
             # Keys numpy cannot mask vectorially: same batch semantics
             # (aggregate per node, ascending key order), scalar machinery.
@@ -108,6 +120,7 @@ class MST(HHHAlgorithm):
             return
         weights_arr, total_weight = coerce_weights(weights, n)
         self._total += total_weight
+        self._bump_versions()
         apply_lattice_batch_scalar(
             self._counters, self._generalizers, list(self._iter_batch_keys(keys)), weights_arr
         )
@@ -115,7 +128,13 @@ class MST(HHHAlgorithm):
     def output(self, theta: float) -> HHHOutput:
         theta = validate_theta(theta)
         return lattice_output(
-            self._hierarchy, self._counters, theta, self._total, correction=self.extra_correction
+            self._hierarchy,
+            self._counters,
+            theta,
+            self._total,
+            correction=self.extra_correction,
+            versions=self._versions,
+            cache=self._output_cache,
         )
 
     def frequency_estimate(self, key: Hashable, node: int = 0) -> float:

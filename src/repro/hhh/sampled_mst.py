@@ -25,7 +25,7 @@ from repro.core.batch import (
     coerce_weights,
 )
 from repro.core.determinism import resolve_seed
-from repro.core.output import lattice_output, validate_theta
+from repro.core.output import OutputCache, lattice_output, validate_theta
 from repro.exceptions import ConfigurationError
 from repro.hh.base import CounterAlgorithm
 from repro.hh.factory import CounterLike, prepare_counter_factory
@@ -82,6 +82,16 @@ class SampledMST(HHHAlgorithm):
         # from the per-packet random.Random used by update().
         self._batch_rng = np.random.default_rng(resolve_seed(seed))
         self._sampled = 0
+        #: Per-lattice-node update counters driving the incremental query
+        #: engine; a sampled packet runs the full MST update, touching every
+        #: node, so the counters move in lockstep.
+        self._versions: List[int] = [0] * hierarchy.size
+        self._output_cache: Optional[OutputCache] = OutputCache()
+
+    def _bump_versions(self) -> None:
+        versions = self._versions
+        for node in range(len(versions)):
+            versions[node] += 1
 
     @property
     def sampling_probability(self) -> float:
@@ -102,6 +112,7 @@ class SampledMST(HHHAlgorithm):
         counters = self._counters
         for node, generalize in enumerate(self._generalizers):
             counters[node].update(generalize(key), weight)
+        self._bump_versions()
 
     def _draw_samples(self, count: int) -> np.ndarray:
         """Pre-draw the coin flips of ``count`` packets in one RNG call.
@@ -143,6 +154,7 @@ class SampledMST(HHHAlgorithm):
         if picked == 0:
             return
         self._sampled += picked
+        self._bump_versions()
         sub_keys = keys_arr[sampled]
         sub_weights = weights_arr[sampled] if weights_arr is not None else None
         apply_lattice_batch(self._counters, self._batch_generalizers, sub_keys, sub_weights)
@@ -180,6 +192,7 @@ class SampledMST(HHHAlgorithm):
         if not picked_keys:
             return
         self._sampled += len(picked_keys)
+        self._bump_versions()
         apply_lattice_batch_scalar(
             self._counters,
             self._generalizers,
@@ -194,7 +207,14 @@ class SampledMST(HHHAlgorithm):
             coverage_correction(self._total, scale, self._delta) if self._total else 0.0
         ) + self.extra_correction
         return lattice_output(
-            self._hierarchy, self._counters, theta, self._total, scale=scale, correction=correction
+            self._hierarchy,
+            self._counters,
+            theta,
+            self._total,
+            scale=scale,
+            correction=correction,
+            versions=self._versions,
+            cache=self._output_cache,
         )
 
     def counters(self) -> int:

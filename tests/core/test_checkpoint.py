@@ -350,6 +350,9 @@ class TestSessionResumeParity:
         assert resumed.resume_position == 8_192
         result = resumed.run()
         assert _output_state(result.output) == _output_state(baseline.output)
+        # Unified packets accounting: the resumed run reports the absolute
+        # stream position, exactly like the fresh baseline run.
+        assert result.packets == baseline.packets == spec.packets
 
     def test_trace_path_resume_is_bit_identical(self, tmp_path):
         trace = str(tmp_path / "stream.v2")
