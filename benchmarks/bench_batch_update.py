@@ -34,6 +34,17 @@ prefix): the scalar every-node-every-packet ``update`` loop against the
 vectorized aggregated ``update_batch`` - the number that makes the Figure 5
 speedup-vs-MST comparison honest in batch mode.
 
+The **eviction-storm** variants (``--storm-packets`` all-distinct keys, the
+max-churn adversary) probe the last recorded scalar floor: exact Space
+Saving semantics force per-event eviction work when every key misses a full
+table, while the sketch backend (``count_min``) has no eviction order to
+preserve and vectorizes completely.  ``storm_update[...]`` is the per-packet
+scalar loop and ``storm_batch[...]`` the batch engine, each over the sketch
+and the array Space Saving backends; ``--min-sketch-speedup`` gates the
+sketch batch/scalar ratio (and stays armed under ``--smoke``).  The storm
+stream is parity-gated first: the sketch-counter batch feed must be
+bit-identical to its scalar reference twin.
+
 Before timing anything the script verifies the batch engine end to end: for
 each counter backend a seeded RHHH instance fed through the vectorized
 ``update_batch`` must be bit-identical (same ``output(theta)`` candidates and
@@ -49,8 +60,10 @@ Runs standalone (no pytest-benchmark dependency)::
 
 Exit status is non-zero if verification fails, if ``--min-speedup`` is given
 and the measured linked-counter batch speedup over the ``update`` loop falls
-short, or if ``--min-array-speedup`` is given and the array-backend batch
-speedup over the ``update`` loop falls short.
+short, if ``--min-array-speedup`` is given and the array-backend batch
+speedup over the ``update`` loop falls short, or if ``--min-sketch-speedup``
+is given and the sketch batch/scalar ratio on the eviction-storm stream
+falls short.
 """
 
 from __future__ import annotations
@@ -112,6 +125,13 @@ def _parse_args(argv=None) -> argparse.Namespace:
     parser.add_argument("--min-array-speedup", type=float, default=None,
                         help="fail (exit 1) if the array-backend batch speedup over the "
                         "update loop is below this")
+    parser.add_argument("--storm-packets", type=int, default=200_000,
+                        help="length of the all-distinct-keys eviction-storm stream used "
+                        "for the sketch-vs-Space-Saving churn comparison")
+    parser.add_argument("--min-sketch-speedup", type=float, default=None,
+                        help="fail (exit 1) if the sketch-counter batch speedup over the "
+                        "per-packet sketch loop on the eviction-storm stream is below "
+                        "this (NOT disarmed by --smoke)")
     parser.add_argument("--trace", default=None,
                         help="replay a serialized binary trace (v2 columnar preferred) "
                         "instead of generating the workload, and additionally measure "
@@ -143,7 +163,11 @@ def _parse_args(argv=None) -> argparse.Namespace:
         args.packets = min(args.packets, 100_000)
         args.verify_packets = min(args.verify_packets, args.packets)
         args.mst_packets = min(args.mst_packets, 20_000)
+        args.storm_packets = min(args.storm_packets, 30_000)
         args.repeats = 1
+        # --min-sketch-speedup stays armed: the sketch batch path has no
+        # eviction order to amortize, so it clears its gate even on the
+        # smoke-sized storm stream.
         args.min_speedup = None
         args.min_array_speedup = None
         args.min_shard_speedup = None
@@ -155,6 +179,26 @@ def _parse_args(argv=None) -> argparse.Namespace:
         args.theta = max(args.theta, 0.2)
     args.mst_packets = min(args.mst_packets, args.packets)
     return args
+
+
+def _storm_keys(args, hierarchy):
+    """The eviction-storm stream: every key distinct (the max-churn adversary).
+
+    Two odd multiplicative constants give bijections mod ``2**32``, so the
+    keys are pairwise distinct, spread across every byte prefix, and fully
+    deterministic without consuming any RNG stream.
+    """
+    idx = np.arange(args.storm_packets, dtype=np.uint64)
+    mask = np.uint64(0xFFFFFFFF)
+    src = (idx * np.uint64(0x9E3779B1)) & mask
+    dst = (idx * np.uint64(0x85EBCA77)) & mask
+    if hierarchy.dimensions == 2:
+        batch = np.stack([src, dst], axis=1).astype(np.int64)
+        scalar = [(int(s), int(d)) for s, d in batch]
+    else:
+        batch = src.astype(np.int64)
+        scalar = batch.tolist()
+    return scalar, batch
 
 
 def _make(args, hierarchy, counter="space_saving") -> RHHH:
@@ -338,6 +382,15 @@ def main(argv=None) -> int:
         )
     verified["mst"] = verify_mst_equivalence(args, hierarchy, batch_keys)
     print(f"mst batch output bit-identical to sequential reference: {verified['mst']}")
+    storm_scalar, storm_batch = _storm_keys(args, hierarchy)
+    for sketch_name in ("count_min", "count_sketch"):
+        verified[f"storm[{sketch_name}]"] = verify_equivalence(
+            args, hierarchy, storm_batch, sketch_name
+        )
+        print(
+            f"rhhh[{sketch_name}] storm batch output bit-identical to sequential "
+            f"reference: {verified[f'storm[{sketch_name}]']}"
+        )
     if args.trace:
         verified["ingest"] = verify_ingest_equivalence(args, hierarchy)
         print(
@@ -377,6 +430,23 @@ def main(argv=None) -> int:
         start = time.perf_counter()
         for lo in range(0, len(batch_keys), args.batch_size):
             update_batch(batch_keys[lo : lo + args.batch_size])
+        return time.perf_counter() - start
+
+    def run_storm_update(counter) -> float:
+        # The eviction-storm scalar floor: every key distinct, per-packet loop.
+        algorithm = _make(args, hierarchy, counter)
+        update = algorithm.update
+        start = time.perf_counter()
+        for key in storm_scalar:
+            update(key)
+        return time.perf_counter() - start
+
+    def run_storm_batch(counter) -> float:
+        algorithm = _make(args, hierarchy, counter)
+        update_batch = algorithm.update_batch
+        start = time.perf_counter()
+        for lo in range(0, len(storm_batch), args.batch_size):
+            update_batch(storm_batch[lo : lo + args.batch_size])
         return time.perf_counter() - start
 
     def run_mst_update() -> float:
@@ -489,6 +559,10 @@ def main(argv=None) -> int:
         "update_batch[array]": lambda: run_batch(COUNTERS["array_space_saving"]),
         "mst_update": run_mst_update,
         "mst_update_batch": run_mst_batch,
+        "storm_update[sketch]": lambda: run_storm_update("count_min"),
+        "storm_batch[sketch]": lambda: run_storm_batch("count_min"),
+        "storm_update[array]": lambda: run_storm_update(COUNTERS["array_space_saving"]),
+        "storm_batch[array]": lambda: run_storm_batch(COUNTERS["array_space_saving"]),
     }
     if args.checkpoint_every is not None:
         variants[f"update_batch[ckpt every {args.checkpoint_every}]"] = run_batch_checkpointed
@@ -507,13 +581,25 @@ def main(argv=None) -> int:
     medians = {name: statistics.median(values) for name, values in times.items()}
 
     baseline = medians["update"]
+
+    def _variant_packets(name: str) -> int:
+        if name.startswith("mst"):
+            return args.mst_packets
+        if name.startswith("storm"):
+            return args.storm_packets
+        return args.packets
+
     rows = [
         {
             "path": name,
-            "packets": args.mst_packets if name.startswith("mst") else args.packets,
+            "packets": _variant_packets(name),
             "seconds": seconds,
-            "kpps": (args.mst_packets if name.startswith("mst") else args.packets) / seconds / 1e3,
-            "speedup_vs_update": baseline / seconds if not name.startswith("mst") else float("nan"),
+            "kpps": _variant_packets(name) / seconds / 1e3,
+            "speedup_vs_update": (
+                baseline / seconds
+                if not name.startswith(("mst", "storm"))
+                else float("nan")
+            ),
         }
         for name, seconds in medians.items()
     ]
@@ -523,10 +609,16 @@ def main(argv=None) -> int:
     array_speedup = baseline / medians["update_batch[array]"]
     array_vs_linked = medians["update_batch"] / medians["update_batch[array]"]
     mst_speedup = medians["mst_update"] / medians["mst_update_batch"]
+    sketch_storm_speedup = medians["storm_update[sketch]"] / medians["storm_batch[sketch]"]
+    array_storm_speedup = medians["storm_update[array]"] / medians["storm_batch[array]"]
+    sketch_vs_array_storm = medians["storm_batch[array]"] / medians["storm_batch[sketch]"]
     print(f"\nbatch speedup over per-packet update loop:        {speedup:.2f}x")
     print(f"array-backend batch speedup over update loop:     {array_speedup:.2f}x")
     print(f"array backend vs linked counter (batch path):     {array_vs_linked:.2f}x")
     print(f"MST batch speedup over its scalar O(H) loop:      {mst_speedup:.2f}x")
+    print(f"eviction storm: sketch batch over sketch loop:    {sketch_storm_speedup:.2f}x")
+    print(f"eviction storm: array batch over array loop:      {array_storm_speedup:.2f}x")
+    print(f"eviction storm: sketch batch over array batch:    {sketch_vs_array_storm:.2f}x")
     ingest_speedup = None
     if args.trace:
         ingest_speedup = (
@@ -574,6 +666,9 @@ def main(argv=None) -> int:
             "array_batch_speedup_vs_update": array_speedup,
             "array_vs_scalar_counter_batch_ratio": array_vs_linked,
             "mst_batch_speedup": mst_speedup,
+            "sketch_storm_speedup": sketch_storm_speedup,
+            "array_storm_speedup": array_storm_speedup,
+            "sketch_vs_array_storm_ratio": sketch_vs_array_storm,
             "shard_batch_speedup": shard_speedup,
             "ingest_overlap_speedup": ingest_speedup,
             "checkpoint_overhead_percent": checkpoint_overhead,
@@ -593,6 +688,13 @@ def main(argv=None) -> int:
         print(
             f"FAIL: array-backend batch speedup {array_speedup:.2f}x below required "
             f"{args.min_array_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        failed = True
+    if args.min_sketch_speedup is not None and sketch_storm_speedup < args.min_sketch_speedup:
+        print(
+            f"FAIL: eviction-storm sketch batch speedup {sketch_storm_speedup:.2f}x below "
+            f"required {args.min_sketch_speedup:.2f}x",
             file=sys.stderr,
         )
         failed = True

@@ -24,6 +24,8 @@ import math
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.exceptions import ConfigurationError
+from repro.hh.count_min import CountMinSketch
+from repro.hh.count_sketch import CountSketch
 
 #: Estimated bytes per Space Saving counter: one ``_where`` dict entry, the
 #: per-key error slot inside its bucket and an amortized share of the bucket
@@ -43,9 +45,6 @@ DICT_ENTRY_BYTES = 140
 #: Bytes per sketch table cell (``int64``).
 SKETCH_CELL_BYTES = 8
 
-#: Width cap applied by :class:`repro.hh.count_sketch.CountSketch`.
-_COUNT_SKETCH_MAX_WIDTH = 1 << 18
-
 #: Backends the automatic chooser considers, in preference order.
 AUTO_CANDIDATES: Tuple[str, ...] = (
     "space_saving",
@@ -54,9 +53,9 @@ AUTO_CANDIDATES: Tuple[str, ...] = (
     "count_sketch",
 )
 
-
-def _sketch_depth(delta: float) -> int:
-    return max(1, int(math.ceil(math.log(1.0 / delta))))
+#: Sketch backends the churn-aware chooser prefers under eviction storms,
+#: cheapest-table first.
+_STORM_CANDIDATES: Tuple[str, ...] = ("count_min", "count_sketch")
 
 
 def _tracked_keys(epsilon: float, track: Optional[int]) -> int:
@@ -97,15 +96,23 @@ def estimate_counter_memory(
     if name in ("misra_gries", "lossy_counting"):
         return entries * DICT_ENTRY_BYTES
     if name in ("count_min", "conservative_count_min"):
-        width = max(2, int(math.ceil(math.e / epsilon)))
-        table = _sketch_depth(delta) * width * SKETCH_CELL_BYTES
+        # Geometry comes from the sketch class itself, so the estimate prices
+        # exactly the table the constructor builds.
+        table = (
+            CountMinSketch.derived_depth(delta)
+            * CountMinSketch.derived_width(epsilon)
+            * SKETCH_CELL_BYTES
+        )
         return table + _tracked_keys(epsilon, track) * DICT_ENTRY_BYTES
     if name == "count_sketch":
-        width = max(4, min(int(math.ceil(3.0 / (epsilon * epsilon))), _COUNT_SKETCH_MAX_WIDTH))
-        depth = _sketch_depth(delta)
-        if depth % 2 == 0:
-            depth += 1
-        table = depth * width * SKETCH_CELL_BYTES
+        # derived_depth includes the odd-depth bump CountSketch.__init__
+        # applies, so an even ceil(ln 1/delta) cannot under-count the table
+        # by one full row.
+        table = (
+            CountSketch.derived_depth(delta)
+            * CountSketch.derived_width(epsilon)
+            * SKETCH_CELL_BYTES
+        )
         return table + _tracked_keys(epsilon, track) * DICT_ENTRY_BYTES
     if name == "exact":
         raise ConfigurationError("the 'exact' counter has no bounded memory footprint")
@@ -118,6 +125,7 @@ def choose_counter_backend(
     epsilon: float,
     delta: float = 0.01,
     track: Optional[int] = None,
+    working_set: Optional[int] = None,
     candidates: Sequence[str] = AUTO_CANDIDATES,
 ) -> str:
     """Pick the counter backend that meets ``epsilon`` within ``memory_bytes``.
@@ -127,6 +135,14 @@ def choose_counter_backend(
     guarantees, compacter storage - is next when only it fits; otherwise the
     fitting candidate with the smallest estimated footprint wins.
 
+    ``working_set`` makes the choice churn-aware: when the stream is expected
+    to touch more distinct keys than the Space Saving capacity the budget
+    affords (``ceil(1/epsilon)`` counters, or an explicit spec capacity),
+    every miss on the full table forces per-event eviction work - the
+    eviction-storm regime where the scalar floor lives.  The sketches have no
+    eviction order to preserve and keep the batch path fully vectorized, so a
+    fitting sketch is preferred there, cheapest table first.
+
     Raises:
         ConfigurationError: when no candidate fits - the message names the
             smallest budget that would, so callers can either raise the
@@ -134,6 +150,8 @@ def choose_counter_backend(
     """
     if memory_bytes < 1:
         raise ConfigurationError(f"memory_bytes must be >= 1, got {memory_bytes}")
+    if working_set is not None and working_set < 1:
+        raise ConfigurationError(f"working_set must be >= 1, got {working_set}")
     estimates: Dict[str, int] = {
         name: estimate_counter_memory(name, epsilon=epsilon, delta=delta, track=track)
         for name in candidates
@@ -146,6 +164,10 @@ def choose_counter_backend(
             f"the cheapest ({cheapest_name}) needs {cheapest_size} bytes - raise the "
             f"budget or relax epsilon"
         )
+    if working_set is not None and working_set > int(math.ceil(1.0 / epsilon)):
+        for preferred in _STORM_CANDIDATES:
+            if preferred in fitting:
+                return preferred
     for preferred in ("space_saving", "array_space_saving"):
         if preferred in fitting:
             return preferred

@@ -122,6 +122,11 @@ class CounterSpec(_SpecBase):
         auto: pick the backend automatically from ``memory_bytes`` (the
             ROADMAP's multi-backend-by-deployment-size selection).
         memory_bytes: memory budget driving the automatic choice.
+        working_set: estimated number of distinct keys the stream touches per
+            node (churn hint for the automatic choice): when it exceeds the
+            Space Saving capacity the budget affords, every miss forces a
+            per-event eviction, so the chooser prefers a fitting sketch -
+            the batch-native backend with no eviction order to preserve.
         options: extra keyword arguments forwarded verbatim to the backend
             factory (the extension point for third-party backends).
     """
@@ -137,6 +142,7 @@ class CounterSpec(_SpecBase):
     min_epsilon: Optional[float] = None
     auto: bool = False
     memory_bytes: Optional[int] = None
+    working_set: Optional[int] = None
     options: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -144,7 +150,7 @@ class CounterSpec(_SpecBase):
             raise ConfigurationError(f"counter name must be a non-empty string, got {self.name!r}")
         _check_unit_interval("epsilon", self.epsilon)
         _check_unit_interval("delta", self.delta)
-        for int_field in ("capacity", "width", "depth", "track", "memory_bytes"):
+        for int_field in ("capacity", "width", "depth", "track", "memory_bytes", "working_set"):
             _check_positive_int(int_field, getattr(self, int_field))
         if self.min_epsilon is not None and not 0.0 <= self.min_epsilon < 1.0:
             raise ConfigurationError(f"min_epsilon must be in [0, 1), got {self.min_epsilon}")
@@ -176,6 +182,7 @@ class CounterSpec(_SpecBase):
                 epsilon=epsilon if epsilon is not None else 0.01,
                 delta=self.delta if self.delta is not None else 0.01,
                 track=self.track,
+                working_set=self.working_set,
             )
         if epsilon is not None:
             floor = self.min_epsilon if self.min_epsilon is not None else DEFAULT_MIN_EPSILON.get(name, 0.0)

@@ -94,21 +94,77 @@ def aggregate_masked(masked, weights: Optional[np.ndarray]):
     return zip(keys, totals.tolist())
 
 
+def unique_key_array(masked, weights: Optional[np.ndarray]):
+    """Aggregate a numeric masked batch keeping the unique keys in array form.
+
+    Array-native view of :func:`aggregated_arrays` for counters that declare
+    ``AGGREGATED_KEY_ARRAYS`` (the sketches): same ascending key order, same
+    int64 totals, but the unique keys stay a numpy array - 1-D for scalar
+    keys, ``(n, 2)`` for pairs - so the counter can hash them without a
+    Python list round-trip.  Returns ``(None, None)`` when the batch is not
+    a numeric key array (the caller falls back to the list form).
+    """
+    if not isinstance(masked, np.ndarray) or masked.dtype.kind not in "iu":
+        return None, None
+    if masked.ndim == 1:
+        return unique_totals(masked, weights)
+    if masked.ndim == 2 and masked.shape[1] == 2:
+        # Same packing trick (and the same single-reduction bounds check) as
+        # aggregated_arrays, so both forms emit identical key order.
+        if masked.size == 0 or 0 <= int(np.bitwise_or.reduce(masked, axis=None)) < 1 << 32:
+            packed = (masked[:, 0].astype(np.uint64) << np.uint64(32)) | masked[:, 1].astype(
+                np.uint64
+            )
+            unique, totals = unique_totals(packed, weights)
+            pairs = np.empty((len(unique), 2), dtype=np.int64)
+            pairs[:, 0] = (unique >> np.uint64(32)).astype(np.int64)
+            pairs[:, 1] = (unique & np.uint64(0xFFFFFFFF)).astype(np.int64)
+            return pairs, totals
+        return unique_totals(masked, weights, axis=0)
+    return None, None
+
+
 def feed_counter(counter, masked, weights: Optional[np.ndarray]) -> None:
     """Apply an aggregated masked batch through the counter's fastest interface.
 
     Counters that expose ``update_aggregated(keys, weights)`` (the
-    struct-of-arrays backends) receive the aggregation output verbatim - a
-    key list plus an int64 weight array, distinct keys guaranteed; everything
-    else gets the equivalent ``(key, weight)`` pair stream via
-    ``update_batch``.
+    struct-of-arrays backends) receive the aggregation output verbatim -
+    distinct keys plus an int64 weight array.  Backends that additionally
+    declare ``AGGREGATED_KEY_ARRAYS = True`` (the sketches) get the unique
+    keys as a numpy array when the batch is numeric, skipping the Python
+    list round-trip entirely; everything else gets a key list, or the
+    equivalent ``(key, weight)`` pair stream via ``update_batch``.
     """
-    keys, totals = aggregated_arrays(masked, weights)
     fast = getattr(counter, "update_aggregated", None)
+    if fast is not None and getattr(counter, "AGGREGATED_KEY_ARRAYS", False):
+        unique, totals = unique_key_array(masked, weights)
+        if unique is not None:
+            fast(unique, totals)
+            return
+    keys, totals = aggregated_arrays(masked, weights)
     if fast is not None:
         fast(keys, totals)
     else:
         counter.update_batch(zip(keys, totals.tolist()))
+
+
+def feed_counter_reference(counter, pairs) -> None:
+    """Scalar-reference twin of :func:`feed_counter`.
+
+    Counters with batch-scoped semantics (the sketches: their
+    ``update_batch_reference`` is *not* a per-event loop but the scalar
+    specification of one aggregated batch) get their twin; everything else
+    gets the plain per-key ``update`` loop, which *is* the reference
+    semantics for the Space Saving family.  The scalar lattice references
+    route through here so their per-node feeds stay bit-identical to the
+    vectorized :func:`feed_counter` for every counter backend.
+    """
+    reference = getattr(counter, "update_batch_reference", None)
+    if reference is not None:
+        reference(pairs)
+        return
+    for key, weight in pairs:
+        counter.update(key, weight)
 
 
 def sorted_pairs(aggregate: dict) -> List[Tuple]:
@@ -199,9 +255,11 @@ def apply_lattice_batch_scalar(
 ) -> None:
     """Scalar specification of :func:`apply_lattice_batch` (pure-Python loops).
 
-    Aggregates with per-node dictionaries and applies plain ``update`` calls
-    in ascending key order - bit-identical to the vectorized path for the
-    same batch, and the fallback for keys numpy cannot represent.
+    Aggregates with per-node dictionaries and hands each node's pairs to
+    :func:`feed_counter_reference` in ascending key order - bit-identical to
+    the vectorized path for the same batch (including counters with
+    batch-scoped semantics), and the fallback for keys numpy cannot
+    represent.
     """
     weight_list = weights_arr.tolist() if weights_arr is not None else None
     for node, generalize in enumerate(generalizers):
@@ -214,6 +272,4 @@ def apply_lattice_batch_scalar(
             for key, weight in zip(keys, weight_list):
                 masked = generalize(key)
                 aggregate[masked] = aggregate.get(masked, 0) + weight
-        counter = counters[node]
-        for masked, weight in sorted_pairs(aggregate):
-            counter.update(masked, weight)
+        feed_counter_reference(counters[node], sorted_pairs(aggregate))

@@ -31,6 +31,7 @@ from repro.core.batch import (
     coerce_key_array,
     coerce_weights,
     feed_counter,
+    feed_counter_reference,
     group_by_node,
     sorted_pairs,
 )
@@ -249,9 +250,7 @@ class RHHH(HHHAlgorithm):
         self._ignored += ignored
         self._update_calls += survived
         for node in sorted(per_node):
-            counter = self._counters[node]
-            for masked, weight in sorted_pairs(per_node[node]):
-                counter.update(masked, weight)
+            feed_counter_reference(self._counters[node], sorted_pairs(per_node[node]))
             self._versions[node] += 1
 
     # ------------------------------------------------------------------ #

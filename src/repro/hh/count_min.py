@@ -7,20 +7,40 @@ counter must also *enumerate* heavy hitters), the sketch maintains a side
 dictionary of the current top keys, updated on every insert - this is the
 standard "sketch + heap" heavy-hitter construction mentioned in Section 3.1 of
 the paper.
+
+Batch feeds take a fully vectorized fast path (:meth:`update_aggregated`):
+one universal-hash broadcast for the whole batch, one scatter pass into the
+table, one gather for the batch's estimates, and one argpartition pass to
+fold the batch into the tracked-keys dictionary.  Sketch updates are linear
+in the table, so a batch of *distinct* keys commutes; the tracked set is
+maintained **batch-scoped** (all keys admitted, then the strongest
+``track`` of the union survive), which is the semantics the scalar twin
+:meth:`update_batch_reference` specifies bit for bit.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, Iterator, Optional
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.hh.base import CounterAlgorithm
 from repro.hh.merge import check_same_sketch_family, remerge_tracked
+from repro.hh.sketch_batch import (
+    PRIME,
+    hash_columns,
+    key_hash_array,
+    key_hash_scalar,
+    key_objects,
+    scatter_add,
+    select_tracked,
+    select_tracked_scalar,
+    track_candidate,
+)
 
-_PRIME = (1 << 61) - 1  # Mersenne prime for universal hashing
+_PRIME = PRIME
 
 
 class CountMinSketch(CounterAlgorithm):
@@ -34,6 +54,11 @@ class CountMinSketch(CounterAlgorithm):
         seed: seed of the hash-function generator (deterministic by default so
             experiments are reproducible).
     """
+
+    #: ``repro.core.batch.feed_counter`` hands this backend the batch's
+    #: unique keys as a numpy array (1-D ints or ``(n, 2)`` pairs) instead of
+    #: a Python list, so hashing stays vectorized end to end.
+    AGGREGATED_KEY_ARRAYS = True
 
     def __init__(
         self,
@@ -55,14 +80,30 @@ class CountMinSketch(CounterAlgorithm):
                 raise ConfigurationError(f"{name} must be >= 1, got {value}")
         self._epsilon = epsilon
         self._delta = delta
-        self._width = width if width is not None else max(2, int(math.ceil(math.e / epsilon)))
-        self._depth = depth if depth is not None else max(1, int(math.ceil(math.log(1.0 / delta))))
+        self._width = width if width is not None else self.derived_width(epsilon)
+        self._depth = depth if depth is not None else self.derived_depth(delta)
         rng = np.random.default_rng(seed)
         self._a = rng.integers(1, _PRIME, size=self._depth, dtype=np.uint64)
         self._b = rng.integers(0, _PRIME, size=self._depth, dtype=np.uint64)
         self._table = np.zeros((self._depth, self._width), dtype=np.int64)
+        self._row_idx = np.arange(self._depth)
         self._track_limit = track if track is not None else 2 * int(math.ceil(1.0 / epsilon))
         self._tracked: Dict[Hashable, int] = {}
+
+    @classmethod
+    def derived_width(cls, epsilon: float) -> int:
+        """Table width derived from ``epsilon`` (``ceil(e/epsilon)``, floor 2).
+
+        Single source of truth shared with ``repro.api.memory``'s footprint
+        estimates, so the chooser prices exactly the table the constructor
+        builds.
+        """
+        return max(2, int(math.ceil(math.e / epsilon)))
+
+    @classmethod
+    def derived_depth(cls, delta: float) -> int:
+        """Table depth derived from ``delta`` (``ceil(ln 1/delta)``, floor 1)."""
+        return max(1, int(math.ceil(math.log(1.0 / delta))))
 
     @property
     def width(self) -> int:
@@ -75,28 +116,120 @@ class CountMinSketch(CounterAlgorithm):
         return self._depth
 
     def _rows(self, key: Hashable) -> np.ndarray:
-        h = hash(key) & 0x7FFFFFFFFFFFFFFF
-        return ((self._a * np.uint64(h) + self._b) % np.uint64(_PRIME)) % np.uint64(self._width)
+        h = np.uint64(key_hash_scalar(key))
+        return ((self._a * h + self._b) % np.uint64(_PRIME)) % np.uint64(self._width)
 
     def update(self, key: Hashable, weight: int = 1) -> None:
         if weight <= 0:
             raise ValueError("weight must be positive")
         self._total += weight
         cols = self._rows(key)
-        rows = np.arange(self._depth)
+        rows = self._row_idx
         self._table[rows, cols] += weight
         estimate = int(self._table[rows, cols].min())
         self._track(key, estimate)
 
     def _track(self, key: Hashable, estimate: int) -> None:
-        tracked = self._tracked
-        if key in tracked or len(tracked) < self._track_limit:
-            tracked[key] = estimate
+        track_candidate(self, self._tracked, self._track_limit, key, estimate)
+
+    # ------------------------------------------------------------------ #
+    # batch feeds
+    # ------------------------------------------------------------------ #
+
+    def update_batch(self, items: Iterable[Tuple[Hashable, int]]) -> None:
+        """Batch update over pre-aggregated ``(key, weight)`` pairs.
+
+        Distinct keys (the aggregation contract of ``repro.core.batch``)
+        take the vectorized :meth:`update_aggregated` path with its
+        batch-scoped tracked-set semantics; duplicate keys fall back to a
+        per-event :meth:`update` replay.  :meth:`update_batch_reference` is
+        the scalar specification, bit-identical in both regimes.
+        """
+        pairs = list(items)
+        if not pairs:
             return
-        victim = min(tracked, key=tracked.get)
-        if tracked[victim] < estimate:
-            del tracked[victim]
-            tracked[key] = estimate
+        keys = [key for key, _ in pairs]
+        if len(set(keys)) != len(keys):
+            for key, weight in pairs:
+                self.update(key, int(weight))
+            return
+        weights = np.fromiter((int(weight) for _, weight in pairs), dtype=np.int64, count=len(pairs))
+        self.update_aggregated(keys, weights)
+
+    def update_batch_reference(self, items: Iterable[Tuple[Hashable, int]]) -> None:
+        """Scalar specification of :meth:`update_batch` (pure-Python loops)."""
+        pairs = list(items)
+        if not pairs:
+            return
+        keys = [key for key, _ in pairs]
+        if len(set(keys)) != len(keys):
+            for key, weight in pairs:
+                self.update(key, int(weight))
+            return
+        self._update_aggregated_scalar(keys, [int(weight) for _, weight in pairs])
+
+    def update_aggregated(self, keys: Sequence[Hashable], weights: Sequence[int]) -> None:
+        """Vectorized aggregated-batch fast path (distinct keys, positive weights).
+
+        One hash broadcast, one scatter pass into the table, one estimate
+        gather, one argpartition fold into the tracked set - bit-identical
+        to :meth:`_update_aggregated_scalar`.  Keys the vector hash cannot
+        represent (strings, out-of-range pairs) fall back to that scalar
+        twin transparently.
+        """
+        n = len(keys)
+        if n == 0:
+            return
+        weights_arr = np.asarray(weights, dtype=np.int64)
+        hashed = key_hash_array(keys)
+        if hashed is None:
+            self._update_aggregated_scalar(key_objects(keys), weights_arr.tolist())
+            return
+        if int(weights_arr.min()) <= 0:
+            raise ValueError("weight must be positive")
+        self._total += int(weights_arr.sum())
+        cols = hash_columns(hashed, self._a, self._b, self._width)
+        scatter_add(self._table, cols, np.broadcast_to(weights_arr[:, None], cols.shape))
+        estimates = self._table[self._row_idx, cols].min(axis=1)
+        self._merge_tracked(key_objects(keys), estimates.tolist(), select_tracked)
+
+    def _update_aggregated_scalar(self, keys: List[Hashable], weight_list: List[int]) -> None:
+        """Scalar twin of :meth:`update_aggregated`: same batch-scoped semantics.
+
+        Scatter first (additions commute across distinct keys), then gather
+        every key's estimate from the *updated* table, then fold the batch
+        into the tracked set in one pass - per-key loops throughout.
+        """
+        if not keys:
+            return
+        if min(weight_list) <= 0:
+            raise ValueError("weight must be positive")
+        self._total += sum(weight_list)
+        table = self._table
+        rows = self._row_idx
+        cols_per_key = [self._rows(key) for key in keys]
+        for cols, weight in zip(cols_per_key, weight_list):
+            table[rows, cols] += weight
+        estimates = [int(table[rows, cols].min()) for cols in cols_per_key]
+        self._merge_tracked(keys, estimates, select_tracked_scalar)
+
+    def _merge_tracked(self, keys: List[Hashable], estimates: List[int], select) -> None:
+        """Fold a batch's (key, estimate) pairs into the tracked dictionary.
+
+        Every batch key is admitted (refreshing keys already tracked in
+        place, so they keep their dict position), then the strongest
+        ``track`` of the union survive via ``select`` - the vectorized
+        argpartition pass or its scalar twin, which produce identical
+        dictionaries.
+        """
+        tracked = self._tracked
+        tracked.update(zip(keys, estimates))
+        if len(tracked) > self._track_limit:
+            self._tracked = select(tracked, self._track_limit)
+
+    # ------------------------------------------------------------------ #
+    # merge and queries
+    # ------------------------------------------------------------------ #
 
     def merge(self, other: "CountMinSketch", *, disjoint: bool = False) -> None:
         """Fold another Count-Min sketch into this one by table addition.
@@ -118,8 +251,7 @@ class CountMinSketch(CounterAlgorithm):
 
     def estimate(self, key: Hashable) -> float:
         cols = self._rows(key)
-        rows = np.arange(self._depth)
-        return float(self._table[rows, cols].min())
+        return float(self._table[self._row_idx, cols].min())
 
     def upper_bound(self, key: Hashable) -> float:
         return self.estimate(key)

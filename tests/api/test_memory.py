@@ -12,6 +12,8 @@ from repro.api.memory import (
 from repro.api.registry import build_counter
 from repro.api.specs import CounterSpec
 from repro.exceptions import ConfigurationError
+from repro.hh.count_min import CountMinSketch
+from repro.hh.count_sketch import CountSketch
 
 
 class TestEstimates:
@@ -160,3 +162,79 @@ class TestShardBudgetDivision:
         for shard in range(2):
             node_counter = engine.shard_algorithm(shard).node_counter(0)
             assert type(node_counter).__name__ == "ArraySpaceSaving"
+
+
+class TestSketchGeometryEstimates:
+    """The estimates price exactly the tables the constructors build."""
+
+    def test_count_min_estimate_prices_the_constructed_table(self):
+        sketch = CountMinSketch(epsilon=0.02, delta=0.14)
+        estimate = estimate_counter_memory("count_min", epsilon=0.02, delta=0.14, track=0)
+        assert estimate == sketch.depth * sketch.width * 8
+
+    def test_count_sketch_even_depth_delta_prices_the_bumped_table(self):
+        # ceil(ln 1/0.14) == 2, which CountSketch.__init__ bumps to 3 so the
+        # median stays unambiguous; the estimate must price the bumped row
+        # too, not under-count the table at even-depth deltas.
+        sketch = CountSketch(epsilon=0.05, delta=0.14)
+        assert sketch.depth == 3
+        estimate = estimate_counter_memory("count_sketch", epsilon=0.05, delta=0.14, track=0)
+        assert estimate == sketch.depth * sketch.width * 8
+
+    def test_count_sketch_odd_depth_delta_is_not_bumped(self):
+        # ceil(ln 1/0.04) == 4 bumps to 5; ceil(ln 1/0.01) == 5 stays 5.
+        even = estimate_counter_memory("count_sketch", epsilon=0.05, delta=0.04, track=0)
+        odd = estimate_counter_memory("count_sketch", epsilon=0.05, delta=0.01, track=0)
+        assert even == odd == CountSketch(epsilon=0.05, delta=0.01).depth * CountSketch.derived_width(0.05) * 8
+
+
+class TestChurnAwareChoice:
+    """``working_set`` steers the chooser toward sketches under churn."""
+
+    BIG_BUDGET = 4 << 20  # every backend fits at epsilon=0.01, track=50
+
+    def test_high_churn_prefers_a_fitting_sketch(self):
+        calm = choose_counter_backend(self.BIG_BUDGET, epsilon=0.01, track=50)
+        stormy = choose_counter_backend(
+            self.BIG_BUDGET, epsilon=0.01, track=50, working_set=1000
+        )
+        assert calm == "space_saving"
+        assert stormy == "count_min"
+
+    def test_working_set_within_capacity_keeps_space_saving(self):
+        # ceil(1/epsilon) == 100 counters hold the whole working set: no
+        # eviction storm, the paper's deterministic counter stays preferred.
+        choice = choose_counter_backend(
+            self.BIG_BUDGET, epsilon=0.01, track=50, working_set=100
+        )
+        assert choice == "space_saving"
+
+    def test_churn_preference_requires_a_fitting_sketch(self):
+        # A budget only the Space Saving variants fit: the churn hint cannot
+        # conjure a sketch into the budget.
+        budget = estimate_counter_memory("space_saving", epsilon=0.01)
+        assert estimate_counter_memory("count_min", epsilon=0.01) > budget
+        choice = choose_counter_backend(budget, epsilon=0.01, working_set=10**6)
+        assert choice == "space_saving"
+
+    def test_working_set_validation(self):
+        with pytest.raises(ConfigurationError, match="working_set"):
+            choose_counter_backend(self.BIG_BUDGET, epsilon=0.01, working_set=0)
+        with pytest.raises(ConfigurationError, match="working_set"):
+            CounterSpec(auto=True, memory_bytes=1024, working_set=0)
+
+    def test_counter_spec_resolves_and_round_trips_working_set(self):
+        spec = CounterSpec(
+            auto=True,
+            memory_bytes=self.BIG_BUDGET,
+            epsilon=0.01,
+            track=50,
+            working_set=1000,
+        )
+        resolved = spec.resolve()
+        assert resolved.name == "count_min"
+        assert resolved.working_set == 1000
+        clone = CounterSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        counter = build_counter(resolved)
+        assert type(counter).__name__ == "CountMinSketch"

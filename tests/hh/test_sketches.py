@@ -7,10 +7,14 @@ from collections import Counter
 
 import pytest
 
+import numpy as np
+
+from repro.api.registry import make_hierarchy
 from repro.exceptions import ConfigurationError
 from repro.hh.conservative_update import ConservativeCountMin
 from repro.hh.count_min import CountMinSketch
 from repro.hh.count_sketch import CountSketch
+from repro.hhh.mst import MST
 
 
 def _skewed_stream(n: int, universe: int, seed: int):
@@ -110,3 +114,88 @@ class TestCountSketch:
     def test_rejects_bad_parameters(self):
         with pytest.raises(ConfigurationError):
             CountSketch(epsilon=2.0)
+
+
+def _sign_collision_pair(sketch):
+    """Find two keys hashing to the same column with opposite signs (depth 1)."""
+    by_col = {}
+    for key in range(2000):
+        cols, signs = sketch._cols_signs(key)
+        col, sign = int(cols[0]), int(signs[0])
+        other = by_col.get((col, -sign))
+        if other is not None:
+            return other, key
+        by_col.setdefault((col, sign), key)
+    raise AssertionError("no sign collision found in the first 2000 keys")
+
+
+def _raw_signed_median(sketch, key):
+    """The Count Sketch median *before* the nonnegative clamp."""
+    cols, signs = sketch._cols_signs(key)
+    return float(np.median(sketch._table[sketch._row_idx, cols] * signs))
+
+
+class TestCountSketchClampRegression:
+    """Sign collisions must never surface as negative frequency estimates."""
+
+    def test_sign_collision_estimate_clamped_at_zero(self):
+        sketch = CountSketch(epsilon=0.1, width=2, depth=1, seed=0, track=8)
+        loud, quiet = _sign_collision_pair(sketch)
+        sketch.update(loud, 100)
+        # The unclamped signed median really is negative - the clamp is load-
+        # bearing, not vacuous.
+        assert _raw_signed_median(sketch, quiet) < 0
+        assert sketch.estimate(quiet) == 0.0
+        assert sketch.upper_bound(quiet) >= sketch.lower_bound(quiet) >= 0.0
+
+    def test_mst_output_bounds_stay_ordered_under_sign_collisions(self):
+        # A tiny signed table under an adversarial stream: before the clamp,
+        # negative estimates propagated into lattice upper bounds below lower
+        # bounds.  MST drives the full Output path deterministically.
+        hierarchy = make_hierarchy("1d-bytes")
+        algo = MST(
+            hierarchy,
+            epsilon=0.2,
+            counter=lambda epsilon: CountSketch(epsilon=0.2, width=2, depth=1, seed=0, track=16),
+        )
+        for key in range(64):
+            algo.update(key, 1 + key % 7)
+        node0 = algo._counters[0]
+        assert any(_raw_signed_median(node0, key) < 0 for key in range(64))
+        for candidate in algo.output(0.05):
+            assert 0.0 <= candidate.lower_bound <= candidate.upper_bound
+
+
+class TestTrackedEvictionRefresh:
+    """The tracked-set victim is re-estimated before being evicted."""
+
+    def test_count_min_keeps_a_victim_whose_estimate_grew(self):
+        # width=1: every key shares the single column, so the incumbent's
+        # stale tracked value (5) undersells its current estimate (15).
+        sketch = CountMinSketch(epsilon=0.5, delta=0.5, width=1, depth=1, track=1)
+        sketch.update("a", 5)
+        sketch.update("c", 10)
+        assert list(sketch) == ["a"]
+        assert sketch._tracked["a"] == 15
+
+    def test_count_min_still_evicts_a_genuinely_smaller_victim(self):
+        sketch = CountMinSketch(epsilon=0.1, delta=0.5, track=1)
+        sketch.update("a", 5)
+        sketch.update("b", 10)
+        assert list(sketch) == ["b"]
+
+    def test_count_sketch_keeps_a_victim_whose_estimate_grew(self):
+        sketch = CountSketch(epsilon=0.5, width=1, depth=1, seed=0, track=1)
+        positives = [k for k in range(100) if int(sketch._cols_signs(k)[1][0]) == 1]
+        first, second = positives[0], positives[1]
+        sketch.update(first, 5)
+        sketch.update(second, 10)
+        assert list(sketch) == [first]
+        assert sketch._tracked[first] == 15
+
+
+class TestRowIndexCache:
+    def test_row_index_cache_matches_depth(self):
+        for cls in (CountMinSketch, CountSketch, ConservativeCountMin):
+            sketch = cls(epsilon=0.05, delta=0.05)
+            assert sketch._row_idx.tolist() == list(range(sketch.depth))
